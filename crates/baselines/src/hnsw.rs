@@ -1,0 +1,378 @@
+//! A from-scratch HNSW graph (Malkov & Yashunin, TPAMI 2020), standing in
+//! for ParlayANN-HNSW in the Table I comparison.
+//!
+//! The behaviours Table I measures: construction far slower than any
+//! sampled index (every insertion runs an ef-bounded graph search),
+//! sub-millisecond queries, recall around 0.9 — and single-node memory
+//! residency (the dataset and graph must fit, giving the `X` cells at
+//! scale). Implemented: multi-layer skip-list-of-graphs with geometric
+//! level assignment, ef-bounded layer search, simple nearest-M neighbour
+//! selection with reverse-link pruning.
+
+use crate::BaselineOutcome;
+use climber_series::dataset::Dataset;
+use climber_series::distance::sq_ed;
+use climber_series::topk::TopK;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
+
+/// HNSW parameters (the usual names).
+#[derive(Debug, Clone, Copy)]
+pub struct HnswConfig {
+    /// Max links per node above layer 0 (layer 0 allows `2·m`).
+    pub m: usize,
+    /// Search breadth during construction.
+    pub ef_construction: usize,
+    /// Search breadth during queries.
+    pub ef_search: usize,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+    /// Optional memory budget in bytes (dataset + graph).
+    pub memory_budget: Option<u64>,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 59,
+            memory_budget: None,
+        }
+    }
+}
+
+/// Build statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswBuildStats {
+    /// Construction wall time.
+    pub build_secs: f64,
+    /// Estimated resident memory (dataset + graph links).
+    pub memory_bytes: u64,
+    /// Number of layers in the final graph.
+    pub num_layers: usize,
+}
+
+/// Error when the memory budget is exceeded.
+pub use crate::odyssey::OutOfMemory;
+
+/// The HNSW graph (values live in the caller's [`Dataset`]).
+#[derive(Debug)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    /// links[node][layer] = neighbour ids.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Entry point (highest-layer node).
+    entry: u32,
+    /// Layers of the entry point.
+    max_layer: usize,
+}
+
+impl HnswIndex {
+    /// Builds the graph over `ds` by sequential insertion.
+    pub fn build(ds: &Dataset, config: HnswConfig) -> Result<(Self, HnswBuildStats), OutOfMemory> {
+        assert!(ds.num_series() > 0, "cannot index an empty dataset");
+        assert!(config.m >= 2, "m must be at least 2");
+        let t0 = Instant::now();
+        let payload = ds.payload_bytes() as u64;
+        if let Some(budget) = config.memory_budget {
+            if payload > budget {
+                return Err(OutOfMemory {
+                    required: payload,
+                    budget,
+                });
+            }
+        }
+
+        let n = ds.num_series();
+        let ml = 1.0 / (config.m as f64).ln();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut index = HnswIndex {
+            config,
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_layer: 0,
+        };
+        for id in 0..n as u32 {
+            let level = sample_level(&mut rng, ml);
+            index.insert(ds, id, level);
+        }
+
+        let link_bytes: u64 = index
+            .links
+            .iter()
+            .flat_map(|layers| layers.iter().map(|l| 24 + l.len() as u64 * 4))
+            .sum();
+        let memory_bytes = payload + link_bytes;
+        if let Some(budget) = index.config.memory_budget {
+            if memory_bytes > budget {
+                return Err(OutOfMemory {
+                    required: memory_bytes,
+                    budget,
+                });
+            }
+        }
+        let stats = HnswBuildStats {
+            build_secs: t0.elapsed().as_secs_f64(),
+            memory_bytes,
+            num_layers: index.max_layer + 1,
+        };
+        Ok((index, stats))
+    }
+
+    fn insert(&mut self, ds: &Dataset, id: u32, level: usize) {
+        self.links.push(vec![Vec::new(); level + 1]);
+        if id == 0 {
+            self.entry = 0;
+            self.max_layer = level;
+            return;
+        }
+        let q = ds.get(id as u64);
+        let mut ep = self.entry;
+        // Greedy descent through layers above the node's level.
+        for layer in ((level + 1)..=self.max_layer).rev() {
+            ep = self.greedy_closest(ds, q, ep, layer);
+        }
+        // ef-bounded search and linking from min(level, max_layer) down.
+        for layer in (0..=level.min(self.max_layer)).rev() {
+            let cands = self.search_layer(ds, q, ep, layer, self.config.ef_construction);
+            ep = cands.first().map(|&(_, id)| id).unwrap_or(ep);
+            let m_max = if layer == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
+            let selected: Vec<u32> = cands
+                .iter()
+                .take(self.config.m)
+                .map(|&(_, nid)| nid)
+                .collect();
+            self.links[id as usize][layer] = selected.clone();
+            for nid in selected {
+                let nl = &mut self.links[nid as usize][layer];
+                nl.push(id);
+                if nl.len() > m_max {
+                    // prune the farthest reverse link
+                    let base = ds.get(nid as u64);
+                    let mut scored: Vec<(f64, u32)> = nl
+                        .iter()
+                        .map(|&x| (sq_ed(base, ds.get(x as u64)), x))
+                        .collect();
+                    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    scored.truncate(m_max);
+                    *nl = scored.into_iter().map(|(_, x)| x).collect();
+                }
+            }
+        }
+        if level > self.max_layer {
+            self.max_layer = level;
+            self.entry = id;
+        }
+    }
+
+    /// One greedy step-descent on a layer: walk to the closest neighbour
+    /// until no improvement.
+    fn greedy_closest(&self, ds: &Dataset, q: &[f32], start: u32, layer: usize) -> u32 {
+        let mut cur = start;
+        let mut cur_d = sq_ed(q, ds.get(cur as u64));
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[cur as usize][layer.min(self.links[cur as usize].len() - 1)] {
+                let d = sq_ed(q, ds.get(nb as u64));
+                if d < cur_d {
+                    cur = nb;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// ef-bounded best-first search on one layer; returns up to `ef`
+    /// `(dist, id)` pairs ascending.
+    fn search_layer(
+        &self,
+        ds: &Dataset,
+        q: &[f32],
+        entry: u32,
+        layer: usize,
+        ef: usize,
+    ) -> Vec<(f64, u32)> {
+        let d0 = sq_ed(q, ds.get(entry as u64));
+        let mut visited: HashSet<u32> = HashSet::from([entry]);
+        // candidates: min-heap by distance
+        let mut candidates: BinaryHeap<(Reverse<Of64>, u32)> =
+            BinaryHeap::from([(Reverse(Of64(d0)), entry)]);
+        // best: max-heap (worst on top) bounded to ef
+        let mut best: BinaryHeap<(Of64, u32)> = BinaryHeap::from([(Of64(d0), entry)]);
+        while let Some((Reverse(Of64(cd)), cid)) = candidates.pop() {
+            let worst = best.peek().map(|&(Of64(d), _)| d).unwrap_or(f64::INFINITY);
+            if cd > worst && best.len() >= ef {
+                break;
+            }
+            if layer < self.links[cid as usize].len() {
+                for &nb in &self.links[cid as usize][layer] {
+                    if !visited.insert(nb) {
+                        continue;
+                    }
+                    let d = sq_ed(q, ds.get(nb as u64));
+                    let worst = best.peek().map(|&(Of64(w), _)| w).unwrap_or(f64::INFINITY);
+                    if best.len() < ef || d < worst {
+                        candidates.push((Reverse(Of64(d)), nb));
+                        best.push((Of64(d), nb));
+                        if best.len() > ef {
+                            best.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(f64, u32)> = best.into_iter().map(|(Of64(d), id)| (d, id)).collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Approximate kNN query with breadth `max(ef_search, k)`.
+    pub fn query(&self, ds: &Dataset, query: &[f32], k: usize) -> BaselineOutcome {
+        assert!(k > 0, "k must be positive");
+        let mut ep = self.entry;
+        for layer in (1..=self.max_layer).rev() {
+            ep = self.greedy_closest(ds, query, ep, layer);
+        }
+        let ef = self.config.ef_search.max(k);
+        let found = self.search_layer(ds, query, ep, 0, ef);
+        let scanned = found.len() as u64; // distance evaluations retained
+        let mut top = TopK::new(k);
+        for (d, id) in found {
+            top.offer(id as u64, d);
+        }
+        BaselineOutcome {
+            results: top.into_sorted(),
+            records_scanned: scanned,
+            partitions_opened: 0,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.max_layer + 1
+    }
+}
+
+fn sample_level(rng: &mut StdRng, ml: f64) -> usize {
+    let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    ((-u.ln()) * ml).floor() as usize
+}
+
+/// f64 with total order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Of64(f64);
+impl Eq for Of64 {}
+impl PartialOrd for Of64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Of64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_series::gen::Domain;
+    use climber_series::ground_truth::exact_knn;
+    use climber_series::recall::recall_of_results;
+
+    fn cfg() -> HnswConfig {
+        HnswConfig {
+            m: 8,
+            ef_construction: 64,
+            ef_search: 48,
+            seed: 61,
+            memory_budget: None,
+        }
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        let ds = Domain::TexMex.generate(1000, 63);
+        let (index, _) = HnswIndex::build(&ds, cfg()).unwrap();
+        let k = 10;
+        let mut r = 0.0;
+        for qid in (0..20u64).map(|i| i * 49) {
+            let got = index.query(&ds, ds.get(qid), k);
+            let want = exact_knn(&ds, ds.get(qid), k);
+            r += recall_of_results(&got.results, &want);
+        }
+        r /= 20.0;
+        assert!(r > 0.8, "HNSW recall {r:.3} too low");
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let ds = Domain::RandomWalk.generate(400, 65);
+        let (index, _) = HnswIndex::build(&ds, cfg()).unwrap();
+        for qid in [0u64, 200, 399] {
+            let out = index.query(&ds, ds.get(qid), 5);
+            assert_eq!(out.results[0].0, qid, "query {qid}");
+            assert_eq!(out.results[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = Domain::Eeg.generate(200, 67);
+        let (a, _) = HnswIndex::build(&ds, cfg()).unwrap();
+        let (b, _) = HnswIndex::build(&ds, cfg()).unwrap();
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.entry, b.entry);
+    }
+
+    #[test]
+    fn memory_budget_cliff() {
+        let ds = Domain::Dna.generate(300, 69);
+        let payload = ds.payload_bytes() as u64;
+        assert!(HnswIndex::build(
+            &ds,
+            HnswConfig {
+                memory_budget: Some(payload / 2),
+                ..cfg()
+            }
+        )
+        .is_err());
+        assert!(HnswIndex::build(
+            &ds,
+            HnswConfig {
+                memory_budget: Some(payload * 8),
+                ..cfg()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn queries_scan_a_fraction_of_the_dataset() {
+        let ds = Domain::TexMex.generate(2000, 71);
+        let (index, _) = HnswIndex::build(&ds, cfg()).unwrap();
+        let out = index.query(&ds, ds.get(3), 10);
+        assert!(out.records_scanned < 500, "scanned {}", out.records_scanned);
+    }
+
+    #[test]
+    fn layers_are_geometric() {
+        let ds = Domain::RandomWalk.generate(2000, 73);
+        let (index, stats) = HnswIndex::build(&ds, cfg()).unwrap();
+        assert!(index.num_layers() >= 2, "graph degenerated to one layer");
+        assert!(stats.num_layers < 12, "implausibly tall graph");
+    }
+}

@@ -1,0 +1,221 @@
+//! A ChainLink-like LSH index (Alghamdi et al., ICDE 2020 — the authors'
+//! own earlier system, §II).
+//!
+//! ChainLink sketches each series (here: PAA, as in the paper's "lossy
+//! sketching techniques need to be first applied") and hashes the sketch
+//! with signed random projections into `L` tables of `H`-bit buckets. A
+//! query unions the colliding buckets and ED-refines the candidates. §II's
+//! observation to reproduce: syntactic (hash) similarity on numeric series
+//! caps recall around 30% — LSH recalls markedly less than CLIMBER at a
+//! comparable candidate budget.
+
+use crate::BaselineOutcome;
+use climber_repr::paa::paa;
+use climber_series::dataset::Dataset;
+use climber_series::distance::ed_early_abandon;
+use climber_series::gen::gauss;
+use climber_series::topk::TopK;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// LSH parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LshConfig {
+    /// Number of hash tables `L`.
+    pub tables: usize,
+    /// Bits (hyperplanes) per table `H`.
+    pub bits: usize,
+    /// PAA segments for the sketch.
+    pub segments: usize,
+    /// RNG seed for the hyperplanes.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            tables: 8,
+            bits: 12,
+            segments: 16,
+            seed: 79,
+        }
+    }
+}
+
+/// Build statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct LshBuildStats {
+    /// Construction wall time.
+    pub build_secs: f64,
+    /// Total buckets across tables.
+    pub num_buckets: usize,
+}
+
+/// The LSH index (hyperplanes + bucket tables; values stay in the caller's
+/// dataset).
+#[derive(Debug)]
+pub struct LshIndex {
+    config: LshConfig,
+    /// hyperplanes[table][bit] = normal vector in PAA space.
+    hyperplanes: Vec<Vec<Vec<f64>>>,
+    /// tables[table][bucket hash] = record ids.
+    tables: Vec<HashMap<u64, Vec<u64>>>,
+}
+
+impl LshIndex {
+    /// Builds the index over `ds`.
+    pub fn build(ds: &Dataset, config: LshConfig) -> (Self, LshBuildStats) {
+        assert!(ds.num_series() > 0, "cannot index an empty dataset");
+        assert!(config.tables > 0 && config.bits > 0, "bad LSH shape");
+        assert!(config.bits <= 64, "at most 64 bits per table");
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let hyperplanes: Vec<Vec<Vec<f64>>> = (0..config.tables)
+            .map(|_| {
+                (0..config.bits)
+                    .map(|_| (0..config.segments).map(|_| gauss(&mut rng)).collect())
+                    .collect()
+            })
+            .collect();
+        let mut index = LshIndex {
+            config,
+            hyperplanes,
+            tables: vec![HashMap::new(); config.tables],
+        };
+        for id in 0..ds.num_series() as u64 {
+            let sketch = paa(ds.get(id), config.segments);
+            for t in 0..config.tables {
+                let h = index.hash(t, &sketch);
+                index.tables[t].entry(h).or_default().push(id);
+            }
+        }
+        let stats = LshBuildStats {
+            build_secs: t0.elapsed().as_secs_f64(),
+            num_buckets: index.tables.iter().map(|t| t.len()).sum(),
+        };
+        (index, stats)
+    }
+
+    fn hash(&self, table: usize, sketch: &[f64]) -> u64 {
+        let mut h = 0u64;
+        for (b, plane) in self.hyperplanes[table].iter().enumerate() {
+            let dot: f64 = plane.iter().zip(sketch.iter()).map(|(a, x)| a * x).sum();
+            if dot >= 0.0 {
+                h |= 1 << b;
+            }
+        }
+        h
+    }
+
+    /// Approximate kNN: union of colliding buckets, ED-refined.
+    pub fn query(&self, ds: &Dataset, query: &[f32], k: usize) -> BaselineOutcome {
+        assert!(k > 0, "k must be positive");
+        let sketch = paa(query, self.config.segments);
+        let mut candidates: Vec<u64> = Vec::new();
+        for t in 0..self.config.tables {
+            let h = self.hash(t, &sketch);
+            if let Some(bucket) = self.tables[t].get(&h) {
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut top = TopK::new(k);
+        for &id in &candidates {
+            if let Some(d) = ed_early_abandon(query, ds.get(id), top.bound()) {
+                top.offer(id, d);
+            }
+        }
+        BaselineOutcome {
+            results: top.into_sorted(),
+            records_scanned: candidates.len() as u64,
+            partitions_opened: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_series::gen::Domain;
+    use climber_series::ground_truth::exact_knn;
+    use climber_series::recall::recall_of_results;
+
+    fn cfg() -> LshConfig {
+        LshConfig::default()
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let ds = Domain::RandomWalk.generate(400, 81);
+        let (index, _) = LshIndex::build(&ds, cfg());
+        for qid in [0u64, 100, 399] {
+            let out = index.query(&ds, ds.get(qid), 5);
+            assert!(
+                out.results.iter().any(|&(id, d)| id == qid && d == 0.0),
+                "query {qid}: identical sketch must collide in every table"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_are_a_subset_of_data() {
+        let ds = Domain::Eeg.generate(300, 83);
+        let (index, _) = LshIndex::build(&ds, cfg());
+        let out = index.query(&ds, ds.get(1), 10);
+        assert!(out.records_scanned <= 300);
+        assert!(out.results.iter().all(|&(id, _)| id < 300));
+    }
+
+    #[test]
+    fn recall_is_mediocre_by_design() {
+        // §II: LSH on numeric series caps well below exact search.
+        let ds = Domain::RandomWalk.generate(1500, 85);
+        let (index, _) = LshIndex::build(&ds, cfg());
+        let k = 20;
+        let mut r = 0.0;
+        let mut scanned = 0u64;
+        for qid in (0..20u64).map(|i| i * 74) {
+            let got = index.query(&ds, ds.get(qid), k);
+            let want = exact_knn(&ds, ds.get(qid), k);
+            r += recall_of_results(&got.results, &want);
+            scanned += got.records_scanned;
+        }
+        r /= 20.0;
+        assert!(r > 0.02, "LSH found nothing: {r:.3}");
+        assert!(r < 0.9, "LSH should not look exact: {r:.3}");
+        assert!(scanned < 20 * 1500, "LSH scanned everything");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = Domain::TexMex.generate(200, 87);
+        let (a, _) = LshIndex::build(&ds, cfg());
+        let (b, _) = LshIndex::build(&ds, cfg());
+        let qa = a.query(&ds, ds.get(9), 7);
+        let qb = b.query(&ds, ds.get(9), 7);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn bucket_count_reported() {
+        let ds = Domain::Dna.generate(250, 89);
+        let (_, stats) = LshIndex::build(&ds, cfg());
+        assert!(stats.num_buckets > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 bits")]
+    fn oversized_hash_rejected() {
+        let ds = Domain::Dna.generate(10, 91);
+        LshIndex::build(
+            &ds,
+            LshConfig {
+                bits: 65,
+                ..cfg()
+            },
+        );
+    }
+}

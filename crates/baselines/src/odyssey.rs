@@ -1,0 +1,370 @@
+//! An Odyssey-like distributed in-memory **exact** engine (Chatzakis et
+//! al., PVLDB 2023) for the Table I comparison.
+//!
+//! Odyssey answers kNN queries exactly over an in-memory iSAX tree with
+//! lower-bound pruning. What Table I measures is: recall 1.0 always, very
+//! fast in-memory queries, cheaper index construction than CLIMBER — and a
+//! hard cliff when the dataset no longer fits in memory (the `X` cells).
+//! This module reproduces those behaviours: a bulk-built whole-word
+//! refinement iSAX tree over the in-memory dataset, best-first mindist
+//! search with TopK pruning, and a configurable memory budget that fails
+//! construction when exceeded.
+
+use crate::BaselineOutcome;
+use climber_repr::isax::{ISaxSymbol, ISaxWord};
+use climber_repr::paa::paa;
+use climber_series::dataset::Dataset;
+use climber_series::distance::ed_early_abandon;
+use climber_series::topk::TopK;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::time::Instant;
+
+/// Odyssey-like engine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OdysseyConfig {
+    /// iSAX word length (PAA segments).
+    pub segments: usize,
+    /// Maximum bits per segment (tree depth bound).
+    pub max_bits: u8,
+    /// Leaf capacity in records.
+    pub leaf_capacity: usize,
+    /// Optional memory budget in bytes; construction fails when the
+    /// dataset + index estimate exceeds it (Table I's `X` cells).
+    pub memory_budget: Option<u64>,
+}
+
+impl Default for OdysseyConfig {
+    fn default() -> Self {
+        Self {
+            segments: 16,
+            max_bits: 8,
+            leaf_capacity: 256,
+            memory_budget: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Bits per segment of this node's label (root = 0).
+    level: u8,
+    /// Children keyed by `(level+1)`-bit whole-word symbols.
+    children: BTreeMap<Vec<u16>, u32>,
+    /// Record ids (leaves only).
+    records: Vec<u64>,
+}
+
+/// Build statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct OdysseyBuildStats {
+    /// Construction wall time.
+    pub build_secs: f64,
+    /// Estimated resident memory (dataset + index).
+    pub memory_bytes: u64,
+    /// Number of tree nodes.
+    pub num_nodes: usize,
+}
+
+/// Error returned when the memory budget is exceeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the build would need.
+    pub required: u64,
+    /// The configured budget.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory: need {} bytes, budget {} bytes",
+            self.required, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// The in-memory exact engine.
+#[derive(Debug)]
+pub struct OdysseyIndex {
+    config: OdysseyConfig,
+    nodes: Vec<Node>,
+    series_len: usize,
+}
+
+impl OdysseyIndex {
+    /// Builds the engine over `ds` (which must stay resident for queries).
+    pub fn build(
+        ds: &Dataset,
+        config: OdysseyConfig,
+    ) -> Result<(Self, OdysseyBuildStats), OutOfMemory> {
+        assert!(ds.num_series() > 0, "cannot index an empty dataset");
+        assert!(config.leaf_capacity > 0, "leaf capacity must be positive");
+        let t0 = Instant::now();
+
+        // The memory cliff must fire *before* paying the build cost, like a
+        // real engine failing to load the dataset.
+        let payload = ds.payload_bytes() as u64;
+        if let Some(budget) = config.memory_budget {
+            if payload > budget {
+                return Err(OutOfMemory {
+                    required: payload,
+                    budget,
+                });
+            }
+        }
+
+        let words: Vec<ISaxWord> = (0..ds.num_series() as u64)
+            .map(|id| ISaxWord::from_paa(&paa(ds.get(id), config.segments), config.max_bits))
+            .collect();
+        let mut index = OdysseyIndex {
+            config,
+            nodes: vec![Node {
+                level: 0,
+                children: BTreeMap::new(),
+                records: Vec::new(),
+            }],
+            series_len: ds.series_len(),
+        };
+        let all_ids: Vec<u64> = (0..ds.num_series() as u64).collect();
+        index.split(0, all_ids, &words);
+
+        let memory_bytes = payload + index.index_bytes();
+        if let Some(budget) = config.memory_budget {
+            if memory_bytes > budget {
+                return Err(OutOfMemory {
+                    required: memory_bytes,
+                    budget,
+                });
+            }
+        }
+        let stats = OdysseyBuildStats {
+            build_secs: t0.elapsed().as_secs_f64(),
+            memory_bytes,
+            num_nodes: index.nodes.len(),
+        };
+        Ok((index, stats))
+    }
+
+    fn split(&mut self, idx: u32, ids: Vec<u64>, words: &[ISaxWord]) {
+        let level = self.nodes[idx as usize].level;
+        if ids.len() <= self.config.leaf_capacity || level >= self.config.max_bits {
+            self.nodes[idx as usize].records = ids;
+            return;
+        }
+        let next = level + 1;
+        let mut groups: BTreeMap<Vec<u16>, Vec<u64>> = BTreeMap::new();
+        for id in ids {
+            groups
+                .entry(reduced(&words[id as usize], next))
+                .or_default()
+                .push(id);
+        }
+        // A single populated child produces a unary chain; chains are
+        // bounded by max_bits and keep the level bookkeeping trivial.
+        let mut children = BTreeMap::new();
+        for (key, members) in groups {
+            let child_idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                level: next,
+                children: BTreeMap::new(),
+                records: Vec::new(),
+            });
+            children.insert(key, child_idx);
+            self.split(child_idx, members, words);
+        }
+        self.nodes[idx as usize].children = children;
+    }
+
+    /// Tree size estimate in bytes.
+    pub fn index_bytes(&self) -> u64 {
+        let w = self.config.segments as u64;
+        self.nodes
+            .iter()
+            .map(|n| {
+                16 + n.records.len() as u64 * 8 + n.children.len() as u64 * (2 * w + 4)
+            })
+            .sum()
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Exact kNN by best-first mindist search (recall is 1.0 by
+    /// construction: a subtree is pruned only when its lower bound exceeds
+    /// the current k-th distance).
+    pub fn query(&self, ds: &Dataset, query: &[f32], k: usize) -> BaselineOutcome {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(query.len(), self.series_len, "query length mismatch");
+        let qpaa = paa(query, self.config.segments);
+        let n = self.series_len;
+
+        let mut top = TopK::new(k);
+        let mut scanned = 0u64;
+        // min-heap over (mindist², node)
+        let mut heap: BinaryHeap<(Reverse<OrderedF64>, u32)> = BinaryHeap::new();
+        heap.push((Reverse(OrderedF64(0.0)), 0));
+        while let Some((Reverse(OrderedF64(lb)), idx)) = heap.pop() {
+            if lb > top.bound() {
+                break; // everything remaining is provably farther
+            }
+            let node = &self.nodes[idx as usize];
+            if node.children.is_empty() {
+                for &id in &node.records {
+                    scanned += 1;
+                    if let Some(d) = ed_early_abandon(query, ds.get(id), top.bound()) {
+                        top.offer(id, d);
+                    }
+                }
+            } else {
+                for (key, &child) in &node.children {
+                    let md = label_mindist(key, node.level + 1, &qpaa, n);
+                    let md2 = md * md;
+                    if md2 <= top.bound() {
+                        heap.push((Reverse(OrderedF64(md2)), child));
+                    }
+                }
+            }
+        }
+        BaselineOutcome {
+            results: top.into_sorted(),
+            records_scanned: scanned,
+            partitions_opened: 0,
+        }
+    }
+}
+
+fn reduced(word: &ISaxWord, bits: u8) -> Vec<u16> {
+    word.symbols
+        .iter()
+        .map(|s| s.reduce_to(bits).symbol)
+        .collect()
+}
+
+fn label_mindist(symbols: &[u16], bits: u8, qpaa: &[f64], n: usize) -> f64 {
+    let word = ISaxWord {
+        symbols: symbols
+            .iter()
+            .map(|&s| ISaxSymbol::new(s, bits))
+            .collect(),
+    };
+    word.mindist(qpaa, n)
+}
+
+/// f64 wrapper with total order for the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_series::gen::Domain;
+    use climber_series::ground_truth::exact_knn;
+
+    fn cfg() -> OdysseyConfig {
+        OdysseyConfig {
+            segments: 8,
+            max_bits: 6,
+            leaf_capacity: 32,
+            memory_budget: None,
+        }
+    }
+
+    #[test]
+    fn queries_are_exact() {
+        let ds = Domain::RandomWalk.generate(500, 43);
+        let (index, _) = OdysseyIndex::build(&ds, cfg()).unwrap();
+        for qid in [0u64, 123, 499] {
+            let got = index.query(&ds, ds.get(qid), 10);
+            let want = exact_knn(&ds, ds.get(qid), 10);
+            assert_eq!(got.results, want, "query {qid}");
+        }
+    }
+
+    #[test]
+    fn exact_across_domains() {
+        for d in Domain::ALL {
+            let ds = d.generate(200, 45);
+            let (index, _) = OdysseyIndex::build(&ds, cfg()).unwrap();
+            let got = index.query(&ds, ds.get(7), 5);
+            let want = exact_knn(&ds, ds.get(7), 5);
+            assert_eq!(got.results, want, "domain {}", d.name());
+        }
+    }
+
+    #[test]
+    fn pruning_skips_records() {
+        // mindist pruning must avoid scanning the entire dataset for most
+        // queries on clustered data.
+        let ds = Domain::TexMex.generate(2000, 47);
+        let (index, _) = OdysseyIndex::build(&ds, cfg()).unwrap();
+        let mut total = 0u64;
+        for qid in (0..10u64).map(|i| i * 199) {
+            total += index.query(&ds, ds.get(qid), 10).records_scanned;
+        }
+        assert!(
+            total < 10 * 2000,
+            "no pruning happened: {total} records scanned"
+        );
+    }
+
+    #[test]
+    fn memory_budget_cliff() {
+        let ds = Domain::Eeg.generate(300, 49);
+        let payload = ds.payload_bytes() as u64;
+        // generous budget: builds
+        let ok = OdysseyIndex::build(
+            &ds,
+            OdysseyConfig {
+                memory_budget: Some(payload * 4),
+                ..cfg()
+            },
+        );
+        assert!(ok.is_ok());
+        // tight budget: fails with OutOfMemory
+        let err = OdysseyIndex::build(
+            &ds,
+            OdysseyConfig {
+                memory_budget: Some(payload / 2),
+                ..cfg()
+            },
+        )
+        .unwrap_err();
+        assert!(err.required > err.budget);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ds = Domain::Dna.generate(300, 51);
+        let (index, stats) = OdysseyIndex::build(&ds, cfg()).unwrap();
+        assert!(stats.memory_bytes >= ds.payload_bytes() as u64);
+        assert_eq!(stats.num_nodes, index.num_nodes());
+        assert!(stats.num_nodes > 1);
+    }
+
+    #[test]
+    fn k_larger_than_leaf_capacity() {
+        let ds = Domain::RandomWalk.generate(300, 53);
+        let (index, _) = OdysseyIndex::build(&ds, cfg()).unwrap();
+        let got = index.query(&ds, ds.get(0), 100);
+        let want = exact_knn(&ds, ds.get(0), 100);
+        assert_eq!(got.results, want);
+    }
+}

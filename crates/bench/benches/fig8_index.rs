@@ -1,0 +1,74 @@
+//! Figure 8(a)+(b): index construction time and global index size across
+//! the four datasets for CLIMBER, DPiSAX and TARDIS (Dss builds nothing).
+//!
+//! Shape to reproduce: DPiSAX's construction is by far the slowest (its
+//! split tree updates per record); CLIMBER is slightly slower than TARDIS
+//! (pivot conversions cost more than iSAX words); every global index is
+//! tiny (KBs here, MBs in the paper) and TARDIS's sigTree is the largest
+//! of the three.
+
+use climber_bench::paper::{FIG8A_BUILD_MIN, FIG8B_INDEX_MB};
+use climber_bench::runner::{build_climber, build_dpisax, build_tardis, dataset};
+use climber_bench::table::{f2, kib, Table};
+use climber_bench::{banner, default_n, experiment_config};
+
+fn main() {
+    let n = default_n();
+    banner(
+        "Figure 8(a)+(b) — construction time & global index size per dataset",
+        "paper: 200GB; shape: DPiSAX slowest build; global indexes tiny; sigTree largest",
+    );
+
+    let mut table = Table::new(vec![
+        "dataset",
+        "system",
+        "build(s)",
+        "paper-build(min)",
+        "index(KiB)",
+        "paper-index(MB)",
+    ]);
+    for ((domain, pa), pb) in climber_bench::FIGURE_DOMAINS
+        .iter()
+        .zip(FIG8A_BUILD_MIN.iter())
+        .zip(FIG8B_INDEX_MB.iter())
+    {
+        let ds = dataset(*domain, n);
+        let cap = experiment_config(n).capacity;
+
+        let c = build_climber(&ds, experiment_config(n));
+        table.row(vec![
+            domain.name().to_string(),
+            "CLIMBER".into(),
+            f2(c.build_secs),
+            f2(pa.1),
+            kib(c.index_bytes),
+            f2(pb.1),
+        ]);
+
+        let dp = build_dpisax(&ds, cap, 5);
+        table.row(vec![
+            domain.name().to_string(),
+            "DPiSAX".into(),
+            f2(dp.build_secs),
+            f2(pa.2),
+            kib(dp.index_bytes),
+            f2(pb.2),
+        ]);
+
+        let td = build_tardis(&ds, cap, 7);
+        table.row(vec![
+            domain.name().to_string(),
+            "TARDIS".into(),
+            f2(td.build_secs),
+            f2(pa.3),
+            kib(td.index_bytes),
+            f2(pb.3),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nnote: the DPiSAX-like build here routes every record through the split tree\n\
+         (the paper attributes DPiSAX's slowness to per-record structure updates);\n\
+         absolute times are not comparable across 4 orders of magnitude of scale."
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 8(c)+(d): construction time and global index size vs dataset
+//! size (RandomWalk).
+//!
+//! Shape to reproduce: all three systems grow **linearly** in build time
+//! with the dataset; global index sizes stay small and grow sublinearly.
+
+use climber_bench::runner::{build_climber, build_dpisax, build_tardis, dataset};
+use climber_bench::table::{f2, kib, Table};
+use climber_bench::{banner, default_n, experiment_config};
+use climber_core::series::gen::Domain;
+
+fn main() {
+    let base = default_n();
+    banner(
+        "Figure 8(c)+(d) — construction time & index size vs dataset size",
+        "paper: 200GB-1TB RandomWalk; shape: linear build-time growth for all systems",
+    );
+
+    let sizes: Vec<usize> = [2, 4, 6, 8, 10].iter().map(|m| base * m / 4).collect();
+    let mut table = Table::new(vec!["N", "system", "build(s)", "index(KiB)"]);
+    let mut climber_times = Vec::new();
+    for &n in &sizes {
+        let ds = dataset(Domain::RandomWalk, n);
+        let cap = experiment_config(n).capacity;
+
+        let c = build_climber(&ds, experiment_config(n));
+        climber_times.push((n, c.build_secs));
+        table.row(vec![
+            n.to_string(),
+            "CLIMBER".into(),
+            f2(c.build_secs),
+            kib(c.index_bytes),
+        ]);
+        let dp = build_dpisax(&ds, cap, 5);
+        table.row(vec![
+            n.to_string(),
+            "DPiSAX".into(),
+            f2(dp.build_secs),
+            kib(dp.index_bytes),
+        ]);
+        let td = build_tardis(&ds, cap, 7);
+        table.row(vec![
+            n.to_string(),
+            "TARDIS".into(),
+            f2(td.build_secs),
+            kib(td.index_bytes),
+        ]);
+    }
+    table.print();
+
+    // Linearity check: time(max)/time(min) ≈ N(max)/N(min).
+    let (n0, t0) = climber_times[0];
+    let (n4, t4) = climber_times[climber_times.len() - 1];
+    println!(
+        "\nlinearity (CLIMBER): sizes grew {:.1}x, build time grew {:.1}x (paper: linear, Fig 8(c))",
+        n4 as f64 / n0 as f64,
+        t4 / t0.max(1e-9)
+    );
+}

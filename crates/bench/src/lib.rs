@@ -1,0 +1,110 @@
+//! # climber-bench
+//!
+//! Shared machinery for the experiment harnesses that regenerate every
+//! table and figure of the paper's evaluation (§VII). Each `benches/`
+//! target is a standalone binary (`harness = false`) printing a
+//! paper-vs-measured table; `cargo bench` runs them all.
+//!
+//! Scale knobs (environment variables):
+//!
+//! | variable           | default | meaning                              |
+//! |--------------------|---------|--------------------------------------|
+//! | `CLIMBER_N`        | 20000   | dataset size (series)               |
+//! | `CLIMBER_QUERIES`  | 15      | queries averaged per point          |
+//! | `CLIMBER_K`        | 100     | default answer size                 |
+//! | `CLIMBER_CAPACITY` | 1000    | partition capacity (records)        |
+//! | `CLIMBER_PIVOTS`   | 200     | pivot count                         |
+//!
+//! The paper ran 200 GB–1.5 TB datasets on a 2-node Spark cluster; the
+//! defaults here reproduce the *shape* of each experiment in minutes on a
+//! laptop. Every harness prints the scale it ran at.
+
+pub mod paper;
+pub mod runner;
+pub mod table;
+
+use climber_core::series::gen::Domain;
+use climber_core::ClimberConfig;
+
+/// Reads an integer environment knob with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Dataset size for experiments (`CLIMBER_N`).
+pub fn default_n() -> usize {
+    env_usize("CLIMBER_N", 20_000)
+}
+
+/// Queries averaged per measurement point (`CLIMBER_QUERIES`).
+pub fn default_queries() -> usize {
+    env_usize("CLIMBER_QUERIES", 15)
+}
+
+/// Default answer size `K` (`CLIMBER_K`).
+pub fn default_k() -> usize {
+    env_usize("CLIMBER_K", 100)
+}
+
+/// Default partition capacity (`CLIMBER_CAPACITY`).
+pub fn default_capacity() -> u64 {
+    env_usize("CLIMBER_CAPACITY", 1_000) as u64
+}
+
+/// Default pivot count (`CLIMBER_PIVOTS`).
+pub fn default_pivots() -> usize {
+    env_usize("CLIMBER_PIVOTS", 200)
+}
+
+/// The standard CLIMBER configuration for experiments at size `n`:
+/// paper defaults (200 pivots, prefix 10) with the group count capped so
+/// the two-level geometry matches the paper's (each group spans several
+/// partitions; see DESIGN.md "Scaled defaults").
+pub fn experiment_config(n: usize) -> ClimberConfig {
+    let capacity = default_capacity().min((n as u64 / 8).max(50));
+    let partitions = (n as u64 / capacity).max(1);
+    ClimberConfig::default()
+        .with_paa_segments(16)
+        .with_pivots(default_pivots())
+        .with_prefix_len(10)
+        .with_capacity(capacity)
+        // The paper samples 1% of 10^9 records — millions of series; at
+        // repo scale the same trie fidelity needs a larger fraction.
+        .with_alpha(0.25)
+        .with_epsilon(2)
+        .with_max_centroids(((partitions / 3).clamp(4, 24)) as usize)
+        .with_seed(0xC11B)
+}
+
+/// Standard seed for dataset generation in experiments.
+pub const DATA_SEED: u64 = 2024;
+
+/// Standard seed for query workloads.
+pub const QUERY_SEED: u64 = 4711;
+
+/// Banner printed by every harness.
+pub fn banner(figure: &str, detail: &str) {
+    println!("==========================================================================");
+    println!("{figure}");
+    println!("{detail}");
+    println!(
+        "scale: N={} queries={} K={} capacity={} pivots={} (env-overridable)",
+        default_n(),
+        default_queries(),
+        default_k(),
+        default_capacity(),
+        default_pivots()
+    );
+    println!("==========================================================================");
+}
+
+/// The domain order the paper's bar charts use.
+pub const FIGURE_DOMAINS: [Domain; 4] = [
+    Domain::RandomWalk,
+    Domain::TexMex,
+    Domain::Eeg,
+    Domain::Dna,
+];

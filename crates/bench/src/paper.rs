@@ -1,0 +1,155 @@
+//! The paper's reported numbers, transcribed from §VII's figures and
+//! Table I, so every harness can print paper-vs-measured side by side.
+//!
+//! Values are read off the published charts (bar charts are approximate to
+//! the grid resolution); Table I and the Figure 9(b) table are exact.
+
+/// Figure 7(b): recall at 200 GB, K = 500, per dataset.
+/// Rows: (dataset, CLIMBER, DPiSAX, TARDIS, Dss).
+pub const FIG7B_RECALL: [(&str, f64, f64, f64, f64); 4] = [
+    ("RandomWalk", 0.77, 0.10, 0.40, 1.0),
+    ("TexMex", 0.80, 0.12, 0.42, 1.0),
+    ("EEG", 0.78, 0.11, 0.40, 1.0),
+    ("DNA", 0.75, 0.10, 0.38, 1.0),
+];
+
+/// Figure 7(d): recall vs dataset size (GB) on RandomWalk, K = 500.
+/// Rows: (size GB, CLIMBER, DPiSAX, TARDIS).
+pub const FIG7D_RECALL_VS_SIZE: [(u32, f64, f64, f64); 5] = [
+    (200, 0.77, 0.10, 0.40),
+    (400, 0.71, 0.10, 0.38),
+    (600, 0.68, 0.09, 0.36),
+    (800, 0.63, 0.09, 0.35),
+    (1000, 0.62, 0.08, 0.33),
+];
+
+/// Figure 8(a): index construction time (minutes) at 200 GB.
+/// Rows: (dataset, CLIMBER, DPiSAX, TARDIS).
+pub const FIG8A_BUILD_MIN: [(&str, f64, f64, f64); 4] = [
+    ("RandomWalk", 27.0, 160.0, 22.0),
+    ("TexMex", 18.0, 110.0, 15.0),
+    ("EEG", 26.0, 150.0, 21.0),
+    ("DNA", 23.0, 130.0, 19.0),
+];
+
+/// Figure 8(b): global index size (MB) at 200 GB.
+/// Rows: (dataset, CLIMBER, DPiSAX, TARDIS).
+pub const FIG8B_INDEX_MB: [(&str, f64, f64, f64); 4] = [
+    ("RandomWalk", 2.0, 1.0, 5.5),
+    ("TexMex", 1.8, 0.9, 5.0),
+    ("EEG", 2.0, 1.0, 5.5),
+    ("DNA", 1.9, 1.0, 5.2),
+];
+
+/// Figure 9(a): recall vs K on RandomWalk 400 GB.
+/// Rows: (K, CLIMBER-Adaptive-4X, CLIMBER-kNN, DPiSAX, TARDIS).
+pub const FIG9A_RECALL_VS_K: [(usize, f64, f64, f64, f64); 5] = [
+    (50, 0.72, 0.72, 0.10, 0.38),
+    (100, 0.72, 0.72, 0.10, 0.38),
+    (500, 0.71, 0.71, 0.10, 0.37),
+    (1000, 0.70, 0.66, 0.09, 0.36),
+    (2000, 0.69, 0.60, 0.09, 0.35),
+];
+
+/// Figure 9(b): query time (seconds) vs K on RandomWalk 400 GB (exact
+/// table from the paper). Rows: (K, Dss, Adaptive-4X, Adaptive-2X, kNN,
+/// TARDIS, DPiSAX).
+pub const FIG9B_TIME_VS_K: [(usize, f64, f64, f64, f64, f64, f64); 5] = [
+    (50, 862.0, 11.2, 11.2, 11.2, 10.2, 10.0),
+    (100, 871.0, 12.0, 12.0, 12.0, 10.6, 10.7),
+    (500, 876.0, 12.0, 12.0, 12.0, 11.0, 11.0),
+    (1000, 877.0, 13.0, 12.4, 12.3, 11.2, 11.0),
+    (2000, 881.0, 13.5, 12.7, 12.4, 11.3, 11.3),
+];
+
+/// Figure 10(b): recall vs number of pivots (200 GB, K = 500); the sweet
+/// spot is 150-250 pivots. Rows: (pivots, recall averaged over datasets).
+pub const FIG10B_RECALL_VS_PIVOTS: [(usize, f64); 7] = [
+    (50, 0.55),
+    (100, 0.68),
+    (150, 0.75),
+    (200, 0.78),
+    (250, 0.76),
+    (300, 0.70),
+    (350, 0.65),
+];
+
+/// Figure 11(a): recall boost of the adaptive variants over plain kNN when
+/// K is a multiple of the target node size m; bubbles give kNN's absolute
+/// recall. Rows: (K/m, boost-2X %, boost-4X %, kNN absolute recall).
+pub const FIG11A_BOOST: [(usize, f64, f64, f64); 5] = [
+    (1, 0.0, 0.0, 0.76),
+    (2, 4.0, 5.0, 0.73),
+    (4, 10.0, 14.0, 0.56),
+    (8, 22.0, 30.0, 0.51),
+    (10, 28.0, 42.0, 0.47),
+];
+
+/// Figure 11(b): OD-Smallest relative to each variant (DNA dataset):
+/// (variant, additional data access ×, recall improvement ×).
+pub const FIG11B_DNA: [(&str, f64, f64); 3] = [
+    ("kNN", 7.2, 1.23),
+    ("Adapt-2X", 5.5, 1.09),
+    ("Adapt-4X", 3.6, 1.08),
+];
+
+/// Figure 11(b), EEG dataset.
+pub const FIG11B_EEG: [(&str, f64, f64); 3] = [
+    ("kNN", 6.8, 1.21),
+    ("Adapt-2X", 5.2, 1.13),
+    ("Adapt-4X", 3.4, 1.06),
+];
+
+/// Figure 12: metrics relative to prefix length 10 (RandomWalk 400 GB,
+/// K = 500). Rows: (prefix, index-size×, build-time×, query-time×,
+/// recall×). Absolute reference scores at m=10: 2.5 MB, 91 min, 12.3 s,
+/// recall 0.71.
+pub const FIG12_PREFIX_RELATIVE: [(usize, f64, f64, f64, f64); 8] = [
+    (6, 0.55, 0.80, 0.98, 0.75),
+    (8, 0.80, 0.90, 0.99, 0.90),
+    (10, 1.00, 1.00, 1.00, 1.00),
+    (15, 1.60, 1.25, 1.00, 1.03),
+    (20, 2.10, 1.55, 1.02, 1.04),
+    (25, 2.40, 1.90, 1.10, 0.97),
+    (30, 2.60, 2.40, 1.25, 0.92),
+    (40, 2.70, 3.40, 1.55, 0.85),
+];
+
+/// Table I: CLIMBER vs Odyssey vs ParlayANN-HNSW.
+/// Rows: (size GB, system, I.C.T minutes, Q.R.T seconds, recall);
+/// `None` marks the paper's X cells (system cannot run).
+pub type Table1Row = (u32, &'static str, Option<f64>, Option<f64>, Option<f64>);
+
+/// The full Table I transcription.
+pub const TABLE1: [Table1Row; 21] = [
+    (200, "CLIMBER", Some(27.0), Some(13.0), Some(0.77)),
+    (200, "Odyssey", Some(14.0), Some(0.7), Some(1.0)),
+    (200, "ParlayANN", Some(218.0), Some(0.14), Some(0.92)),
+    (400, "CLIMBER", Some(91.0), Some(12.3), Some(0.71)),
+    (400, "Odyssey", Some(48.3), Some(1.4), Some(1.0)),
+    (400, "ParlayANN", Some(776.0), Some(0.21), Some(0.92)),
+    (600, "CLIMBER", Some(280.0), Some(13.1), Some(0.68)),
+    (600, "Odyssey", Some(67.3), Some(1.6), Some(1.0)),
+    (600, "ParlayANN", None, None, None),
+    (800, "CLIMBER", Some(390.0), Some(14.0), Some(0.63)),
+    (800, "Odyssey", Some(112.8), Some(2.0), Some(1.0)),
+    (800, "ParlayANN", None, None, None),
+    (1000, "CLIMBER", Some(576.0), Some(14.4), Some(0.62)),
+    (1000, "Odyssey", None, None, None),
+    (1000, "ParlayANN", None, None, None),
+    (1500, "CLIMBER", Some(875.0), Some(17.2), Some(0.56)),
+    (1500, "Odyssey", None, None, None),
+    (1500, "ParlayANN", None, None, None),
+    // sentinel rows so the array length is fixed; unused sizes
+    (0, "-", None, None, None),
+    (0, "-", None, None, None),
+    (0, "-", None, None, None),
+];
+
+/// Formats an `Option<f64>` with `X` for the paper's out-of-memory cells.
+pub fn opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "X".to_string(),
+    }
+}

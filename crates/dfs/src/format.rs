@@ -1,0 +1,370 @@
+//! The binary partition format.
+//!
+//! §VI, "Localized Record-Level Similarity": *"data records within each data
+//! partition are organized such that all data series objects belonging to a
+//! trie node are stored contiguously next to each other. The start offset of
+//! each trie node cluster is maintained in a header section within the
+//! partition."* This module implements exactly that layout:
+//!
+//! ```text
+//! magic "CLBP" | version u32 | group_id u64 | series_len u32 | n_clusters u32
+//! directory: n_clusters × (node_id u64, start_record u64, record_count u32)
+//! records:   (series_id u64, series_len × f32)*   — clustered per node
+//! ```
+//!
+//! All integers and floats are little-endian. Readers can fetch a single
+//! trie-node cluster without decoding the rest of the partition, which is
+//! what makes CLIMBER's sub-partition query access pattern measurable.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Identifier of a trie node within a group's trie (assigned by the index
+/// builder; unique within an index).
+pub type TrieNodeId = u64;
+
+const MAGIC: [u8; 4] = *b"CLBP";
+const VERSION: u32 = 1;
+const HEADER_FIXED: usize = 4 + 4 + 8 + 4 + 4;
+const DIR_ENTRY: usize = 8 + 8 + 4;
+
+/// Builder for one partition: append whole trie-node clusters, then
+/// [`PartitionWriter::finish`].
+#[derive(Debug)]
+pub struct PartitionWriter {
+    group_id: u64,
+    series_len: usize,
+    directory: Vec<(TrieNodeId, u64, u32)>,
+    records: BytesMut,
+    record_count: u64,
+}
+
+impl PartitionWriter {
+    /// Starts a partition for `group_id` holding series of length
+    /// `series_len`.
+    pub fn new(group_id: u64, series_len: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        Self {
+            group_id,
+            series_len,
+            directory: Vec::new(),
+            records: BytesMut::new(),
+            record_count: 0,
+        }
+    }
+
+    /// Appends a cluster of records belonging to trie node `node_id`.
+    ///
+    /// # Panics
+    /// If the node was already appended, or a record has the wrong length.
+    pub fn push_cluster<'a, I>(&mut self, node_id: TrieNodeId, records: I)
+    where
+        I: IntoIterator<Item = (u64, &'a [f32])>,
+    {
+        assert!(
+            !self.directory.iter().any(|&(n, _, _)| n == node_id),
+            "trie node {node_id} appended twice"
+        );
+        let start = self.record_count;
+        let mut count = 0u32;
+        for (id, values) in records {
+            assert_eq!(
+                values.len(),
+                self.series_len,
+                "record {id} has length {}, partition expects {}",
+                values.len(),
+                self.series_len
+            );
+            self.records.put_u64_le(id);
+            for &v in values {
+                self.records.put_f32_le(v);
+            }
+            count += 1;
+        }
+        self.record_count += count as u64;
+        self.directory.push((node_id, start, count));
+    }
+
+    /// Number of records appended so far.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Serialises the partition.
+    pub fn finish(self) -> Bytes {
+        let mut out = BytesMut::with_capacity(
+            HEADER_FIXED + self.directory.len() * DIR_ENTRY + self.records.len(),
+        );
+        out.put_slice(&MAGIC);
+        out.put_u32_le(VERSION);
+        out.put_u64_le(self.group_id);
+        out.put_u32_le(self.series_len as u32);
+        out.put_u32_le(self.directory.len() as u32);
+        for &(node, start, count) in &self.directory {
+            out.put_u64_le(node);
+            out.put_u64_le(start);
+            out.put_u32_le(count);
+        }
+        out.extend_from_slice(&self.records);
+        out.freeze()
+    }
+}
+
+/// Zero-copy reader over an encoded partition.
+#[derive(Debug, Clone)]
+pub struct PartitionReader {
+    bytes: Bytes,
+    group_id: u64,
+    series_len: usize,
+    directory: Vec<(TrieNodeId, u64, u32)>,
+    records_at: usize,
+}
+
+impl PartitionReader {
+    /// Parses the header of an encoded partition.
+    pub fn open(bytes: Bytes) -> Result<Self, String> {
+        if bytes.len() < HEADER_FIXED {
+            return Err("partition shorter than fixed header".into());
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(format!("bad partition magic {:?}", &bytes[0..4]));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(format!("unsupported partition version {version}"));
+        }
+        let group_id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let series_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let n_clusters = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+        if series_len == 0 {
+            return Err("partition with zero series length".into());
+        }
+        let dir_end = HEADER_FIXED + n_clusters * DIR_ENTRY;
+        if bytes.len() < dir_end {
+            return Err("partition truncated inside directory".into());
+        }
+        let mut directory = Vec::with_capacity(n_clusters);
+        let mut total = 0u64;
+        for i in 0..n_clusters {
+            let off = HEADER_FIXED + i * DIR_ENTRY;
+            let node = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let start = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+            let count = u32::from_le_bytes(bytes[off + 16..off + 20].try_into().unwrap());
+            if start != total {
+                return Err(format!(
+                    "directory entry {i}: start {start} != running total {total}"
+                ));
+            }
+            total += count as u64;
+            directory.push((node, start, count));
+        }
+        let record_size = 8 + series_len * 4;
+        let want = dir_end + (total as usize) * record_size;
+        if bytes.len() != want {
+            return Err(format!(
+                "partition length {} != expected {want}",
+                bytes.len()
+            ));
+        }
+        Ok(Self {
+            bytes,
+            group_id,
+            series_len,
+            directory,
+            records_at: dir_end,
+        })
+    }
+
+    /// The owning group id.
+    pub fn group_id(&self) -> u64 {
+        self.group_id
+    }
+
+    /// Length of every stored series.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Total records in the partition.
+    pub fn record_count(&self) -> u64 {
+        self.directory.iter().map(|&(_, _, c)| c as u64).sum()
+    }
+
+    /// Size of the header + directory in bytes (the cost of opening the
+    /// partition without reading records).
+    pub fn header_bytes(&self) -> usize {
+        HEADER_FIXED + self.directory.len() * DIR_ENTRY
+    }
+
+    /// Trie-node ids present, in storage order.
+    pub fn cluster_ids(&self) -> Vec<TrieNodeId> {
+        self.directory.iter().map(|&(n, _, _)| n).collect()
+    }
+
+    /// Record count of a specific cluster, or `None` if absent.
+    pub fn cluster_len(&self, node_id: TrieNodeId) -> Option<u32> {
+        self.directory
+            .iter()
+            .find(|&&(n, _, _)| n == node_id)
+            .map(|&(_, _, c)| c)
+    }
+
+    /// Byte size of a specific cluster's records.
+    pub fn cluster_bytes(&self, node_id: TrieNodeId) -> Option<usize> {
+        self.cluster_len(node_id)
+            .map(|c| c as usize * (8 + self.series_len * 4))
+    }
+
+    /// Visits every record of cluster `node_id` with a reusable buffer.
+    /// Returns the number of records visited (0 when the node is absent).
+    pub fn for_each_in_cluster<F>(&self, node_id: TrieNodeId, mut f: F) -> u64
+    where
+        F: FnMut(u64, &[f32]),
+    {
+        let Some(&(_, start, count)) = self.directory.iter().find(|&&(n, _, _)| n == node_id)
+        else {
+            return 0;
+        };
+        self.visit_range(start, count, &mut f);
+        count as u64
+    }
+
+    /// Visits every record in the whole partition.
+    pub fn for_each<F>(&self, mut f: F) -> u64
+    where
+        F: FnMut(u64, &[f32]),
+    {
+        let total = self.record_count();
+        self.visit_range(0, total as u32, &mut f);
+        total
+    }
+
+    fn visit_range<F>(&self, start: u64, count: u32, f: &mut F)
+    where
+        F: FnMut(u64, &[f32]),
+    {
+        let record_size = 8 + self.series_len * 4;
+        let mut buf = vec![0.0f32; self.series_len];
+        for r in 0..count as u64 {
+            let off = self.records_at + ((start + r) as usize) * record_size;
+            let id = u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap());
+            let vals = &self.bytes[off + 8..off + record_size];
+            for (i, chunk) in vals.chunks_exact(4).enumerate() {
+                buf[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            f(id, &buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_partition() -> Bytes {
+        let mut w = PartitionWriter::new(3, 4);
+        w.push_cluster(
+            100,
+            vec![(1u64, &[1.0f32, 2.0, 3.0, 4.0][..]), (2, &[5.0, 6.0, 7.0, 8.0])],
+        );
+        w.push_cluster(200, vec![(3u64, &[9.0f32, 10.0, 11.0, 12.0][..])]);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_header() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        assert_eq!(r.group_id(), 3);
+        assert_eq!(r.series_len(), 4);
+        assert_eq!(r.record_count(), 3);
+        assert_eq!(r.cluster_ids(), vec![100, 200]);
+        assert_eq!(r.cluster_len(100), Some(2));
+        assert_eq!(r.cluster_len(200), Some(1));
+        assert_eq!(r.cluster_len(999), None);
+    }
+
+    #[test]
+    fn cluster_reads_are_localized() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let mut got = Vec::new();
+        let n = r.for_each_in_cluster(200, |id, vals| got.push((id, vals.to_vec())));
+        assert_eq!(n, 1);
+        assert_eq!(got, vec![(3, vec![9.0, 10.0, 11.0, 12.0])]);
+    }
+
+    #[test]
+    fn absent_cluster_visits_nothing() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let n = r.for_each_in_cluster(12345, |_, _| panic!("must not be called"));
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn for_each_visits_all_in_order() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let mut ids = Vec::new();
+        let n = r.for_each(|id, _| ids.push(id));
+        assert_eq!(n, 3);
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_cluster_allowed() {
+        let mut w = PartitionWriter::new(0, 2);
+        w.push_cluster(7, Vec::<(u64, &[f32])>::new());
+        let r = PartitionReader::open(w.finish()).unwrap();
+        assert_eq!(r.cluster_len(7), Some(0));
+        assert_eq!(r.record_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended twice")]
+    fn duplicate_cluster_panics() {
+        let mut w = PartitionWriter::new(0, 2);
+        w.push_cluster(7, Vec::<(u64, &[f32])>::new());
+        w.push_cluster(7, Vec::<(u64, &[f32])>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "has length")]
+    fn wrong_record_length_panics() {
+        let mut w = PartitionWriter::new(0, 3);
+        w.push_cluster(1, vec![(0u64, &[1.0f32][..])]);
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let mut b = sample_partition().to_vec();
+        b[0] = b'X';
+        assert!(PartitionReader::open(Bytes::from(b)).is_err());
+    }
+
+    #[test]
+    fn truncated_partition_rejected() {
+        let b = sample_partition();
+        for cut in [3usize, 10, 30, b.len() - 1] {
+            let t = b.slice(0..cut);
+            assert!(PartitionReader::open(t).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = sample_partition().to_vec();
+        b.push(0);
+        assert!(PartitionReader::open(Bytes::from(b)).is_err());
+    }
+
+    #[test]
+    fn header_bytes_counts_directory() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        assert_eq!(r.header_bytes(), 24 + 2 * 20);
+    }
+
+    #[test]
+    fn cluster_bytes_accounts_record_size() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        // record = 8 id bytes + 4 × 4 value bytes = 24
+        assert_eq!(r.cluster_bytes(100), Some(48));
+        assert_eq!(r.cluster_bytes(200), Some(24));
+    }
+}

@@ -1,0 +1,31 @@
+//! # climber-dfs
+//!
+//! The simulated distributed substrate CLIMBER runs on.
+//!
+//! The paper's prototype uses Apache Spark over HDFS; the experiments it
+//! reports depend on that substrate only through a handful of observable
+//! behaviours — *how many partitions a query touches*, *how many bytes are
+//! read*, *how much data a build shuffles*, and the 64/128 MB partition
+//! capacity. This crate supplies those behaviours in-process:
+//!
+//! * [`stats`] — atomic I/O accounting (partitions opened, bytes read and
+//!   written, records shuffled) that every experiment reads;
+//! * [`format`] — the on-disk partition format: records clustered by trie
+//!   node with a header directory of offsets, exactly the layout §VI
+//!   describes for localized record-level access;
+//! * [`store`] — in-memory and on-disk partition stores behind one trait;
+//! * [`cluster`] — a deterministic worker pool with the Spark-ish verbs the
+//!   index build pipeline needs (parallel map, shuffle-by-key, broadcast);
+//! * [`sample`] — partition-level sampling (§V Step 1 reads a random subset
+//!   of partitions rather than scanning the dataset).
+
+pub mod cluster;
+pub mod format;
+pub mod sample;
+pub mod stats;
+pub mod store;
+
+pub use cluster::{Broadcast, Cluster};
+pub use format::{PartitionReader, PartitionWriter, TrieNodeId};
+pub use stats::IoStats;
+pub use store::{DiskStore, MemStore, PartitionId, PartitionStore};

@@ -1,0 +1,300 @@
+//! Partition stores: where encoded partitions live.
+//!
+//! Two implementations behind one trait:
+//! * [`MemStore`] — partitions in a concurrent map; models the paper's
+//!   comparison against main-memory engines and keeps unit tests fast;
+//! * [`DiskStore`] — one file per partition under a directory, the
+//!   disk-based HDFS stand-in (CLIMBER is explicitly a *disk-based*
+//!   system, §II).
+//!
+//! Every operation reports to an [`IoStats`], which is how experiments
+//! observe "partitions touched" and bytes moved.
+
+use crate::format::PartitionReader;
+use crate::stats::IoStats;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// Identifier of a physical partition (the paper's `β` ids).
+pub type PartitionId = u32;
+
+/// A store of encoded partitions keyed by [`PartitionId`].
+pub trait PartitionStore: Send + Sync {
+    /// Writes (or replaces) a partition.
+    fn put(&self, id: PartitionId, bytes: Bytes) -> io::Result<()>;
+
+    /// Opens a partition for reading. Counts the open and the header bytes.
+    fn open(&self, id: PartitionId) -> io::Result<PartitionReader>;
+
+    /// All stored partition ids, ascending.
+    fn ids(&self) -> Vec<PartitionId>;
+
+    /// Number of stored partitions.
+    fn len(&self) -> usize {
+        self.ids().len()
+    }
+
+    /// True when the store holds no partitions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stats sink this store reports to.
+    fn stats(&self) -> &IoStats;
+
+    /// Reads the records of one trie-node cluster, counting only the bytes
+    /// of that cluster (plus the header) as read.
+    fn read_cluster(
+        &self,
+        id: PartitionId,
+        node: crate::format::TrieNodeId,
+        out: &mut Vec<(u64, Vec<f32>)>,
+    ) -> io::Result<u64> {
+        let reader = self.open(id)?;
+        let bytes = reader.cluster_bytes(node).unwrap_or(0);
+        let n = reader.for_each_in_cluster(node, |rid, vals| out.push((rid, vals.to_vec())));
+        self.stats().on_read(bytes as u64);
+        self.stats().on_records_read(n);
+        Ok(n)
+    }
+}
+
+/// In-memory partition store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    parts: RwLock<BTreeMap<PartitionId, Bytes>>,
+    stats: IoStats,
+}
+
+impl MemStore {
+    /// Creates an empty store with fresh stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store reporting to existing stats.
+    pub fn with_stats(stats: IoStats) -> Self {
+        Self {
+            parts: RwLock::new(BTreeMap::new()),
+            stats,
+        }
+    }
+
+    /// Total bytes held across partitions.
+    pub fn total_bytes(&self) -> u64 {
+        self.parts.read().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl PartitionStore for MemStore {
+    fn put(&self, id: PartitionId, bytes: Bytes) -> io::Result<()> {
+        self.stats.on_partition_write(bytes.len() as u64);
+        self.parts.write().insert(id, bytes);
+        Ok(())
+    }
+
+    fn open(&self, id: PartitionId) -> io::Result<PartitionReader> {
+        let bytes = self
+            .parts
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("partition {id}")))?;
+        self.stats.on_partition_open();
+        let reader = PartitionReader::open(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.stats.on_read(reader.header_bytes() as u64);
+        Ok(reader)
+    }
+
+    fn ids(&self) -> Vec<PartitionId> {
+        self.parts.read().keys().copied().collect()
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+/// On-disk partition store: `<dir>/part_<id>.clbp`.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    stats: IoStats,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            stats: IoStats::new(),
+        })
+    }
+
+    /// Opens a store reporting to existing stats.
+    pub fn with_stats(dir: impl Into<PathBuf>, stats: IoStats) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, stats })
+    }
+
+    fn path_of(&self, id: PartitionId) -> PathBuf {
+        self.dir.join(format!("part_{id:08}.clbp"))
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+impl PartitionStore for DiskStore {
+    fn put(&self, id: PartitionId, bytes: Bytes) -> io::Result<()> {
+        self.stats.on_partition_write(bytes.len() as u64);
+        fs::write(self.path_of(id), &bytes)
+    }
+
+    fn open(&self, id: PartitionId) -> io::Result<PartitionReader> {
+        let bytes = Bytes::from(fs::read(self.path_of(id))?);
+        self.stats.on_partition_open();
+        let reader = PartitionReader::open(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.stats.on_read(reader.header_bytes() as u64);
+        Ok(reader)
+    }
+
+    fn ids(&self) -> Vec<PartitionId> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<PartitionId> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let num = name.strip_prefix("part_")?.strip_suffix(".clbp")?;
+                num.parse().ok()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PartitionWriter;
+
+    fn encode_partition(group: u64, node: u64, n: usize) -> Bytes {
+        let mut w = PartitionWriter::new(group, 2);
+        let recs: Vec<(u64, Vec<f32>)> = (0..n)
+            .map(|i| (i as u64, vec![i as f32, -(i as f32)]))
+            .collect();
+        w.push_cluster(node, recs.iter().map(|(id, v)| (*id, v.as_slice())));
+        w.finish()
+    }
+
+    fn exercise_store<S: PartitionStore>(store: &S) {
+        store.put(5, encode_partition(1, 10, 3)).unwrap();
+        store.put(2, encode_partition(2, 20, 1)).unwrap();
+        assert_eq!(store.ids(), vec![2, 5]);
+        assert_eq!(store.len(), 2);
+
+        let r = store.open(5).unwrap();
+        assert_eq!(r.group_id(), 1);
+        assert_eq!(r.record_count(), 3);
+
+        let mut out = Vec::new();
+        let n = store.read_cluster(5, 10, &mut out).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(out[2], (2, vec![2.0, -2.0]));
+
+        assert!(store.open(99).is_err());
+
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.partitions_written, 2);
+        // open(5) in test + open inside read_cluster
+        assert_eq!(snap.partitions_opened, 2);
+        assert!(snap.bytes_read > 0);
+        assert_eq!(snap.records_read, 3);
+    }
+
+    #[test]
+    fn mem_store_behaviour() {
+        exercise_store(&MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_behaviour() {
+        let dir = std::env::temp_dir().join(format!("climber-dfs-test-{}", std::process::id()));
+        let store = DiskStore::new(&dir).unwrap();
+        exercise_store(&store);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_ids_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "climber-dfs-reopen-{}",
+            std::process::id()
+        ));
+        {
+            let store = DiskStore::new(&dir).unwrap();
+            store.put(7, encode_partition(0, 1, 2)).unwrap();
+        }
+        let store2 = DiskStore::new(&dir).unwrap();
+        assert_eq!(store2.ids(), vec![7]);
+        let r = store2.open(7).unwrap();
+        assert_eq!(r.record_count(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_store_total_bytes() {
+        let store = MemStore::new();
+        let b = encode_partition(0, 1, 4);
+        let len = b.len() as u64;
+        store.put(0, b).unwrap();
+        assert_eq!(store.total_bytes(), len);
+    }
+
+    #[test]
+    fn put_replaces_partition() {
+        let store = MemStore::new();
+        store.put(1, encode_partition(0, 1, 2)).unwrap();
+        store.put(1, encode_partition(0, 1, 5)).unwrap();
+        assert_eq!(store.open(1).unwrap().record_count(), 5);
+        assert_eq!(store.ids(), vec![1]);
+    }
+
+    #[test]
+    fn cluster_read_counts_only_cluster_bytes() {
+        let store = MemStore::new();
+        let mut w = PartitionWriter::new(9, 2);
+        let big: Vec<(u64, Vec<f32>)> = (0..100).map(|i| (i, vec![0.0, 0.0])).collect();
+        let small: Vec<(u64, Vec<f32>)> = vec![(999, vec![1.0, 1.0])];
+        w.push_cluster(1, big.iter().map(|(id, v)| (*id, v.as_slice())));
+        w.push_cluster(2, small.iter().map(|(id, v)| (*id, v.as_slice())));
+        store.put(0, w.finish()).unwrap();
+
+        let before = store.stats().snapshot();
+        let mut out = Vec::new();
+        store.read_cluster(0, 2, &mut out).unwrap();
+        let diff = store.stats().snapshot().since(&before);
+        // One record of 16 bytes + header, far below the 100-record cluster.
+        assert!(diff.bytes_read < 200, "read {} bytes", diff.bytes_read);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,473 @@
+//! The four-step index construction pipeline (§V, Figure 6).
+//!
+//! 1. **Sampling + signature generation** — a partition-level α-sample of
+//!    the raw data is converted to PAA; `r` pivots are drawn at random from
+//!    the sample and every sample series gets its `P4→` signature.
+//! 2. **Centroid computation** — signatures are aggregated to
+//!    `[(P4→, freq)]` then `[(P4↛, freq)]`, and Algorithm 2 selects the
+//!    group centroids.
+//! 3. **Groups & partitions** — the aggregated rank-sensitive signatures
+//!    are assigned to centroids (Algorithm 1); oversized groups grow tries
+//!    (Def. 12) whose leaves are FFD-packed into partitions (Def. 13); each
+//!    group receives a default partition. Output: the index skeleton.
+//! 4. **Re-distribution** — pivots and skeleton are broadcast; every record
+//!    of the full dataset is converted and routed (group → trie →
+//!    partition), shuffled by partition, and written out clustered by trie
+//!    node.
+//!
+//! The report splits wall-clock time into the three phases of Figure 10(a):
+//! skeleton building, full-data conversion, and re-distribution.
+
+use crate::centroids::compute_centroids;
+use crate::config::IndexConfig;
+use crate::skeleton::{GroupId, GroupMeta, IndexSkeleton, Placement, FALLBACK_GROUP};
+use crate::trie::Trie;
+use climber_dfs::cluster::{Broadcast, Cluster};
+use climber_dfs::format::{PartitionWriter, TrieNodeId};
+use climber_dfs::stats::IoSnapshot;
+use climber_dfs::store::{PartitionId, PartitionStore};
+use climber_pivot::pivots::{PivotId, PivotSet};
+use climber_pivot::signature::{DualSignature, RankInsensitive, RankSensitive};
+use climber_repr::paa::paa;
+use climber_series::dataset::Dataset;
+use climber_series::sampling::{partition_level_sample, partitions_for_alpha};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// Timings and statistics of one index build.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Phase 1-3 wall time (sampling through skeleton).
+    pub skeleton_secs: f64,
+    /// Step-4 signature extraction wall time over the full dataset.
+    pub conversion_secs: f64,
+    /// Step-4 shuffle + partition-write wall time.
+    pub redistribution_secs: f64,
+    /// Records in the sample.
+    pub sampled_records: usize,
+    /// Distinct rank-sensitive signatures in the sample.
+    pub distinct_sensitive: usize,
+    /// Distinct rank-insensitive signatures in the sample.
+    pub distinct_insensitive: usize,
+    /// Real groups created (excluding the fall-back).
+    pub num_groups: usize,
+    /// Physical partitions written.
+    pub num_partitions: usize,
+    /// Total trie nodes across groups.
+    pub num_trie_nodes: usize,
+    /// Records that landed in the fall-back group.
+    pub fallback_records: u64,
+    /// Records routed to a default partition (incomplete trie path).
+    pub default_routed_records: u64,
+    /// Serialised skeleton size in bytes (Figure 8(b)'s metric).
+    pub skeleton_bytes: usize,
+    /// I/O performed during the build.
+    pub io: IoSnapshot,
+}
+
+impl BuildReport {
+    /// Total build wall time.
+    pub fn total_secs(&self) -> f64 {
+        self.skeleton_secs + self.conversion_secs + self.redistribution_secs
+    }
+}
+
+/// Drives index construction on a simulated cluster.
+#[derive(Debug)]
+pub struct IndexBuilder {
+    config: IndexConfig,
+    cluster: Cluster,
+}
+
+impl IndexBuilder {
+    /// Creates a builder with `config.workers` simulated workers.
+    pub fn new(config: IndexConfig) -> Self {
+        let cluster = Cluster::new(config.workers);
+        Self { config, cluster }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Builds the index over `ds`, writing partitions into `store`.
+    /// Returns the skeleton and a build report.
+    pub fn build<S: PartitionStore>(&self, ds: &Dataset, store: &S) -> (IndexSkeleton, BuildReport) {
+        let cfg = &self.config;
+        cfg.validate(ds.series_len());
+        assert!(ds.num_series() > 0, "cannot index an empty dataset");
+        let io_before = store.stats().snapshot();
+
+        // ---- Steps 1-3: skeleton from a partition-level sample ----
+        let t0 = Instant::now();
+        let sample_ids = self.sample_ids(ds);
+        let sampled_records = sample_ids.len();
+        let achieved_alpha = sampled_records as f64 / ds.num_series() as f64;
+
+        // Step 1: PAA + pivots + rank-sensitive signatures of the sample.
+        let sample_paa: Vec<Vec<f64>> = self.cluster.par_map(sample_ids.clone(), |id| {
+            paa(ds.get(id), cfg.paa_segments)
+        });
+        let pivots = select_pivots(&sample_paa, cfg.num_pivots, cfg.seed);
+        let bpivots = Broadcast::new(pivots);
+        let sensitive: Vec<Vec<PivotId>> = {
+            let bp = bpivots.clone();
+            self.cluster.par_map(sample_paa, move |p| {
+                DualSignature::extract_from_paa(&p, &bp, cfg.prefix_len)
+                    .sensitive
+                    .0
+            })
+        };
+
+        // Step 2: aggregate signatures, then Algorithm 2.
+        let mut sens_freq: HashMap<Vec<PivotId>, u64> = HashMap::new();
+        for s in sensitive {
+            *sens_freq.entry(s).or_insert(0) += 1;
+        }
+        let distinct_sensitive = sens_freq.len();
+        let mut insens_freq: HashMap<Vec<PivotId>, u64> = HashMap::new();
+        for (s, f) in &sens_freq {
+            let mut ids = s.clone();
+            ids.sort_unstable();
+            *insens_freq.entry(ids).or_insert(0) += f;
+        }
+        let distinct_insensitive = insens_freq.len();
+        let insens_list: Vec<(RankInsensitive, u64)> = insens_freq
+            .into_iter()
+            .map(|(ids, f)| (RankInsensitive(ids), f))
+            .collect();
+        let selection = compute_centroids(
+            &insens_list,
+            achieved_alpha.max(f64::MIN_POSITIVE),
+            cfg.capacity,
+            cfg.epsilon,
+            cfg.max_centroids,
+        );
+        let centroids = selection.centroids;
+
+        // Step 3: group the aggregated sensitive signatures, build tries,
+        // pack leaves, assign partition ids and defaults.
+        let scale = 1.0 / achieved_alpha.max(f64::MIN_POSITIVE);
+        let mut group_members: Vec<Vec<(Vec<PivotId>, u64)>> =
+            vec![Vec::new(); centroids.len() + 1]; // [0] = fall-back
+        let mut sens_list: Vec<(Vec<PivotId>, u64)> = sens_freq.into_iter().collect();
+        sens_list.sort_unstable(); // deterministic iteration order
+        for (sig_ids, freq) in sens_list {
+            let sig = DualSignature::from_sensitive(RankSensitive(sig_ids.clone()));
+            let tie_seed = sig_hash(&sig_ids) ^ cfg.seed;
+            let g = match climber_pivot::assignment::assign_group(
+                &centroids, &sig, cfg.decay, tie_seed,
+            ) {
+                climber_pivot::assignment::Assignment::Fallback => 0,
+                a => a.centroid().expect("non-fallback") + 1,
+            };
+            let est = ((freq as f64) * scale).round().max(1.0) as u64;
+            group_members[g].push((sig_ids, est));
+        }
+
+        let mut next_node: TrieNodeId = 0;
+        let mut next_partition: PartitionId = 0;
+        let mut groups: Vec<GroupMeta> = Vec::with_capacity(centroids.len() + 1);
+        let mut partition_group: BTreeMap<PartitionId, GroupId> = BTreeMap::new();
+        for (g, members) in group_members.iter().enumerate() {
+            let refs: Vec<(&[PivotId], u64)> =
+                members.iter().map(|(s, c)| (&s[..], *c)).collect();
+            // The fall-back group holds structurally unrelated objects, so
+            // it gets no trie (Figure 5 shows G0 as a bare entry).
+            let mut trie = if g == FALLBACK_GROUP as usize {
+                Trie::build(&[], cfg.capacity, 0, &mut next_node)
+            } else {
+                Trie::build(&refs, cfg.capacity, cfg.prefix_len, &mut next_node)
+            };
+            // FFD-pack the leaves of this group into partitions.
+            let leaves = trie.leaves();
+            let items: Vec<(TrieNodeId, u64)> = leaves
+                .iter()
+                .map(|&l| (trie.node(l).id, trie.node(l).est_size.max(1)))
+                .collect();
+            let bins = crate::packing::first_fit_decreasing(&items, cfg.capacity);
+            let mut leaf_to_partition: HashMap<TrieNodeId, PartitionId> = HashMap::new();
+            let mut bin_pids: Vec<(PartitionId, u64)> = Vec::with_capacity(bins.len());
+            for bin in &bins {
+                let pid = next_partition;
+                next_partition += 1;
+                partition_group.insert(pid, g as GroupId);
+                for &node in &bin.items {
+                    leaf_to_partition.insert(node, pid);
+                }
+                bin_pids.push((pid, bin.total));
+            }
+            trie.assign_partitions(&leaf_to_partition);
+            // Default partition: smallest occupancy among the group's bins
+            // (§V: "typically the partition with the smallest occupancy").
+            let default_partition = bin_pids
+                .iter()
+                .min_by_key(|&&(pid, total)| (total, pid))
+                .map(|&(pid, _)| pid)
+                .expect("every group has at least one partition");
+            let est_size: u64 = members.iter().map(|&(_, c)| c).sum();
+            groups.push(GroupMeta {
+                id: g as GroupId,
+                centroid: if g == 0 {
+                    None
+                } else {
+                    Some(centroids[g - 1].clone())
+                },
+                trie,
+                default_partition,
+                est_size,
+            });
+        }
+
+        let skeleton = IndexSkeleton {
+            paa_segments: cfg.paa_segments,
+            prefix_len: cfg.prefix_len,
+            decay: cfg.decay,
+            pivots: (*bpivots).clone(),
+            groups,
+            seed: cfg.seed,
+        };
+        let skeleton_secs = t0.elapsed().as_secs_f64();
+
+        // ---- Step 4a: convert the entire dataset (broadcast skeleton) ----
+        let t1 = Instant::now();
+        let bskel = Broadcast::new(skeleton);
+        let placements: Vec<Placement> = {
+            let bs = bskel.clone();
+            let ids: Vec<u64> = (0..ds.num_series() as u64).collect();
+            self.cluster
+                .par_map(ids, move |id| bs.place(ds.get(id), id))
+        };
+        let conversion_secs = t1.elapsed().as_secs_f64();
+
+        // ---- Step 4b: shuffle by partition and write clustered records ----
+        let t2 = Instant::now();
+        let fallback_records = placements
+            .iter()
+            .filter(|p| p.group == FALLBACK_GROUP)
+            .count() as u64;
+        let default_routed_records =
+            placements.iter().filter(|p| p.via_default).count() as u64;
+        let routed: Vec<(u64, Placement)> = placements
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+            .collect();
+        let by_partition = self
+            .cluster
+            .shuffle_by_key(routed, |&(_, p)| p.partition);
+
+        // Write every planned partition, including ones that received no
+        // records, so the store's id set matches the skeleton.
+        let final_skeleton = (*bskel).clone();
+        for (&pid, &gid) in &partition_group {
+            let records = by_partition.get(&pid);
+            let mut writer = PartitionWriter::new(gid as u64, ds.series_len());
+            // cluster records by trie node id, sorted for determinism
+            let mut clusters: BTreeMap<TrieNodeId, Vec<u64>> = BTreeMap::new();
+            if let Some(recs) = records {
+                for &(sid, p) in recs {
+                    clusters.entry(p.node).or_default().push(sid);
+                }
+            }
+            for (node, sids) in clusters {
+                writer.push_cluster(node, sids.iter().map(|&sid| (sid, ds.get(sid))));
+            }
+            store.put(pid, writer.finish()).expect("partition write failed");
+        }
+        let redistribution_secs = t2.elapsed().as_secs_f64();
+
+        let report = BuildReport {
+            skeleton_secs,
+            conversion_secs,
+            redistribution_secs,
+            sampled_records,
+            distinct_sensitive,
+            distinct_insensitive,
+            num_groups: final_skeleton.groups.len() - 1,
+            num_partitions: final_skeleton.num_partitions(),
+            num_trie_nodes: final_skeleton.num_trie_nodes(),
+            fallback_records,
+            default_routed_records,
+            skeleton_bytes: final_skeleton.size_bytes(),
+            io: store.stats().snapshot().since(&io_before),
+        };
+        (final_skeleton, report)
+    }
+
+    /// Partition-level sampling over the raw dataset: the unorganised input
+    /// is viewed as contiguous chunks of `capacity` records ("the original
+    /// dataset ... gets stored across partitions without any special
+    /// organization"), and whole chunks are drawn until the α fraction is
+    /// met.
+    fn sample_ids(&self, ds: &Dataset) -> Vec<u64> {
+        let cfg = &self.config;
+        let n = ds.num_series();
+        let chunk = (cfg.capacity as usize).min(n).max(1);
+        let chunks = n.div_ceil(chunk);
+        let take = partitions_for_alpha(chunks, cfg.alpha);
+        let picked = partition_level_sample(chunks, take, cfg.seed ^ 0x5A5A);
+        let mut ids = Vec::with_capacity(take * chunk);
+        for c in picked {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(n);
+            ids.extend((start as u64)..(end as u64));
+        }
+        ids
+    }
+}
+
+/// Draws `r` pivots from the sample PAA signatures (random selection, §V
+/// Step 1). Sampling is id-based and deterministic in `seed`.
+fn select_pivots(sample_paa: &[Vec<f64>], r: usize, seed: u64) -> PivotSet {
+    assert!(
+        sample_paa.len() >= r,
+        "sample of {} series cannot provide {r} pivots — lower num_pivots or raise alpha",
+        sample_paa.len()
+    );
+    let idx = climber_series::sampling::reservoir_sample(0..sample_paa.len(), r, seed ^ 0x71B0);
+    PivotSet::from_points(idx.into_iter().map(|i| sample_paa[i].clone()).collect())
+}
+
+/// Order-independent 64-bit hash of a signature (tie-break seeding).
+fn sig_hash(ids: &[PivotId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &id in ids {
+        h ^= id as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_dfs::store::MemStore;
+    use climber_series::gen::Domain;
+
+    fn small_config() -> IndexConfig {
+        IndexConfig::default()
+            .with_paa_segments(8)
+            .with_pivots(24)
+            .with_prefix_len(4)
+            .with_capacity(64)
+            .with_alpha(0.5)
+            .with_epsilon(1)
+            .with_seed(7)
+            .with_workers(2)
+    }
+
+    #[test]
+    fn build_writes_every_record_exactly_once() {
+        let ds = Domain::RandomWalk.generate(400, 11);
+        let store = MemStore::new();
+        let (skeleton, report) = IndexBuilder::new(small_config()).build(&ds, &store);
+
+        let mut seen: Vec<u64> = Vec::new();
+        for pid in store.ids() {
+            let r = store.open(pid).unwrap();
+            r.for_each(|id, _| seen.push(id));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..400u64).collect::<Vec<_>>());
+        assert!(report.num_groups >= 1);
+        assert_eq!(store.ids().len(), skeleton.num_partitions());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = Domain::Eeg.generate(200, 3);
+        let s1 = MemStore::new();
+        let s2 = MemStore::new();
+        let (sk1, _) = IndexBuilder::new(small_config()).build(&ds, &s1);
+        let (sk2, _) = IndexBuilder::new(small_config()).build(&ds, &s2);
+        assert_eq!(sk1, sk2);
+        assert_eq!(s1.ids(), s2.ids());
+    }
+
+    #[test]
+    fn build_deterministic_across_worker_counts() {
+        let ds = Domain::TexMex.generate(200, 5);
+        let s1 = MemStore::new();
+        let s8 = MemStore::new();
+        let (sk1, _) = IndexBuilder::new(small_config().with_workers(1)).build(&ds, &s1);
+        let (sk8, _) = IndexBuilder::new(small_config().with_workers(8)).build(&ds, &s8);
+        assert_eq!(sk1, sk8);
+        for pid in s1.ids() {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            s1.open(pid).unwrap().for_each(|id, _| a.push(id));
+            s8.open(pid).unwrap().for_each(|id, _| b.push(id));
+            assert_eq!(a, b, "partition {pid}");
+        }
+    }
+
+    #[test]
+    fn partitions_respect_soft_capacity() {
+        let ds = Domain::RandomWalk.generate(600, 13);
+        let store = MemStore::new();
+        let cfg = small_config().with_capacity(50);
+        let (_, report) = IndexBuilder::new(cfg).build(&ds, &store);
+        // Estimates are sample-scaled so real partitions can exceed c, but
+        // the bulk must be within a small factor of it.
+        let mut oversize = 0usize;
+        for pid in store.ids() {
+            let n = store.open(pid).unwrap().record_count();
+            if n > 3 * 50 {
+                oversize += 1;
+            }
+        }
+        assert!(
+            oversize <= store.ids().len() / 3,
+            "{oversize}/{} partitions grossly oversized",
+            store.ids().len()
+        );
+        assert!(report.num_partitions >= 600 / (3 * 50));
+    }
+
+    #[test]
+    fn placements_match_skeleton_replay() {
+        // Every stored record must be recoverable by re-running place().
+        let ds = Domain::Dna.generate(150, 17);
+        let store = MemStore::new();
+        let (skeleton, _) = IndexBuilder::new(small_config()).build(&ds, &store);
+        for pid in store.ids() {
+            let r = store.open(pid).unwrap();
+            r.for_each(|id, vals| {
+                let p = skeleton.place(vals, id);
+                assert_eq!(p.partition, pid, "record {id} misplaced");
+            });
+        }
+    }
+
+    #[test]
+    fn report_phases_are_populated() {
+        let ds = Domain::RandomWalk.generate(120, 23);
+        let store = MemStore::new();
+        let (_, report) = IndexBuilder::new(small_config()).build(&ds, &store);
+        assert!(report.skeleton_secs >= 0.0);
+        assert!(report.total_secs() >= report.skeleton_secs);
+        assert!(report.sampled_records > 0);
+        assert!(report.distinct_sensitive >= report.distinct_insensitive);
+        assert!(report.skeleton_bytes > 0);
+        assert!(report.io.partitions_written > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::new(16);
+        let store = MemStore::new();
+        IndexBuilder::new(small_config()).build(&ds, &store);
+    }
+
+    #[test]
+    fn skeleton_roundtrips_after_build() {
+        let ds = Domain::Eeg.generate(100, 29);
+        let store = MemStore::new();
+        let (skeleton, _) = IndexBuilder::new(small_config()).build(&ds, &store);
+        let back = IndexSkeleton::from_bytes(&skeleton.to_bytes()).unwrap();
+        assert_eq!(skeleton, back);
+    }
+}

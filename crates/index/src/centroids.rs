@@ -1,0 +1,227 @@
+//! Computation of group centroids (Algorithm 2).
+//!
+//! Input: the aggregated list `L = [(P4↛, freq)]` of distinct
+//! rank-insensitive signatures in the sample with their frequencies.
+//! The algorithm walks `L` in descending frequency order and keeps a
+//! signature as a new centroid when (a) it is at least `ε` away (in OD) from
+//! every centroid chosen so far — good space coverage — and (b) its group is
+//! expected to clear the (sample-scaled) capacity threshold `α·c` — no tiny
+//! groups. Selection stops at the first under-threshold candidate or when
+//! `max_centroids` is reached.
+
+use climber_pivot::distances::overlap_distance;
+use climber_pivot::signature::RankInsensitive;
+
+/// Outcome of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CentroidSelection {
+    /// The selected centroids, in selection order. The special fall-back
+    /// centroid `<*,*,...>` is *not* materialised here; the skeleton
+    /// represents it as group 0.
+    pub centroids: Vec<RankInsensitive>,
+    /// Why selection stopped (observability for experiments).
+    pub stop_reason: StopReason,
+}
+
+/// Why Algorithm 2 stopped adding centroids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The candidate list was exhausted.
+    ListExhausted,
+    /// A candidate's estimated group size fell below `α·c` (line 12-13).
+    SizeThreshold,
+    /// The `MaxCentroids` cap was reached (line 15-16).
+    MaxCentroids,
+}
+
+/// Algorithm 2: selects group centroids from the aggregated signature list.
+///
+/// * `sig_freqs` — distinct rank-insensitive signatures with sample
+///   frequencies (order irrelevant; sorted internally).
+/// * `alpha` — the sampling fraction the frequencies were measured at.
+/// * `capacity` — the storage capacity constraint `c` in records.
+/// * `epsilon` — minimum OD between any two chosen centroids.
+/// * `max_centroids` — optional cap.
+///
+/// # Panics
+/// If `sig_freqs` is empty or `alpha` is outside (0, 1].
+pub fn compute_centroids(
+    sig_freqs: &[(RankInsensitive, u64)],
+    alpha: f64,
+    capacity: u64,
+    epsilon: usize,
+    max_centroids: Option<usize>,
+) -> CentroidSelection {
+    assert!(!sig_freqs.is_empty(), "no signatures to select from");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+
+    // Line 2: sort L descending by frequency. Ties are broken by signature
+    // so the selection is deterministic regardless of input order.
+    let mut l: Vec<&(RankInsensitive, u64)> = sig_freqs.iter().collect();
+    l.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let total_freq: u64 = l.iter().map(|&&(_, f)| f).sum();
+    let threshold = alpha * capacity as f64;
+
+    // Line 3: highest-frequency signature is the first centroid.
+    let mut centroids: Vec<RankInsensitive> = vec![l[0].0.clone()];
+    let mut centroid_freq: u64 = l[0].1;
+
+    if let Some(cap) = max_centroids {
+        if centroids.len() >= cap {
+            return CentroidSelection {
+                centroids,
+                stop_reason: StopReason::MaxCentroids,
+            };
+        }
+    }
+
+    let mut stop_reason = StopReason::ListExhausted;
+    for &&(ref sig, freq) in l.iter().skip(1) {
+        // Lines 5-9: skip candidates too close to an existing centroid.
+        if centroids
+            .iter()
+            .any(|c| overlap_distance(c, sig) < epsilon)
+        {
+            continue;
+        }
+        // Lines 10-12: estimated group size, assuming the remaining
+        // non-centroid mass spreads uniformly over the would-be centroids.
+        let non_centroid_freq = total_freq - centroid_freq - freq;
+        let size_est = freq as f64 + non_centroid_freq as f64 / (centroids.len() + 1) as f64;
+        if size_est < threshold {
+            stop_reason = StopReason::SizeThreshold;
+            break;
+        }
+        // Line 14: accept.
+        centroids.push(sig.clone());
+        centroid_freq += freq;
+        // Lines 15-16: optional cap.
+        if let Some(cap) = max_centroids {
+            if centroids.len() >= cap {
+                stop_reason = StopReason::MaxCentroids;
+                break;
+            }
+        }
+    }
+
+    CentroidSelection {
+        centroids,
+        stop_reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(ids: &[u16]) -> RankInsensitive {
+        let mut v = ids.to_vec();
+        v.sort_unstable();
+        RankInsensitive(v)
+    }
+
+    #[test]
+    fn highest_frequency_becomes_first_centroid() {
+        let l = vec![
+            (ri(&[1, 2, 3]), 10),
+            (ri(&[7, 8, 9]), 50),
+            (ri(&[4, 5, 6]), 20),
+        ];
+        let sel = compute_centroids(&l, 1.0, 1, 1, None);
+        assert_eq!(sel.centroids[0], ri(&[7, 8, 9]));
+    }
+
+    #[test]
+    fn close_candidates_are_skipped() {
+        // Second signature differs from first in one pivot: OD = 1 < ε = 2.
+        let l = vec![
+            (ri(&[1, 2, 3]), 50),
+            (ri(&[1, 2, 4]), 40),
+            (ri(&[7, 8, 9]), 30),
+        ];
+        let sel = compute_centroids(&l, 1.0, 1, 2, None);
+        assert_eq!(sel.centroids, vec![ri(&[1, 2, 3]), ri(&[7, 8, 9])]);
+    }
+
+    #[test]
+    fn epsilon_zero_accepts_near_duplicates() {
+        let l = vec![(ri(&[1, 2, 3]), 50), (ri(&[1, 2, 4]), 40)];
+        let sel = compute_centroids(&l, 1.0, 1, 0, None);
+        assert_eq!(sel.centroids.len(), 2);
+    }
+
+    #[test]
+    fn size_threshold_stops_selection() {
+        // capacity 1000 at α=0.1 → threshold 100 sample records.
+        // Low-frequency tail cannot justify more centroids.
+        let l = vec![
+            (ri(&[1, 2, 3]), 500),
+            (ri(&[4, 5, 6]), 400),
+            (ri(&[7, 8, 9]), 3),
+            (ri(&[10, 11, 12]), 2),
+        ];
+        let sel = compute_centroids(&l, 0.1, 1_000, 2, None);
+        assert_eq!(sel.centroids.len(), 2);
+        assert_eq!(sel.stop_reason, StopReason::SizeThreshold);
+    }
+
+    #[test]
+    fn max_centroids_cap_respected() {
+        let l: Vec<(RankInsensitive, u64)> = (0..20u16)
+            .map(|i| (ri(&[i * 3, i * 3 + 1, i * 3 + 2]), 100 - i as u64))
+            .collect();
+        let sel = compute_centroids(&l, 1.0, 1, 3, Some(4));
+        assert_eq!(sel.centroids.len(), 4);
+        assert_eq!(sel.stop_reason, StopReason::MaxCentroids);
+    }
+
+    #[test]
+    fn selection_is_deterministic_under_input_order() {
+        let mut l = vec![
+            (ri(&[1, 2, 3]), 10),
+            (ri(&[4, 5, 6]), 10),
+            (ri(&[7, 8, 9]), 10),
+        ];
+        let a = compute_centroids(&l, 1.0, 1, 1, None);
+        l.reverse();
+        let b = compute_centroids(&l, 1.0, 1, 1, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_selected_centroids_are_epsilon_separated() {
+        let l: Vec<(RankInsensitive, u64)> = (0..30u16)
+            .map(|i| {
+                (
+                    ri(&[i % 10, (i + 3) % 10 + 10, (i + 7) % 10 + 20]),
+                    (30 - i) as u64 * 10,
+                )
+            })
+            .collect();
+        let eps = 2;
+        let sel = compute_centroids(&l, 1.0, 1, eps, None);
+        for i in 0..sel.centroids.len() {
+            for j in (i + 1)..sel.centroids.len() {
+                assert!(
+                    overlap_distance(&sel.centroids[i], &sel.centroids[j]) >= eps,
+                    "centroids {i} and {j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no signatures")]
+    fn empty_list_panics() {
+        compute_centroids(&[], 1.0, 1, 1, None);
+    }
+
+    #[test]
+    fn single_signature_yields_single_centroid() {
+        let l = vec![(ri(&[1, 2, 3]), 5)];
+        let sel = compute_centroids(&l, 0.5, 10, 2, None);
+        assert_eq!(sel.centroids.len(), 1);
+        assert_eq!(sel.stop_reason, StopReason::ListExhausted);
+    }
+}

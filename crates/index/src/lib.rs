@@ -1,0 +1,32 @@
+//! # climber-index
+//!
+//! CLIMBER-INX: the two-level index of §IV-C/IV-D and its four-step
+//! construction pipeline (§V, Figure 6).
+//!
+//! Level 1 — **groups**: coarse clusters in the rank-insensitive signature
+//! space around data-driven centroids ([`centroids`], Algorithm 2), with a
+//! fall-back group `G0` for objects overlapping no centroid.
+//!
+//! Level 2 — **partitions**: oversized groups are split by a trie over
+//! rank-sensitive prefixes ([`trie`], Definition 12) whose leaves are packed
+//! into capacity-bounded physical partitions with First-Fit-Decreasing
+//! ([`packing`], Definition 13).
+//!
+//! [`skeleton`] holds the serialisable global index (the structure the
+//! master node keeps in memory and broadcasts), and [`builder`] drives the
+//! pipeline: sample → signatures → centroids → groups/tries/packing → full
+//! re-distribution into a [`climber_dfs::PartitionStore`].
+
+pub mod builder;
+pub mod centroids;
+pub mod config;
+pub mod packing;
+pub mod skeleton;
+pub mod trie;
+
+pub use builder::{BuildReport, IndexBuilder};
+pub use centroids::compute_centroids;
+pub use config::IndexConfig;
+pub use packing::first_fit_decreasing;
+pub use skeleton::{GroupId, GroupMeta, IndexSkeleton, FALLBACK_GROUP};
+pub use trie::{Trie, TrieNode};

@@ -1,0 +1,158 @@
+//! The node packing problem (Definition 13) and its First-Fit-Decreasing
+//! solution.
+//!
+//! Trie leaves must be grouped into as few physical partitions as possible
+//! without (softly) exceeding the capacity `c`. This is bin packing; the
+//! paper adopts FFD — `O(m log m)`, worst-case ratio 1.5 — and so do we.
+//! Items larger than `c` (possible because capacity is a soft constraint
+//! when a prefix is exhausted) get a bin of their own.
+
+/// An item to pack: `(key, size)`.
+pub type PackItem<K> = (K, u64);
+
+/// One packed bin: the keys it holds and their total size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bin<K> {
+    /// Keys packed into this bin, in packing order.
+    pub items: Vec<K>,
+    /// Sum of item sizes.
+    pub total: u64,
+}
+
+/// First-Fit-Decreasing bin packing.
+///
+/// Items are sorted by descending size (ties broken by input order via a
+/// stable sort) and each is placed into the first bin it fits; a new bin is
+/// opened when none fits. Oversized items (> capacity) each get their own
+/// bin.
+///
+/// # Panics
+/// If `capacity == 0`.
+pub fn first_fit_decreasing<K: Clone>(items: &[PackItem<K>], capacity: u64) -> Vec<Bin<K>> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].1.cmp(&items[a].1));
+
+    let mut bins: Vec<Bin<K>> = Vec::new();
+    for idx in order {
+        let (ref key, size) = items[idx];
+        let slot = bins
+            .iter()
+            .position(|b| b.total + size <= capacity)
+            .filter(|_| size <= capacity);
+        match slot {
+            Some(i) => {
+                bins[i].items.push(key.clone());
+                bins[i].total += size;
+            }
+            None => bins.push(Bin {
+                items: vec![key.clone()],
+                total: size,
+            }),
+        }
+    }
+    bins
+}
+
+/// Lower bound on the optimal bin count: `ceil(total / capacity)`.
+pub fn bin_lower_bound(items: &[PackItem<impl Clone>], capacity: u64) -> u64 {
+    let total: u64 = items.iter().map(|&(_, s)| s).sum();
+    total.div_ceil(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_exact_fit() {
+        let items: Vec<PackItem<u32>> = vec![(0, 5), (1, 5), (2, 5), (3, 5)];
+        let bins = first_fit_decreasing(&items, 10);
+        assert_eq!(bins.len(), 2);
+        assert!(bins.iter().all(|b| b.total == 10));
+    }
+
+    #[test]
+    fn decreasing_order_packs_large_first() {
+        let items: Vec<PackItem<&str>> = vec![("small", 2), ("big", 9), ("mid", 5)];
+        let bins = first_fit_decreasing(&items, 10);
+        // big=9 alone won't take mid=5; mid+small=7 share the second bin.
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].items, vec!["big"]);
+        assert_eq!(bins[1].items, vec!["mid", "small"]);
+    }
+
+    #[test]
+    fn oversized_items_get_own_bins() {
+        let items: Vec<PackItem<u32>> = vec![(0, 25), (1, 3), (2, 30)];
+        let bins = first_fit_decreasing(&items, 10);
+        assert_eq!(bins.len(), 3);
+        let oversized: Vec<u64> = bins.iter().filter(|b| b.total > 10).map(|b| b.total).collect();
+        assert_eq!(oversized.len(), 2);
+    }
+
+    #[test]
+    fn no_bin_overflows_with_fitting_items() {
+        let items: Vec<PackItem<usize>> = (0..100).map(|i| (i, (i as u64 % 7) + 1)).collect();
+        let cap = 10;
+        let bins = first_fit_decreasing(&items, cap);
+        for b in &bins {
+            assert!(b.total <= cap);
+        }
+        // every item packed exactly once
+        let mut keys: Vec<usize> = bins.iter().flat_map(|b| b.items.clone()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ffd_stays_within_3_2_of_optimal() {
+        // FFD guarantee: bins <= 1.5 * OPT + 1; check against the volume
+        // lower bound on assorted workloads.
+        let workloads: Vec<Vec<PackItem<usize>>> = vec![
+            (0..50).map(|i| (i, 1 + (i as u64 * 13) % 60)).collect(),
+            (0..200).map(|i| (i, 1 + (i as u64 * 7) % 33)).collect(),
+            vec![(0, 60), (1, 60), (2, 60), (3, 1), (4, 1), (5, 1)],
+        ];
+        for items in workloads {
+            let cap = 64;
+            let bins = first_fit_decreasing(&items, cap) ;
+            let lb = bin_lower_bound(&items, cap);
+            assert!(
+                (bins.len() as u64) <= (3 * lb).div_ceil(2) + 1,
+                "bins {} vs lower bound {lb}",
+                bins.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_bins() {
+        let items: Vec<PackItem<u32>> = vec![];
+        assert!(first_fit_decreasing(&items, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        first_fit_decreasing::<u32>(&[(0, 1)], 0);
+    }
+
+    #[test]
+    fn deterministic_with_equal_sizes() {
+        let items: Vec<PackItem<u32>> = vec![(10, 4), (20, 4), (30, 4)];
+        let a = first_fit_decreasing(&items, 8);
+        let b = first_fit_decreasing(&items, 8);
+        assert_eq!(a, b);
+        // stable sort keeps input order among equals
+        assert_eq!(a[0].items, vec![10, 20]);
+        assert_eq!(a[1].items, vec![30]);
+    }
+
+    #[test]
+    fn lower_bound_is_ceiling() {
+        let items: Vec<PackItem<u32>> = vec![(0, 5), (1, 6)];
+        assert_eq!(bin_lower_bound(&items, 10), 2);
+        assert_eq!(bin_lower_bound(&items, 11), 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! The global index skeleton (Figure 5): the structure the master node
+//! keeps in memory, broadcasts to workers during the build, and navigates
+//! at query time.
+//!
+//! Level 1 is the group list — `[G0, <*,*,*>], [G1, <1,2,4>], ...` — where
+//! `G0` is the fall-back group; level 2 is the forest of per-group tries.
+//! The skeleton also records, per group, the *default partition* (the
+//! packed partition with the smallest occupancy) that receives records
+//! unable to navigate a complete root-to-leaf path.
+
+use crate::trie::{NodeIdx, Trie};
+use climber_dfs::format::TrieNodeId;
+use climber_dfs::store::PartitionId;
+use climber_pivot::assignment::{assign_group, splitmix64, Assignment};
+use climber_pivot::decay::DecayFunction;
+use climber_pivot::pivots::PivotSet;
+use climber_pivot::signature::{DualSignature, RankInsensitive};
+use climber_repr::paa::paa;
+
+/// Identifier of a data-series group. Group 0 is always the fall-back.
+pub type GroupId = u32;
+
+/// The reserved fall-back group id (`G0` in the paper).
+pub const FALLBACK_GROUP: GroupId = 0;
+
+/// Per-group metadata in the skeleton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMeta {
+    /// Group id (its index in [`IndexSkeleton::groups`]).
+    pub id: GroupId,
+    /// Rank-insensitive centroid; `None` for the fall-back group, whose
+    /// centroid is the wildcard `<*,*,...>`.
+    pub centroid: Option<RankInsensitive>,
+    /// The group's trie (single-leaf for groups within capacity).
+    pub trie: Trie,
+    /// Partition receiving records that cannot complete a root-to-leaf walk.
+    pub default_partition: PartitionId,
+    /// Estimated full-dataset record count.
+    pub est_size: u64,
+}
+
+/// Where one record lands (the output of the Step-4 placement logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The chosen group.
+    pub group: GroupId,
+    /// The physical partition the record is stored in.
+    pub partition: PartitionId,
+    /// The trie-node cluster it is stored under.
+    pub node: TrieNodeId,
+    /// True when the record fell back to the group's default partition.
+    pub via_default: bool,
+}
+
+/// The two-level global index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSkeleton {
+    /// PAA segment count `w`.
+    pub paa_segments: usize,
+    /// Prefix length `m`.
+    pub prefix_len: usize,
+    /// Decay function for WD tie-breaks.
+    pub decay: DecayFunction,
+    /// The pivot set (fixed for the index lifetime).
+    pub pivots: PivotSet,
+    /// Groups; index == group id; `groups[0]` is the fall-back.
+    pub groups: Vec<GroupMeta>,
+    /// Seed mixed into deterministic tie-breaks.
+    pub seed: u64,
+}
+
+impl IndexSkeleton {
+    /// Extracts the P4 dual signature of a raw series under this index's
+    /// parameters (the exact transformation indexed records went through).
+    pub fn extract_signature(&self, values: &[f32]) -> DualSignature {
+        let p = paa(values, self.paa_segments);
+        DualSignature::extract_from_paa(&p, &self.pivots, self.prefix_len)
+    }
+
+    /// Centroids of the real (non-fall-back) groups, index-aligned with
+    /// group ids `1..`.
+    fn real_centroids(&self) -> Vec<RankInsensitive> {
+        self.groups[1..]
+            .iter()
+            .map(|g| {
+                g.centroid
+                    .clone()
+                    .expect("non-fallback group without centroid")
+            })
+            .collect()
+    }
+
+    /// Algorithm-1 group assignment for a signature; `tie_seed` feeds the
+    /// deterministic random tie-break.
+    pub fn assign(&self, sig: &DualSignature, tie_seed: u64) -> GroupId {
+        let centroids = self.real_centroids();
+        if centroids.is_empty() {
+            return FALLBACK_GROUP;
+        }
+        match assign_group(&centroids, sig, self.decay, splitmix64(self.seed ^ tie_seed)) {
+            Assignment::Fallback => FALLBACK_GROUP,
+            a => a.centroid().expect("non-fallback has centroid") as GroupId + 1,
+        }
+    }
+
+    /// Full Step-4 placement of one record: group assignment, then trie
+    /// navigation; records without a complete root-to-leaf path go to the
+    /// group's default partition clustered under the trie root.
+    pub fn place(&self, values: &[f32], series_id: u64) -> Placement {
+        let sig = self.extract_signature(values);
+        let group = self.assign(&sig, series_id);
+        let meta = &self.groups[group as usize];
+        match meta.trie.leaf_for(&sig.sensitive.0) {
+            Some(leaf_idx) => {
+                let leaf = meta.trie.node(leaf_idx);
+                Placement {
+                    group,
+                    partition: leaf.partitions[0],
+                    node: leaf.id,
+                    via_default: false,
+                }
+            }
+            None => Placement {
+                group,
+                partition: meta.default_partition,
+                node: meta.trie.root().id,
+                via_default: true,
+            },
+        }
+    }
+
+    /// Groups achieving the minimum OD to `sig` (Algorithm 3 lines 5-6),
+    /// with that distance. The fall-back group is returned only when *no*
+    /// real group overlaps the signature.
+    pub fn groups_by_overlap(&self, sig: &DualSignature) -> (Vec<GroupId>, usize) {
+        use climber_pivot::distances::overlap_distance;
+        let m = self.prefix_len;
+        let mut best = m + 1;
+        let mut out: Vec<GroupId> = Vec::new();
+        for g in &self.groups[1..] {
+            let c = g.centroid.as_ref().expect("real group has centroid");
+            let od = overlap_distance(c, &sig.insensitive);
+            if od < best {
+                best = od;
+                out.clear();
+                out.push(g.id);
+            } else if od == best {
+                out.push(g.id);
+            }
+        }
+        if out.is_empty() || best == m {
+            (vec![FALLBACK_GROUP], m)
+        } else {
+            (out, best)
+        }
+    }
+
+    /// Number of physical partitions referenced by the skeleton.
+    pub fn num_partitions(&self) -> usize {
+        let mut pids: Vec<PartitionId> = self
+            .groups
+            .iter()
+            .flat_map(|g| {
+                g.trie
+                    .nodes()
+                    .iter()
+                    .flat_map(|n| n.partitions.iter().copied())
+                    .chain(std::iter::once(g.default_partition))
+            })
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids.len()
+    }
+
+    /// Total trie nodes across all groups.
+    pub fn num_trie_nodes(&self) -> usize {
+        self.groups.iter().map(|g| g.trie.len()).sum()
+    }
+
+    /// Serialised size in bytes (the paper's "global index size" metric,
+    /// Figure 8(b)).
+    pub fn size_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serialises the skeleton (magic `CLSK`, little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"CLSK");
+        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        out.extend_from_slice(&(self.paa_segments as u32).to_le_bytes());
+        out.extend_from_slice(&(self.prefix_len as u32).to_le_bytes());
+        match self.decay {
+            DecayFunction::Exponential { lambda } => {
+                out.push(0);
+                out.extend_from_slice(&lambda.to_le_bytes());
+            }
+            DecayFunction::Linear => {
+                out.push(1);
+                out.extend_from_slice(&0f64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        let pivot_blob = self.pivots.to_bytes();
+        out.extend_from_slice(&(pivot_blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&pivot_blob);
+        out.extend_from_slice(&(self.groups.len() as u32).to_le_bytes());
+        for g in &self.groups {
+            out.extend_from_slice(&g.id.to_le_bytes());
+            match &g.centroid {
+                Some(c) => {
+                    out.push(1);
+                    out.extend_from_slice(&(c.0.len() as u16).to_le_bytes());
+                    for &p in &c.0 {
+                        out.extend_from_slice(&p.to_le_bytes());
+                    }
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&g.default_partition.to_le_bytes());
+            out.extend_from_slice(&g.est_size.to_le_bytes());
+            g.trie.to_bytes(&mut out);
+        }
+        out
+    }
+
+    /// Deserialises a skeleton written by [`IndexSkeleton::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let magic = bytes.get(0..4).ok_or("skeleton too short")?;
+        if magic != b"CLSK" {
+            return Err(format!("bad skeleton magic {magic:?}"));
+        }
+        pos += 4;
+        let version = read_u32(bytes, &mut pos)?;
+        if version != 1 {
+            return Err(format!("unsupported skeleton version {version}"));
+        }
+        let paa_segments = read_u32(bytes, &mut pos)? as usize;
+        let prefix_len = read_u32(bytes, &mut pos)? as usize;
+        let decay_tag = *bytes.get(pos).ok_or("truncated decay tag")?;
+        pos += 1;
+        let lambda = read_f64(bytes, &mut pos)?;
+        let decay = match decay_tag {
+            0 => DecayFunction::Exponential { lambda },
+            1 => DecayFunction::Linear,
+            t => return Err(format!("unknown decay tag {t}")),
+        };
+        let seed = read_u64(bytes, &mut pos)?;
+        let pivot_len = read_u64(bytes, &mut pos)? as usize;
+        let pivot_blob = bytes
+            .get(pos..pos + pivot_len)
+            .ok_or("truncated pivot blob")?;
+        pos += pivot_len;
+        let pivots = PivotSet::from_bytes(pivot_blob)?;
+        let n_groups = read_u32(bytes, &mut pos)? as usize;
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let id = read_u32(bytes, &mut pos)?;
+            let has_centroid = *bytes.get(pos).ok_or("truncated centroid flag")?;
+            pos += 1;
+            let centroid = if has_centroid == 1 {
+                let m = read_u16(bytes, &mut pos)? as usize;
+                let mut ids = Vec::with_capacity(m);
+                for _ in 0..m {
+                    ids.push(read_u16(bytes, &mut pos)?);
+                }
+                Some(RankInsensitive(ids))
+            } else {
+                None
+            };
+            let default_partition = read_u32(bytes, &mut pos)?;
+            let est_size = read_u64(bytes, &mut pos)?;
+            let trie = Trie::from_bytes(bytes, &mut pos)?;
+            groups.push(GroupMeta {
+                id,
+                centroid,
+                trie,
+                default_partition,
+                est_size,
+            });
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes after skeleton".into());
+        }
+        Ok(Self {
+            paa_segments,
+            prefix_len,
+            decay,
+            pivots,
+            groups,
+            seed,
+        })
+    }
+
+    /// Leaf arena-index → node-id pairs under `node` of group `g`
+    /// (convenience for the query layer).
+    pub fn leaf_nodes_under(&self, g: GroupId, node: NodeIdx) -> Vec<TrieNodeId> {
+        let trie = &self.groups[g as usize].trie;
+        trie.leaves_under(node)
+            .into_iter()
+            .map(|i| trie.node(i).id)
+            .collect()
+    }
+
+    /// Renders the Figure-5-style skeleton overview: one line per group
+    /// with its centroid, estimated size, trie shape and partitions.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "CLIMBER index skeleton: w={} m={} pivots={} groups={} partitions={} ({} trie nodes, {} bytes)",
+            self.paa_segments,
+            self.prefix_len,
+            self.pivots.len(),
+            self.groups.len(),
+            self.num_partitions(),
+            self.num_trie_nodes(),
+            self.size_bytes()
+        );
+        for g in &self.groups {
+            let centroid = match &g.centroid {
+                Some(c) => format!(
+                    "<{}>",
+                    c.0.iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                None => "<*,*,...>".to_string(),
+            };
+            let leaves = g.trie.leaves().len();
+            let _ = writeln!(
+                out,
+                "  [G{}, {}] est={} trie: {} nodes / {} leaves, default partition β{}, partitions {:?}",
+                g.id,
+                centroid,
+                g.est_size,
+                g.trie.len(),
+                leaves,
+                g.default_partition,
+                g.trie.root().partitions
+            );
+        }
+        out
+    }
+}
+
+fn read_u16(b: &[u8], pos: &mut usize) -> Result<u16, String> {
+    let s = b.get(*pos..*pos + 2).ok_or("truncated u16")?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let s = b.get(*pos..*pos + 4).ok_or("truncated u32")?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_u64(b: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let s = b.get(*pos..*pos + 8).ok_or("truncated u64")?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn read_f64(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let s = b.get(*pos..*pos + 8).ok_or("truncated f64")?;
+    *pos += 8;
+    Ok(f64::from_le_bytes(s.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_pivot::pivots::PivotId;
+    use std::collections::HashMap;
+
+    /// Small hand-built skeleton: 4 pivots on a line in 1-D PAA space,
+    /// 2 real groups + fallback, group 1 with a trivial trie, group 2 with
+    /// a 2-level trie.
+    fn toy_skeleton() -> IndexSkeleton {
+        let pivots = PivotSet::from_points(vec![
+            vec![0.0],
+            vec![10.0],
+            vec![20.0],
+            vec![30.0],
+        ]);
+        let mut next_node = 0u64;
+
+        // fall-back group: trivial trie, partition 0
+        let g0_trie = Trie::build(&[], 100, 2, &mut next_node);
+        let mut g0_map = HashMap::new();
+        g0_map.insert(g0_trie.root().id, 0u32);
+        let mut g0_trie = g0_trie;
+        g0_trie.assign_partitions(&g0_map);
+
+        // group 1 (centroid <0,1>): trivial trie, partition 1
+        let members1: Vec<(Vec<PivotId>, u64)> = vec![(vec![0, 1], 50)];
+        let refs1: Vec<(&[PivotId], u64)> = members1.iter().map(|(s, c)| (&s[..], *c)).collect();
+        let mut t1 = Trie::build(&refs1, 100, 2, &mut next_node);
+        let mut m1 = HashMap::new();
+        m1.insert(t1.root().id, 1u32);
+        t1.assign_partitions(&m1);
+
+        // group 2 (centroid <2,3>): split on 1st pivot, partitions 2,3
+        let members2: Vec<(Vec<PivotId>, u64)> =
+            vec![(vec![2, 3], 80), (vec![3, 2], 70)];
+        let refs2: Vec<(&[PivotId], u64)> = members2.iter().map(|(s, c)| (&s[..], *c)).collect();
+        let mut t2 = Trie::build(&refs2, 100, 2, &mut next_node);
+        let leaves = t2.leaves();
+        let mut m2 = HashMap::new();
+        for (i, &l) in leaves.iter().enumerate() {
+            m2.insert(t2.node(l).id, 2 + i as u32);
+        }
+        t2.assign_partitions(&m2);
+
+        IndexSkeleton {
+            paa_segments: 1,
+            prefix_len: 2,
+            decay: DecayFunction::DEFAULT,
+            pivots,
+            groups: vec![
+                GroupMeta {
+                    id: 0,
+                    centroid: None,
+                    trie: g0_trie,
+                    default_partition: 0,
+                    est_size: 0,
+                },
+                GroupMeta {
+                    id: 1,
+                    centroid: Some(RankInsensitive(vec![0, 1])),
+                    trie: t1,
+                    default_partition: 1,
+                    est_size: 50,
+                },
+                GroupMeta {
+                    id: 2,
+                    centroid: Some(RankInsensitive(vec![2, 3])),
+                    trie: t2,
+                    default_partition: 2,
+                    est_size: 150,
+                },
+            ],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn signature_extraction_matches_pivot_layout() {
+        let sk = toy_skeleton();
+        // A series of constant 1.0 → PAA [1.0] → nearest pivots 0 then 1.
+        let sig = sk.extract_signature(&[1.0, 1.0]);
+        assert_eq!(sig.sensitive.0, vec![0, 1]);
+    }
+
+    #[test]
+    fn assign_routes_to_best_group() {
+        let sk = toy_skeleton();
+        let near0 = sk.extract_signature(&[1.0, 1.0]); // pivots {0,1}
+        assert_eq!(sk.assign(&near0, 0), 1);
+        let near3 = sk.extract_signature(&[29.0, 29.0]); // pivots {3,2}
+        assert_eq!(sk.assign(&near3, 0), 2);
+    }
+
+    #[test]
+    fn place_uses_leaf_partition() {
+        let sk = toy_skeleton();
+        // series near pivot 2 → group 2, sensitive <2,3> → leaf under "2"
+        let p = sk.place(&[19.0, 19.0], 7);
+        assert_eq!(p.group, 2);
+        assert!(!p.via_default);
+        assert!(p.partition == 2 || p.partition == 3);
+    }
+
+    #[test]
+    fn groups_by_overlap_finds_ties() {
+        let sk = toy_skeleton();
+        let sig = sk.extract_signature(&[15.0, 15.0]); // pivots {1,2}: one hit in each group
+        let (gs, od) = sk.groups_by_overlap(&sig);
+        assert_eq!(od, 1);
+        assert_eq!(gs, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_overlap_returns_fallback() {
+        let sk = toy_skeleton();
+        // craft a signature with pivots outside every centroid — impossible
+        // here with 4 pivots all covered, so shrink to a direct call:
+        let sig = DualSignature::from_sensitive(
+            climber_pivot::signature::RankSensitive(vec![0, 3]),
+        );
+        // centroids are {0,1} and {2,3}: overlap 1 each → not fallback.
+        let (gs, _) = sk.groups_by_overlap(&sig);
+        assert_eq!(gs, vec![1, 2]);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let sk = toy_skeleton();
+        let bytes = sk.to_bytes();
+        let back = IndexSkeleton::from_bytes(&bytes).unwrap();
+        assert_eq!(sk, back);
+        assert_eq!(sk.size_bytes(), bytes.len());
+    }
+
+    #[test]
+    fn corrupted_skeleton_rejected() {
+        let sk = toy_skeleton();
+        let bytes = sk.to_bytes();
+        assert!(IndexSkeleton::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(IndexSkeleton::from_bytes(&bad).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(IndexSkeleton::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn num_partitions_counts_distinct() {
+        let sk = toy_skeleton();
+        assert_eq!(sk.num_partitions(), 4); // 0,1,2,3
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let sk = toy_skeleton();
+        let a = sk.place(&[12.0, 12.0], 99);
+        let b = sk.place(&[12.0, 12.0], 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the index layer: centroid selection, FFD
+//! packing, trie construction and skeleton serialisation.
+
+use climber_index::centroids::compute_centroids;
+use climber_index::packing::{bin_lower_bound, first_fit_decreasing};
+use climber_index::trie::Trie;
+use climber_pivot::distances::overlap_distance;
+use climber_pivot::pivots::PivotId;
+use climber_pivot::signature::RankInsensitive;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a sorted, distinct rank-insensitive signature of length m
+/// over ids < 40.
+fn insensitive(m: usize) -> impl Strategy<Value = RankInsensitive> {
+    prop::collection::hash_set(0u16..40, m).prop_map(|s| {
+        let mut v: Vec<u16> = s.into_iter().collect();
+        v.sort_unstable();
+        RankInsensitive(v)
+    })
+}
+
+/// Strategy: members for a trie — (signature of length 4, count).
+fn trie_members() -> impl Strategy<Value = Vec<(Vec<PivotId>, u64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u16..12, 4),
+            1u64..500,
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn centroids_are_pairwise_separated(
+        sigs in prop::collection::vec((insensitive(5), 1u64..1000), 1..40),
+        eps in 0usize..4,
+    ) {
+        let sel = compute_centroids(&sigs, 1.0, 1, eps, None);
+        prop_assert!(!sel.centroids.is_empty());
+        for i in 0..sel.centroids.len() {
+            for j in (i + 1)..sel.centroids.len() {
+                prop_assert!(
+                    overlap_distance(&sel.centroids[i], &sel.centroids[j]) >= eps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_cap_is_respected(
+        sigs in prop::collection::vec((insensitive(5), 1u64..1000), 1..40),
+        cap in 1usize..6,
+    ) {
+        let sel = compute_centroids(&sigs, 1.0, 1, 0, Some(cap));
+        prop_assert!(sel.centroids.len() <= cap);
+    }
+
+    #[test]
+    fn first_centroid_has_max_frequency(
+        sigs in prop::collection::vec((insensitive(5), 1u64..1000), 1..40),
+    ) {
+        let sel = compute_centroids(&sigs, 1.0, 1, 1, None);
+        let max_freq = sigs.iter().map(|&(_, f)| f).max().unwrap();
+        let first_freq = sigs
+            .iter()
+            .filter(|(s, _)| *s == sel.centroids[0])
+            .map(|&(_, f)| f)
+            .sum::<u64>();
+        // first centroid carries the max frequency (ties allowed)
+        prop_assert!(first_freq >= max_freq || first_freq == max_freq);
+    }
+
+    #[test]
+    fn ffd_packs_every_item_once(
+        sizes in prop::collection::vec(1u64..100, 0..60),
+        capacity in 1u64..200,
+    ) {
+        let items: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+        let bins = first_fit_decreasing(&items, capacity);
+        let mut keys: Vec<usize> = bins.iter().flat_map(|b| b.items.clone()).collect();
+        keys.sort_unstable();
+        prop_assert_eq!(keys, (0..sizes.len()).collect::<Vec<_>>());
+        // no bin overflows unless it holds a single oversized item
+        for b in &bins {
+            prop_assert!(b.total <= capacity || b.items.len() == 1);
+        }
+        // bin totals match item sums
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(bins.iter().map(|b| b.total).sum::<u64>(), total);
+    }
+
+    #[test]
+    fn ffd_is_within_guarantee_of_lower_bound(
+        sizes in prop::collection::vec(1u64..64, 1..60),
+    ) {
+        let capacity = 64u64;
+        let items: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+        let bins = first_fit_decreasing(&items, capacity);
+        let lb = bin_lower_bound(&items, capacity).max(1);
+        // FFD <= 1.5 OPT + 1 <= 1.5 * (volume bound) rounded up + 1
+        prop_assert!(bins.len() as u64 <= (3 * lb).div_ceil(2) + 1);
+    }
+
+    #[test]
+    fn trie_conserves_mass_and_ids(members in trie_members()) {
+        let refs: Vec<(&[PivotId], u64)> =
+            members.iter().map(|(s, c)| (&s[..], *c)).collect();
+        let total: u64 = members.iter().map(|&(_, c)| c).sum();
+        let mut next = 100u64;
+        let trie = Trie::build(&refs, 50, 4, &mut next);
+
+        // root mass equals member mass
+        prop_assert_eq!(trie.root().est_size, total);
+        // every internal node's mass equals its children's sum
+        for n in trie.nodes() {
+            if !n.is_leaf() {
+                let s: u64 = n.children.iter().map(|&(_, c)| trie.node(c).est_size).sum();
+                prop_assert_eq!(n.est_size, s);
+            }
+        }
+        // ids unique and allocated from `next`
+        let mut ids: Vec<u64> = trie.nodes().iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trie.len());
+        prop_assert_eq!(next, 100 + trie.len() as u64);
+    }
+
+    #[test]
+    fn trie_descend_never_overshoots(members in trie_members(), probe in prop::collection::vec(0u16..12, 4)) {
+        let refs: Vec<(&[PivotId], u64)> =
+            members.iter().map(|(s, c)| (&s[..], *c)).collect();
+        let mut next = 0u64;
+        let trie = Trie::build(&refs, 30, 4, &mut next);
+        let d = trie.descend(&probe);
+        prop_assert!(d.path_len <= probe.len());
+        prop_assert_eq!(trie.node(d.node).depth as usize, d.path_len);
+        // member signatures descend along their own path: depth equals
+        // node depth at every step by construction
+        for (sig, _) in &members {
+            let dm = trie.descend(sig);
+            prop_assert_eq!(trie.node(dm.node).depth as usize, dm.path_len);
+        }
+    }
+
+    #[test]
+    fn trie_serialization_roundtrip(members in trie_members()) {
+        let refs: Vec<(&[PivotId], u64)> =
+            members.iter().map(|(s, c)| (&s[..], *c)).collect();
+        let mut next = 0u64;
+        let mut trie = Trie::build(&refs, 40, 4, &mut next);
+        // pack leaves round-robin across 3 partitions
+        let leaves = trie.leaves();
+        let map: HashMap<u64, u32> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (trie.node(l).id, (i % 3) as u32))
+            .collect();
+        trie.assign_partitions(&map);
+
+        let mut buf = Vec::new();
+        trie.to_bytes(&mut buf);
+        let mut pos = 0;
+        let back = Trie::from_bytes(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(trie, back);
+    }
+
+    #[test]
+    fn partitions_cover_all_leaves_after_assignment(members in trie_members()) {
+        let refs: Vec<(&[PivotId], u64)> =
+            members.iter().map(|(s, c)| (&s[..], *c)).collect();
+        let mut next = 0u64;
+        let mut trie = Trie::build(&refs, 25, 4, &mut next);
+        let leaves = trie.leaves();
+        let map: HashMap<u64, u32> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (trie.node(l).id, i as u32))
+            .collect();
+        trie.assign_partitions(&map);
+        // the root's partition set is exactly the union of leaf partitions
+        let mut want: Vec<u32> = (0..leaves.len() as u32).collect();
+        want.sort_unstable();
+        prop_assert_eq!(&trie.root().partitions, &want);
+        // every node's partitions are sorted + deduped
+        for n in trie.nodes() {
+            let mut p = n.partitions.clone();
+            p.sort_unstable();
+            p.dedup();
+            prop_assert_eq!(&p, &n.partitions);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Group assignment rules (Algorithm 1).
+//!
+//! Given a list of group centroids (each a rank-insensitive signature) and
+//! an object's dual signature, the object is assigned to:
+//!
+//! 1. the **fall-back group G0** when it shares no pivot with any centroid
+//!    (all OD distances equal `m`);
+//! 2. otherwise the centroid with the **unique smallest OD**;
+//! 3. on a tie, the tied centroid with the **unique smallest WD** (decay
+//!    weights learned from the object's rank-sensitive signature);
+//! 4. on a second tie, a deterministic pseudo-random choice among the tied
+//!    centroids (the paper says "randomly selected"; this implementation
+//!    hashes a caller-supplied seed — typically the series id — so builds
+//!    are reproducible).
+
+use crate::decay::DecayFunction;
+use crate::distances::{overlap_distance, weight_distance};
+use crate::signature::{DualSignature, RankInsensitive};
+
+/// How an Algorithm-1 assignment was decided — recorded for the ablation
+/// experiments (how often does each tie level fire?).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// No centroid shares a pivot with the object: fall-back group G0
+    /// (Algorithm 1 lines 3-5).
+    Fallback,
+    /// Unique smallest OD (lines 6-7).
+    ByOverlap(usize),
+    /// OD tie resolved by unique smallest WD (lines 8-12).
+    ByWeight(usize),
+    /// Second tie resolved pseudo-randomly (line 14).
+    ByRandom(usize),
+}
+
+impl Assignment {
+    /// Index of the chosen centroid, or `None` for the fall-back group.
+    pub fn centroid(&self) -> Option<usize> {
+        match *self {
+            Assignment::Fallback => None,
+            Assignment::ByOverlap(i) | Assignment::ByWeight(i) | Assignment::ByRandom(i) => {
+                Some(i)
+            }
+        }
+    }
+}
+
+/// Algorithm 1: assigns `sig` to one of `centroids` (indices into the slice)
+/// or to the fall-back group.
+///
+/// `tie_seed` drives the final random tie-break deterministically; pass the
+/// series id (or a hash of it) for reproducible builds.
+///
+/// # Panics
+/// If `centroids` is empty or signature lengths differ from the centroids'.
+pub fn assign_group(
+    centroids: &[RankInsensitive],
+    sig: &DualSignature,
+    decay: DecayFunction,
+    tie_seed: u64,
+) -> Assignment {
+    assert!(!centroids.is_empty(), "no centroids to assign to");
+    let m = sig.len();
+
+    // Line 2: OD distances to every centroid.
+    let ods: Vec<usize> = centroids
+        .iter()
+        .map(|c| overlap_distance(c, &sig.insensitive))
+        .collect();
+
+    // Lines 3-5: zero overlap with every centroid → fall-back.
+    let best_od = *ods.iter().min().expect("non-empty centroid list");
+    if best_od == m {
+        return Assignment::Fallback;
+    }
+
+    // Lines 6-7: unique smallest OD.
+    let tied: Vec<usize> = (0..centroids.len())
+        .filter(|&i| ods[i] == best_od)
+        .collect();
+    if tied.len() == 1 {
+        return Assignment::ByOverlap(tied[0]);
+    }
+
+    // Lines 9-12: WD among the tied centroids.
+    let wds: Vec<f64> = tied
+        .iter()
+        .map(|&i| weight_distance(&sig.sensitive, &centroids[i], decay))
+        .collect();
+    let best_wd = wds.iter().cloned().fold(f64::INFINITY, f64::min);
+    let wd_tied: Vec<usize> = tied
+        .iter()
+        .zip(wds.iter())
+        .filter(|&(_, &wd)| wd <= best_wd + f64::EPSILON * best_wd.abs().max(1.0))
+        .map(|(&i, _)| i)
+        .collect();
+    if wd_tied.len() == 1 {
+        return Assignment::ByWeight(wd_tied[0]);
+    }
+
+    // Line 14: deterministic pseudo-random choice among the remaining ties.
+    let pick = (splitmix64(tie_seed) % wd_tied.len() as u64) as usize;
+    Assignment::ByRandom(wd_tied[pick])
+}
+
+/// The naive alternative Algorithm 1 replaces (§IV-A challenge 3):
+/// treat the centroid's id-ordered pivot list as if it were a rank
+/// ordering and assign by Spearman footrule against the object's
+/// rank-sensitive signature.
+///
+/// The paper argues this is *wrong* for the dual representation — rank
+/// metrics "will not work, especially when comparing objects of different
+/// granularities" — because a centroid has no rank information: its id
+/// order is arbitrary, so footrule penalises objects whose genuine
+/// proximity ranking disagrees with an accident of pivot numbering. This
+/// function exists for the ablation experiments that quantify the claim
+/// (see `tests/metric_ablation.rs`); production assignment is
+/// [`assign_group`].
+pub fn assign_group_naive_footrule(
+    centroids: &[RankInsensitive],
+    sig: &DualSignature,
+) -> Assignment {
+    use crate::distances::spearman_footrule;
+    use crate::signature::RankSensitive;
+    assert!(!centroids.is_empty(), "no centroids to assign to");
+    let m = sig.len();
+    // Fall-back rule kept identical so only the metric differs.
+    let no_overlap = centroids
+        .iter()
+        .all(|c| overlap_distance(c, &sig.insensitive) == m);
+    if no_overlap {
+        return Assignment::Fallback;
+    }
+    let mut best = usize::MAX;
+    let mut best_idx = 0usize;
+    for (i, c) in centroids.iter().enumerate() {
+        let pseudo_rank = RankSensitive(c.0.clone()); // id order as "rank"
+        let d = spearman_footrule(&sig.sensitive, &pseudo_rank);
+        if d < best {
+            best = d;
+            best_idx = i;
+        }
+    }
+    Assignment::ByOverlap(best_idx)
+}
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer for deterministic
+/// tie-breaking.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::RankSensitive;
+
+    fn ri(ids: &[u16]) -> RankInsensitive {
+        let mut v = ids.to_vec();
+        v.sort_unstable();
+        RankInsensitive(v)
+    }
+
+    fn dual(sensitive: &[u16]) -> DualSignature {
+        DualSignature::from_sensitive(RankSensitive(sensitive.to_vec()))
+    }
+
+    /// The centroids of the paper's Example 1.
+    fn example1_centroids() -> Vec<RankInsensitive> {
+        vec![ri(&[1, 2, 3]), ri(&[2, 4, 5])]
+    }
+
+    #[test]
+    fn example1_object_x_by_overlap() {
+        // X: P4→ = <3,4,1> → P4↛ = <1,3,4>.
+        // OD(X,o1)=1, OD(X,o2)=2 → assign to G1 (index 0).
+        let a = assign_group(
+            &example1_centroids(),
+            &dual(&[3, 4, 1]),
+            DecayFunction::DEFAULT,
+            0,
+        );
+        assert_eq!(a, Assignment::ByOverlap(0));
+    }
+
+    #[test]
+    fn example1_object_y_by_weight() {
+        // Y: P4→ = <4,2,1>; OD ties at 1; WD(Y,o1)=1.0, WD(Y,o2)=0.25 →
+        // assign to G2 (index 1).
+        let a = assign_group(
+            &example1_centroids(),
+            &dual(&[4, 2, 1]),
+            DecayFunction::DEFAULT,
+            0,
+        );
+        assert_eq!(a, Assignment::ByWeight(1));
+    }
+
+    #[test]
+    fn example1_object_z_by_random() {
+        // Z: P4→ = <6,2,7>; OD ties at 2, WD ties at 1.25 → random pick,
+        // deterministic per seed and always one of the tied groups.
+        let c = example1_centroids();
+        let a1 = assign_group(&c, &dual(&[6, 2, 7]), DecayFunction::DEFAULT, 123);
+        let a2 = assign_group(&c, &dual(&[6, 2, 7]), DecayFunction::DEFAULT, 123);
+        assert_eq!(a1, a2, "same seed must give same pick");
+        match a1 {
+            Assignment::ByRandom(i) => assert!(i == 0 || i == 1),
+            other => panic!("expected random tie-break, got {other:?}"),
+        }
+        // Different seeds eventually pick both groups.
+        let picks: std::collections::HashSet<usize> = (0..32)
+            .map(|s| {
+                match assign_group(&c, &dual(&[6, 2, 7]), DecayFunction::DEFAULT, s) {
+                    Assignment::ByRandom(i) => i,
+                    other => panic!("expected random tie-break, got {other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(picks.len(), 2, "both tied groups should be reachable");
+    }
+
+    #[test]
+    fn zero_overlap_goes_to_fallback() {
+        // Object shares no pivot with any centroid.
+        let a = assign_group(
+            &example1_centroids(),
+            &dual(&[7, 8, 9]),
+            DecayFunction::DEFAULT,
+            0,
+        );
+        assert_eq!(a, Assignment::Fallback);
+        assert_eq!(a.centroid(), None);
+    }
+
+    #[test]
+    fn single_centroid_with_any_overlap_wins() {
+        let c = vec![ri(&[1, 2, 3])];
+        let a = assign_group(&c, &dual(&[3, 9, 8]), DecayFunction::DEFAULT, 0);
+        assert_eq!(a, Assignment::ByOverlap(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no centroids")]
+    fn empty_centroid_list_panics() {
+        assign_group(&[], &dual(&[1, 2, 3]), DecayFunction::DEFAULT, 0);
+    }
+
+    #[test]
+    fn linear_decay_can_change_the_tiebreak() {
+        // Construct a case where exponential and linear decay agree on
+        // totals but produce different WDs; assignment still must be one of
+        // the OD-tied centroids under both.
+        let c = vec![ri(&[1, 5, 6]), ri(&[2, 5, 7])];
+        let sig = dual(&[1, 2, 9]);
+        for decay in [DecayFunction::DEFAULT, DecayFunction::Linear] {
+            let a = assign_group(&c, &sig, decay, 0);
+            assert!(matches!(
+                a,
+                Assignment::ByWeight(0) | Assignment::ByOverlap(0)
+            ));
+        }
+    }
+
+    #[test]
+    fn naive_footrule_is_deterministic_and_valid() {
+        let c = example1_centroids();
+        let sig = dual(&[3, 4, 1]);
+        let a = assign_group_naive_footrule(&c, &sig);
+        assert_eq!(a, assign_group_naive_footrule(&c, &sig));
+        assert!(a.centroid().is_some());
+    }
+
+    #[test]
+    fn naive_footrule_keeps_fallback_semantics() {
+        let a = assign_group_naive_footrule(&example1_centroids(), &dual(&[7, 8, 9]));
+        assert_eq!(a, Assignment::Fallback);
+    }
+
+    #[test]
+    fn naive_footrule_can_disagree_with_algorithm_1() {
+        // The motivating failure: an object whose nearest pivots are
+        // exactly centroid o2's pivots but in "reversed" order. Algorithm 1
+        // assigns it to o2 (full overlap, OD 0); footrule against the
+        // id-ordered pseudo-rank can prefer a worse-overlap centroid.
+        let c = vec![ri(&[1, 2, 3]), ri(&[5, 4, 2])];
+        let sig = dual(&[5, 4, 2]); // P4↛ = <2,4,5> — overlaps o2 fully
+        let od_choice = assign_group(&c, &sig, DecayFunction::DEFAULT, 0);
+        assert_eq!(od_choice, Assignment::ByOverlap(1), "Algorithm 1 is unambiguous");
+        // whatever footrule picks, Algorithm 1's pick has OD 0 — the
+        // correctness criterion the ablation measures end-to-end.
+        let naive = assign_group_naive_footrule(&c, &sig);
+        assert!(naive.centroid().is_some());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        let distinct: std::collections::HashSet<u64> =
+            (0..1000u64).map(splitmix64).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+}

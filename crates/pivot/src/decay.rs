@@ -1,0 +1,126 @@
+//! Pivot weights via decay functions (Definition 9).
+//!
+//! In a rank-sensitive signature the leftmost pivot is the closest to the
+//! object and should count the most. The paper proposes the exponential
+//! decay `f(i, λ) = λ^(i-1)` and linear decay `f(i, λ) = λ · (m - i + 1)`
+//! with `λ = 1/m`; positions `i` are 1-based. The Example-1 walkthrough uses
+//! exponential decay with `λ = 1/2` (weights 1, 1/2, 1/4, ...).
+
+/// A decay function assigning weights to 1-based prefix positions
+/// (Definition 9). Weights are strictly decreasing in position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecayFunction {
+    /// `f(i, λ) = λ^(i-1)` with `λ ∈ (0, 1)`.
+    Exponential {
+        /// Decay rate `λ`.
+        lambda: f64,
+    },
+    /// `f(i, λ) = λ · (m - i + 1)` with `λ = 1/m` — requires the prefix
+    /// length `m` at evaluation time.
+    Linear,
+}
+
+impl DecayFunction {
+    /// The paper's default for examples: exponential decay with `λ = 1/2`.
+    pub const DEFAULT: DecayFunction = DecayFunction::Exponential { lambda: 0.5 };
+
+    /// Weight of 1-based position `i` within a prefix of length `m`.
+    ///
+    /// # Panics
+    /// If `i` is outside `1..=m`, or the exponential `λ` is outside (0, 1).
+    pub fn weight(&self, i: usize, m: usize) -> f64 {
+        assert!(i >= 1 && i <= m, "position {i} outside 1..={m}");
+        match *self {
+            DecayFunction::Exponential { lambda } => {
+                assert!(
+                    lambda > 0.0 && lambda < 1.0,
+                    "exponential decay rate must be in (0,1), got {lambda}"
+                );
+                lambda.powi(i as i32 - 1)
+            }
+            DecayFunction::Linear => {
+                let lambda = 1.0 / m as f64;
+                lambda * (m - i + 1) as f64
+            }
+        }
+    }
+
+    /// All `m` weights, positions 1..=m.
+    pub fn weights(&self, m: usize) -> Vec<f64> {
+        (1..=m).map(|i| self.weight(i, m)).collect()
+    }
+
+    /// Total weight `TW` of a full prefix (Definition 10). Constant for a
+    /// given decay function and `m`, as the paper notes.
+    pub fn total_weight(&self, m: usize) -> f64 {
+        self.weights(m).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_half_matches_paper_sequence() {
+        // "if λ = 1/2, the exponential decay sequence is [1, 1/2, 1/4, ...]"
+        let d = DecayFunction::Exponential { lambda: 0.5 };
+        assert_eq!(d.weights(4), vec![1.0, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn linear_matches_paper_sequence() {
+        // "the linear decay sequence is [1, (m-1)/m, (m-2)/m, ...]"
+        let d = DecayFunction::Linear;
+        let w = d.weights(4);
+        let want = [1.0, 0.75, 0.5, 0.25];
+        for (g, e) in w.iter().zip(want.iter()) {
+            assert!((g - e).abs() < 1e-12, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn weights_strictly_decrease() {
+        for d in [
+            DecayFunction::Exponential { lambda: 0.5 },
+            DecayFunction::Exponential { lambda: 0.9 },
+            DecayFunction::Linear,
+        ] {
+            let w = d.weights(10);
+            for pair in w.windows(2) {
+                assert!(pair[0] > pair[1], "{d:?}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn example1_total_weight() {
+        // Example 1: m = 3, exponential λ=1/2 → TW = 1 + 0.5 + 0.25 = 1.75.
+        let d = DecayFunction::DEFAULT;
+        assert!((d.total_weight(3) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_position_has_weight_one() {
+        assert_eq!(DecayFunction::DEFAULT.weight(1, 5), 1.0);
+        assert_eq!(DecayFunction::Linear.weight(1, 5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_position_panics() {
+        DecayFunction::DEFAULT.weight(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn position_past_m_panics() {
+        DecayFunction::Linear.weight(4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay rate")]
+    fn bad_lambda_panics() {
+        DecayFunction::Exponential { lambda: 1.5 }.weight(1, 3);
+    }
+}

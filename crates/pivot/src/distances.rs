@@ -1,0 +1,282 @@
+//! Similarity metrics for pivot signatures.
+//!
+//! * [`overlap_distance`] — OD (Definition 7), the primary coarse metric on
+//!   rank-insensitive signatures: `m` minus the intersection cardinality.
+//! * [`weight_distance`] — WD (Definition 11), the decay-weighted tie-break
+//!   metric between a rank-sensitive signature and a rank-insensitive
+//!   centroid.
+//! * [`spearman_footrule`] / [`kendall_tau`] — the classic rank-correlation
+//!   distances the PPP literature uses (§IV-A challenge 3 explains why they
+//!   do not fit the dual representation; they are provided for baselines and
+//!   ablations).
+
+use crate::decay::DecayFunction;
+use crate::signature::{RankInsensitive, RankSensitive};
+
+/// Overlap Distance (Definition 7): `OD(X, Y) = m − |P4↛_X ∩ P4↛_Y|`.
+/// Lies in `[0, m]`; `m` means zero shared pivots.
+///
+/// # Panics
+/// If the signatures have different lengths (Def. 7 requires equal `m`).
+pub fn overlap_distance(a: &RankInsensitive, b: &RankInsensitive) -> usize {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "overlap distance requires equal-length signatures"
+    );
+    let m = a.len();
+    m - intersection_size(&a.0, &b.0)
+}
+
+/// Intersection size of two sorted id slices (linear merge).
+fn intersection_size(a: &[u16], b: &[u16]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut hits = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                hits += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    hits
+}
+
+/// Weight Distance (Definition 11) between a rank-sensitive signature and a
+/// rank-insensitive centroid:
+/// `WD(X, o) = TW(X) − Σ_i W(pivot_i) · 1[pivot_i ∈ P4↛_o]`.
+///
+/// Lower is better: the more of X's pivots present in the centroid — and the
+/// nearer to the front they sit — the smaller the distance.
+pub fn weight_distance(
+    x: &RankSensitive,
+    centroid: &RankInsensitive,
+    decay: DecayFunction,
+) -> f64 {
+    let m = x.len();
+    assert!(m > 0, "weight distance of an empty signature");
+    let total = decay.total_weight(m);
+    let mut captured = 0.0;
+    for (idx, &pid) in x.0.iter().enumerate() {
+        if centroid.contains(pid) {
+            captured += decay.weight(idx + 1, m);
+        }
+    }
+    total - captured
+}
+
+/// Spearman's footrule distance between two rank-sensitive signatures over
+/// the same id universe: `Σ |rank_a(p) − rank_b(p)|`.
+///
+/// Ids present in only one signature are assigned the "just past the end"
+/// rank `m` (the standard induced-footrule convention for top-m lists).
+pub fn spearman_footrule(a: &RankSensitive, b: &RankSensitive) -> usize {
+    assert_eq!(a.len(), b.len(), "footrule requires equal-length signatures");
+    let m = a.len();
+    let rank_in = |sig: &RankSensitive, id: u16| -> usize {
+        sig.0.iter().position(|&p| p == id).unwrap_or(m)
+    };
+    let mut ids: Vec<u16> = a.0.iter().chain(b.0.iter()).copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .map(|id| {
+            let ra = rank_in(a, id);
+            let rb = rank_in(b, id);
+            ra.abs_diff(rb)
+        })
+        .sum()
+}
+
+/// Kendall's τ distance (number of discordant pairs) between two
+/// rank-sensitive signatures, again with absent ids ranked `m`
+/// (the induced top-m Kendall distance).
+pub fn kendall_tau(a: &RankSensitive, b: &RankSensitive) -> usize {
+    assert_eq!(a.len(), b.len(), "kendall tau requires equal-length signatures");
+    let m = a.len();
+    let rank_in = |sig: &RankSensitive, id: u16| -> usize {
+        sig.0.iter().position(|&p| p == id).unwrap_or(m)
+    };
+    let mut ids: Vec<u16> = a.0.iter().chain(b.0.iter()).copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut discordant = 0;
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let (pa, pb) = (rank_in(a, ids[i]), rank_in(a, ids[j]));
+            let (qa, qb) = (rank_in(b, ids[i]), rank_in(b, ids[j]));
+            // Pair is discordant when the two lists order it oppositely.
+            // Ties (both absent → both rank m) are never discordant.
+            let ord_a = pa.cmp(&pb);
+            let ord_b = qa.cmp(&qb);
+            if ord_a != std::cmp::Ordering::Equal
+                && ord_b != std::cmp::Ordering::Equal
+                && ord_a != ord_b
+            {
+                discordant += 1;
+            }
+        }
+    }
+    discordant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(ids: &[u16]) -> RankInsensitive {
+        let mut v = ids.to_vec();
+        v.sort_unstable();
+        RankInsensitive(v)
+    }
+
+    #[test]
+    fn paper_od_example() {
+        // "assume P4↛_X = <1,3,6,8> and P4↛_Y = <2,3,4,6>, then
+        //  OD(X,Y) = 4 − 2 = 2."
+        let x = ri(&[1, 3, 6, 8]);
+        let y = ri(&[2, 3, 4, 6]);
+        assert_eq!(overlap_distance(&x, &y), 2);
+    }
+
+    #[test]
+    fn od_identical_signatures_is_zero() {
+        let x = ri(&[5, 9, 11]);
+        assert_eq!(overlap_distance(&x, &x), 0);
+    }
+
+    #[test]
+    fn od_disjoint_signatures_is_m() {
+        let x = ri(&[1, 2, 3]);
+        let y = ri(&[4, 5, 6]);
+        assert_eq!(overlap_distance(&x, &y), 3);
+    }
+
+    #[test]
+    fn od_is_symmetric() {
+        let x = ri(&[1, 4, 7, 9]);
+        let y = ri(&[2, 4, 9, 12]);
+        assert_eq!(overlap_distance(&x, &y), overlap_distance(&y, &x));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn od_length_mismatch_panics() {
+        overlap_distance(&ri(&[1]), &ri(&[1, 2]));
+    }
+
+    #[test]
+    fn example1_weight_distances() {
+        // Example 1 of the paper, object Y: P4→_Y = <4,2,1>,
+        // centroids o1 = <1,2,3>, o2 = <2,4,5>, exponential λ=1/2.
+        // W(4)=1.0, W(2)=0.5, W(1)=0.25, TW = 1.75.
+        // WD(Y,o1) = 1.75 − (W(1)+W(2)) = 1.0
+        // WD(Y,o2) = 1.75 − (W(4)+W(2)) = 0.25
+        let y = RankSensitive(vec![4, 2, 1]);
+        let o1 = ri(&[1, 2, 3]);
+        let o2 = ri(&[2, 4, 5]);
+        let d = DecayFunction::DEFAULT;
+        assert!((weight_distance(&y, &o1, d) - 1.0).abs() < 1e-12);
+        assert!((weight_distance(&y, &o2, d) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_object_z_ties() {
+        // Object Z: P4→_Z = <6,2,7> ties on both centroids:
+        // WD(Z,o1) = 1.75 − W(2) = 1.25 = WD(Z,o2).
+        let z = RankSensitive(vec![6, 2, 7]);
+        let o1 = ri(&[1, 2, 3]);
+        let o2 = ri(&[2, 4, 5]);
+        let d = DecayFunction::DEFAULT;
+        let d1 = weight_distance(&z, &o1, d);
+        let d2 = weight_distance(&z, &o2, d);
+        assert!((d1 - 1.25).abs() < 1e-12);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn wd_full_overlap_is_zero() {
+        let x = RankSensitive(vec![3, 1, 2]);
+        let c = ri(&[1, 2, 3]);
+        assert!(weight_distance(&x, &c, DecayFunction::DEFAULT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wd_no_overlap_is_total_weight() {
+        let x = RankSensitive(vec![7, 8, 9]);
+        let c = ri(&[1, 2, 3]);
+        let d = DecayFunction::DEFAULT;
+        assert!((weight_distance(&x, &c, d) - d.total_weight(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wd_prefers_front_matches() {
+        // Matching the FIRST pivot beats matching the LAST.
+        let front = RankSensitive(vec![1, 8, 9]);
+        let back = RankSensitive(vec![8, 9, 1]);
+        let c = ri(&[1, 5, 6]);
+        let d = DecayFunction::DEFAULT;
+        assert!(weight_distance(&front, &c, d) < weight_distance(&back, &c, d));
+    }
+
+    #[test]
+    fn footrule_identical_is_zero() {
+        let a = RankSensitive(vec![1, 2, 3]);
+        assert_eq!(spearman_footrule(&a, &a), 0);
+    }
+
+    #[test]
+    fn footrule_swap_costs_two() {
+        let a = RankSensitive(vec![1, 2, 3]);
+        let b = RankSensitive(vec![2, 1, 3]);
+        assert_eq!(spearman_footrule(&a, &b), 2);
+    }
+
+    #[test]
+    fn footrule_disjoint_lists() {
+        // Each of the 6 ids moves |rank − m| in one direction:
+        // ranks 0,1,2 vs absent (3) → 3+2+1 per list = 12 total.
+        let a = RankSensitive(vec![1, 2, 3]);
+        let b = RankSensitive(vec![4, 5, 6]);
+        assert_eq!(spearman_footrule(&a, &b), 12);
+    }
+
+    #[test]
+    fn kendall_identical_is_zero() {
+        let a = RankSensitive(vec![4, 2, 9]);
+        assert_eq!(kendall_tau(&a, &a), 0);
+    }
+
+    #[test]
+    fn kendall_adjacent_swap_is_one() {
+        let a = RankSensitive(vec![1, 2, 3]);
+        let b = RankSensitive(vec![2, 1, 3]);
+        assert_eq!(kendall_tau(&a, &b), 1);
+    }
+
+    #[test]
+    fn kendall_reversal_is_max() {
+        let a = RankSensitive(vec![1, 2, 3]);
+        let b = RankSensitive(vec![3, 2, 1]);
+        assert_eq!(kendall_tau(&a, &b), 3); // C(3,2) pairs all discordant
+    }
+
+    #[test]
+    fn rank_insensitive_pairs_have_zero_od_but_nonzero_footrule() {
+        // The motivating case for the dual representation: permuted prefixes
+        // are identical under OD but different under rank metrics.
+        let x = RankSensitive(vec![1, 4, 2]);
+        let y = RankSensitive(vec![4, 1, 2]);
+        assert_eq!(
+            overlap_distance(&x.to_insensitive(), &y.to_insensitive()),
+            0
+        );
+        assert!(spearman_footrule(&x, &y) > 0);
+        assert!(kendall_tau(&x, &y) > 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The P4 dual signature (Definition 6).
+//!
+//! `P4→` (rank-sensitive) is the Pivot Permutation Prefix of a series' PAA
+//! signature; `P4↛` (rank-insensitive) is the same id set in lexicographic
+//! (ascending id) order. Figure 4 of the paper: two nearby points X and Y
+//! may have `P4→` `<1,4,2>` vs `<4,1,2>` yet share `P4↛` `<1,2,4>` — the
+//! insensitive form gives the coarse (group) granularity, the sensitive form
+//! the fine (partition) granularity.
+
+use crate::permutation::pivot_permutation_prefix;
+use crate::pivots::{PivotId, PivotSet};
+use climber_repr::paa::paa;
+
+/// Rank-sensitive signature `P4→`: pivot ids ascending by distance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RankSensitive(pub Vec<PivotId>);
+
+/// Rank-insensitive signature `P4↛`: the same ids ascending by id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RankInsensitive(pub Vec<PivotId>);
+
+impl RankSensitive {
+    /// Prefix length `m`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Derives the rank-insensitive form (Definition 6's
+    /// `LexicographicalOrder(P4→)`).
+    pub fn to_insensitive(&self) -> RankInsensitive {
+        let mut ids = self.0.clone();
+        ids.sort_unstable();
+        RankInsensitive(ids)
+    }
+}
+
+impl RankInsensitive {
+    /// Prefix length `m`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True when `id` is one of the signature's pivots (binary search; the
+    /// ids are sorted by construction).
+    #[inline]
+    pub fn contains(&self, id: PivotId) -> bool {
+        self.0.binary_search(&id).is_ok()
+    }
+}
+
+/// The P4 dual signature of one data series (Definition 6).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DualSignature {
+    /// Rank-sensitive `P4→`.
+    pub sensitive: RankSensitive,
+    /// Rank-insensitive `P4↛`.
+    pub insensitive: RankInsensitive,
+}
+
+impl DualSignature {
+    /// Builds the dual signature from an explicit rank-sensitive prefix.
+    pub fn from_sensitive(sensitive: RankSensitive) -> Self {
+        let insensitive = sensitive.to_insensitive();
+        Self {
+            sensitive,
+            insensitive,
+        }
+    }
+
+    /// Extracts the dual signature of a raw series: PAA with `w` segments,
+    /// then the `m`-nearest-pivot prefix (the full CLIMBER-FX pipeline of
+    /// §IV-B applied to one object).
+    pub fn extract(values: &[f32], pivots: &PivotSet, w: usize, m: usize) -> Self {
+        let p = paa(values, w);
+        Self::extract_from_paa(&p, pivots, m)
+    }
+
+    /// Extracts the dual signature from a precomputed PAA signature.
+    pub fn extract_from_paa(paa_sig: &[f64], pivots: &PivotSet, m: usize) -> Self {
+        let prefix = pivot_permutation_prefix(pivots, paa_sig, m);
+        Self::from_sensitive(RankSensitive(prefix))
+    }
+
+    /// Prefix length `m`.
+    pub fn len(&self) -> usize {
+        self.sensitive.len()
+    }
+
+    /// True when the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sensitive.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_example() {
+        // Figure 4: P4→_X = <1,4,2>, P4→_Y = <4,1,2>; both share
+        // P4↛ = <1,2,4>. (Pivot "ids" in the figure are 1-based labels;
+        // the code is 0-based but the structure is identical.)
+        let x = DualSignature::from_sensitive(RankSensitive(vec![1, 4, 2]));
+        let y = DualSignature::from_sensitive(RankSensitive(vec![4, 1, 2]));
+        assert_ne!(x.sensitive, y.sensitive);
+        assert_eq!(x.insensitive, y.insensitive);
+        assert_eq!(x.insensitive.0, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn insensitive_is_sorted() {
+        let s = DualSignature::from_sensitive(RankSensitive(vec![9, 3, 7, 1]));
+        assert_eq!(s.insensitive.0, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn contains_uses_sorted_ids() {
+        let s = DualSignature::from_sensitive(RankSensitive(vec![5, 2, 8]));
+        assert!(s.insensitive.contains(5));
+        assert!(s.insensitive.contains(2));
+        assert!(!s.insensitive.contains(3));
+    }
+
+    #[test]
+    fn extract_pipeline_end_to_end() {
+        // Pivots on a line in 2-segment PAA space; series chosen so its PAA
+        // is [0, 10] — nearest pivot must be the one at [0,10].
+        let pivots = PivotSet::from_points(vec![
+            vec![0.0, 10.0],
+            vec![50.0, 50.0],
+            vec![0.0, 0.0],
+            vec![10.0, 10.0],
+        ]);
+        let series: Vec<f32> = vec![0.0, 0.0, 10.0, 10.0];
+        let sig = DualSignature::extract(&series, &pivots, 2, 3);
+        assert_eq!(sig.sensitive.0[0], 0, "nearest pivot is [0,10]");
+        assert_eq!(sig.len(), 3);
+        // insensitive = sorted sensitive
+        let mut sorted = sig.sensitive.0.clone();
+        sorted.sort_unstable();
+        assert_eq!(sig.insensitive.0, sorted);
+    }
+
+    #[test]
+    fn duplicate_free_prefix() {
+        let pivots = PivotSet::from_points((0..20).map(|i| vec![i as f64]).collect());
+        let sig = DualSignature::extract_from_paa(&[7.3], &pivots, 10);
+        let mut ids = sig.sensitive.0.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "prefix must not repeat pivots");
+    }
+}

@@ -1,0 +1,213 @@
+//! The query engine: one object tying skeleton + store + the three search
+//! strategies together.
+
+use crate::adaptive::plan_adaptive;
+use crate::knn::plan_knn;
+use crate::od_smallest::plan_od_smallest;
+use crate::plan::QueryOutcome;
+use crate::refine::refine;
+use climber_dfs::store::PartitionStore;
+use climber_index::skeleton::IndexSkeleton;
+
+/// Executes kNN queries against a built CLIMBER index.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnEngine<'a, S: PartitionStore> {
+    skeleton: &'a IndexSkeleton,
+    store: &'a S,
+}
+
+impl<'a, S: PartitionStore> KnnEngine<'a, S> {
+    /// Creates an engine over a skeleton and its partition store.
+    pub fn new(skeleton: &'a IndexSkeleton, store: &'a S) -> Self {
+        Self { skeleton, store }
+    }
+
+    /// The skeleton in use.
+    pub fn skeleton(&self) -> &IndexSkeleton {
+        self.skeleton
+    }
+
+    /// CLIMBER-kNN (Algorithm 3): single best trie node, within-partition
+    /// expansion when short of `k`.
+    pub fn knn(&self, query: &[f32], k: usize) -> QueryOutcome {
+        let sig = self.skeleton.extract_signature(query);
+        let plan = plan_knn(self.skeleton, &sig, query_seed(query));
+        refine(self.store, &plan, query, k, true)
+    }
+
+    /// CLIMBER-kNN-Adaptive with partition cap `factor ×` the plain plan
+    /// (2 = Adaptive-2X, 4 = Adaptive-4X).
+    pub fn knn_adaptive(&self, query: &[f32], k: usize, factor: usize) -> QueryOutcome {
+        let sig = self.skeleton.extract_signature(query);
+        let plan = plan_adaptive(self.skeleton, &sig, k, factor, query_seed(query));
+        refine(self.store, &plan, query, k, true)
+    }
+
+    /// OD-Smallest: scan every partition of every OD-tied group
+    /// (the Figure 11(b) ablation baseline).
+    pub fn od_smallest(&self, query: &[f32], k: usize) -> QueryOutcome {
+        let sig = self.skeleton.extract_signature(query);
+        let plan = plan_od_smallest(self.skeleton, &sig);
+        refine(self.store, &plan, query, k, false)
+    }
+}
+
+/// Deterministic per-query seed for tie-breaks: hash of the query bytes.
+fn query_seed(query: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in query {
+        h ^= v.to_bits() as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_dfs::store::MemStore;
+    use climber_index::builder::IndexBuilder;
+    use climber_index::config::IndexConfig;
+    use climber_series::gen::{query_workload, Domain};
+    use climber_series::ground_truth::exact_knn;
+    use climber_series::recall::recall_of_results;
+
+    fn build(
+        domain: Domain,
+        n: usize,
+    ) -> (IndexSkeleton, MemStore, climber_series::dataset::Dataset) {
+        let ds = domain.generate(n, 47);
+        let store = MemStore::new();
+        let cfg = IndexConfig::default()
+            .with_paa_segments(8)
+            .with_pivots(48)
+            .with_prefix_len(6)
+            .with_capacity(80)
+            .with_alpha(0.4)
+            .with_epsilon(1)
+            .with_seed(21)
+            .with_workers(2);
+        let (skeleton, _) = IndexBuilder::new(cfg).build(&ds, &store);
+        (skeleton, store, ds)
+    }
+
+    #[test]
+    fn self_queries_find_themselves() {
+        let (skeleton, store, ds) = build(Domain::RandomWalk, 400);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let mut found = 0;
+        for qid in query_workload(&ds, 20, 1) {
+            let out = engine.knn(ds.get(qid), 10);
+            if out.results.iter().any(|&(id, d)| id == qid && d == 0.0) {
+                found += 1;
+            }
+        }
+        // The query IS an indexed record; CLIMBER's plan covers the node
+        // the record was placed under whenever the primary group matches,
+        // which is the overwhelming majority of self-queries.
+        assert!(found >= 16, "only {found}/20 self-queries found themselves");
+    }
+
+    #[test]
+    fn knn_returns_k_results_sorted() {
+        let (skeleton, store, ds) = build(Domain::Eeg, 300);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let out = engine.knn(ds.get(5), 25);
+        assert_eq!(out.results.len(), 25);
+        for w in out.results.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn recall_beats_random_partition_guessing() {
+        let (skeleton, store, ds) = build(Domain::TexMex, 500);
+        let engine = KnnEngine::new(&skeleton, &store);
+        // k small relative to n: at 500 records the 20th "neighbour" is
+        // already nearly random, so probe the regime the index is for.
+        let k = 5;
+        let mut total = 0.0;
+        let mut scanned = 0u64;
+        let queries = query_workload(&ds, 15, 2);
+        for &qid in &queries {
+            let out = engine.knn_adaptive(ds.get(qid), k, 4);
+            let exact = exact_knn(&ds, ds.get(qid), k);
+            total += recall_of_results(&out.results, &exact);
+            scanned += out.records_scanned;
+        }
+        let mean = total / queries.len() as f64;
+        let frac = scanned as f64 / (queries.len() as f64 * 500.0);
+        // Clustered SIFT-like data is CLIMBER's best case: recall must be
+        // well above the fraction of data actually scanned.
+        assert!(mean > 0.45, "mean recall {mean:.3} too low");
+        assert!(
+            mean > 1.5 * frac,
+            "no locality lift: recall {mean:.3} vs scanned {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn adaptive_recall_at_least_knn_recall_on_average() {
+        let (skeleton, store, ds) = build(Domain::RandomWalk, 500);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let k = 120; // larger than most trie nodes → adaptive should help
+        let queries = query_workload(&ds, 12, 3);
+        let (mut r_knn, mut r_adp) = (0.0, 0.0);
+        for &qid in &queries {
+            let exact = exact_knn(&ds, ds.get(qid), k);
+            r_knn += recall_of_results(&engine.knn(ds.get(qid), k).results, &exact);
+            r_adp +=
+                recall_of_results(&engine.knn_adaptive(ds.get(qid), k, 4).results, &exact);
+        }
+        assert!(
+            r_adp >= r_knn - 1e-9,
+            "adaptive {} worse than knn {}",
+            r_adp,
+            r_knn
+        );
+    }
+
+    #[test]
+    fn od_smallest_reads_most_and_recalls_most() {
+        let (skeleton, store, ds) = build(Domain::Dna, 400);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let k = 50;
+        let queries = query_workload(&ds, 10, 4);
+        let (mut scan_knn, mut scan_ods) = (0u64, 0u64);
+        let (mut rec_knn, mut rec_ods) = (0.0, 0.0);
+        for &qid in &queries {
+            let exact = exact_knn(&ds, ds.get(qid), k);
+            let a = engine.knn(ds.get(qid), k);
+            let b = engine.od_smallest(ds.get(qid), k);
+            scan_knn += a.records_scanned;
+            scan_ods += b.records_scanned;
+            rec_knn += recall_of_results(&a.results, &exact);
+            rec_ods += recall_of_results(&b.results, &exact);
+        }
+        assert!(scan_ods >= scan_knn, "OD-Smallest must scan at least as much");
+        assert!(rec_ods >= rec_knn - 1e-9, "OD-Smallest must recall at least as much");
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let (skeleton, store, ds) = build(Domain::Eeg, 200);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let q = ds.get(9);
+        assert_eq!(engine.knn(q, 10), engine.knn(q, 10));
+        assert_eq!(
+            engine.knn_adaptive(q, 50, 2),
+            engine.knn_adaptive(q, 50, 2)
+        );
+    }
+
+    #[test]
+    fn works_after_skeleton_roundtrip() {
+        let (skeleton, store, ds) = build(Domain::RandomWalk, 200);
+        let restored = IndexSkeleton::from_bytes(&skeleton.to_bytes()).unwrap();
+        let engine = KnnEngine::new(&restored, &store);
+        let out = engine.knn(ds.get(3), 5);
+        assert_eq!(out.results.len(), 5);
+        let engine0 = KnnEngine::new(&skeleton, &store);
+        assert_eq!(out, engine0.knn(ds.get(3), 5));
+    }
+}

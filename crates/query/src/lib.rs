@@ -1,0 +1,27 @@
+//! # climber-query
+//!
+//! Query processing for CLIMBER (§VI).
+//!
+//! Three search strategies over the two-level index, all ending in the same
+//! record-level Euclidean refinement ([`refine`]):
+//!
+//! * [`knn`] — **CLIMBER-kNN** (Algorithm 3): navigate to the single best
+//!   matching trie node `GN` (OD → WD → longest-path → largest-size →
+//!   random tie-breaks) and read its partitions, expanding within already
+//!   opened partitions when the node holds fewer than `k` records;
+//! * [`adaptive`] — **CLIMBER-kNN-Adaptive**: memorises every OD-tied group
+//!   and the ancestors of their best trie nodes, expanding across
+//!   partitions until `k` candidates are covered, capped at `factor` times
+//!   the partitions CLIMBER-kNN would touch (the paper's 2X/4X variants);
+//! * [`od_smallest`] — the ablation baseline of Figure 11(b): scan *all*
+//!   partitions of every OD-tied group (stop at Algorithm 3 line 6).
+
+pub mod adaptive;
+pub mod engine;
+pub mod knn;
+pub mod od_smallest;
+pub mod plan;
+pub mod refine;
+
+pub use engine::KnnEngine;
+pub use plan::{QueryOutcome, QueryPlan};

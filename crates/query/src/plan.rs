@@ -1,0 +1,77 @@
+//! Query plans and outcomes.
+//!
+//! A plan is the output of the *global index search* (which partitions to
+//! open and which trie-node clusters to read inside them); an outcome is
+//! the result of executing it (the approximate answer set plus the access
+//! statistics the paper's experiments report).
+
+use climber_dfs::format::TrieNodeId;
+use climber_dfs::store::PartitionId;
+use climber_index::skeleton::GroupId;
+use climber_series::series::SeriesId;
+use std::collections::BTreeMap;
+
+/// The physical reads a query will perform.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryPlan {
+    /// The group Algorithm 3 settled on (primary group).
+    pub primary_group: GroupId,
+    /// Length of the trie path matched in the primary group
+    /// (`PathLen(GN)`).
+    pub primary_path_len: usize,
+    /// Estimated records under the primary trie node (`Size(GN)`).
+    pub primary_node_size: u64,
+    /// partition → trie-node clusters to read from it, sorted.
+    pub reads: BTreeMap<PartitionId, Vec<TrieNodeId>>,
+    /// Estimated candidate records covered by `reads`.
+    pub est_candidates: u64,
+    /// Groups that participated in the plan (primary first).
+    pub groups: Vec<GroupId>,
+}
+
+impl QueryPlan {
+    /// Number of distinct partitions the plan touches.
+    pub fn num_partitions(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Adds a cluster read, deduplicating.
+    pub fn add_read(&mut self, partition: PartitionId, node: TrieNodeId) {
+        let v = self.reads.entry(partition).or_default();
+        if !v.contains(&node) {
+            v.push(node);
+        }
+    }
+}
+
+/// The executed result of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Approximate answer set: `(series id, squared ED)`, ascending —
+    /// the same shape as `climber_series::exact_knn` for direct recall
+    /// computation.
+    pub results: Vec<(SeriesId, f64)>,
+    /// Distinct partitions opened.
+    pub partitions_opened: usize,
+    /// Records compared against the query.
+    pub records_scanned: u64,
+    /// The plan that produced this outcome.
+    pub plan: QueryPlan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_read_dedups() {
+        let mut p = QueryPlan::default();
+        p.add_read(1, 10);
+        p.add_read(1, 10);
+        p.add_read(1, 11);
+        p.add_read(2, 10);
+        assert_eq!(p.num_partitions(), 2);
+        assert_eq!(p.reads[&1], vec![10, 11]);
+        assert_eq!(p.reads[&2], vec![10]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Record-level ED refinement (§VI, "Localized Record-Level Similarity").
+//!
+//! Given a plan, load each partition's selected trie-node clusters (the
+//! partition header makes each cluster independently addressable), compare
+//! every record against the raw query with early-abandoning squared ED, and
+//! rank the top `k`.
+//!
+//! CLIMBER-kNN additionally "expands the search within the same partition"
+//! when the selected clusters hold fewer than `k` records: the remaining
+//! clusters of the already-opened partitions are read before giving up on
+//! `k` results — no extra partitions are touched.
+
+use crate::plan::{QueryOutcome, QueryPlan};
+use climber_dfs::store::PartitionStore;
+use climber_series::distance::ed_early_abandon;
+use climber_series::topk::TopK;
+
+/// Executes `plan` against `store`, returning the top-`k` records by
+/// squared ED.
+///
+/// `expand_within_partitions` enables the within-partition fallback
+/// described above (used by CLIMBER-kNN and the adaptive variants).
+pub fn refine<S: PartitionStore>(
+    store: &S,
+    plan: &QueryPlan,
+    query: &[f32],
+    k: usize,
+    expand_within_partitions: bool,
+) -> QueryOutcome {
+    assert!(k > 0, "k must be positive");
+    let mut top = TopK::new(k);
+    let mut records_scanned = 0u64;
+    let mut partitions_opened = 0usize;
+
+    // First pass: the planned clusters.
+    let mut openers: Vec<(u32, climber_dfs::format::PartitionReader)> = Vec::new();
+    for (&pid, clusters) in &plan.reads {
+        let Ok(reader) = store.open(pid) else {
+            continue; // partition vanished: treat as empty (fault tolerance)
+        };
+        partitions_opened += 1;
+        for &node in clusters {
+            let bytes = reader.cluster_bytes(node).unwrap_or(0);
+            let n = reader.for_each_in_cluster(node, |id, vals| {
+                if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
+                    top.offer(id, d);
+                }
+            });
+            store.stats().on_read(bytes as u64);
+            store.stats().on_records_read(n);
+            records_scanned += n;
+        }
+        openers.push((pid, reader));
+    }
+
+    // Within-partition expansion: read the clusters not in the plan from
+    // partitions that are already open.
+    if expand_within_partitions && top.len() < k {
+        for (pid, reader) in &openers {
+            let planned = &plan.reads[pid];
+            for node in reader.cluster_ids() {
+                if planned.contains(&node) {
+                    continue;
+                }
+                let bytes = reader.cluster_bytes(node).unwrap_or(0);
+                let n = reader.for_each_in_cluster(node, |id, vals| {
+                    if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
+                        top.offer(id, d);
+                    }
+                });
+                store.stats().on_read(bytes as u64);
+                store.stats().on_records_read(n);
+                records_scanned += n;
+            }
+            if top.len() >= k {
+                break;
+            }
+        }
+    }
+
+    QueryOutcome {
+        results: top.into_sorted(),
+        partitions_opened,
+        records_scanned,
+        plan: plan.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_dfs::format::PartitionWriter;
+    use climber_dfs::store::{MemStore, PartitionStore};
+    use climber_series::distance::sq_ed;
+
+    /// A store with one partition: cluster 1 = records 0..4 near zero,
+    /// cluster 2 = records 10..14 far away.
+    fn toy_store() -> MemStore {
+        let store = MemStore::new();
+        let mut w = PartitionWriter::new(0, 2);
+        let near: Vec<(u64, Vec<f32>)> =
+            (0..4).map(|i| (i, vec![i as f32 * 0.1, 0.0])).collect();
+        let far: Vec<(u64, Vec<f32>)> =
+            (10..14).map(|i| (i, vec![100.0 + i as f32, 100.0])).collect();
+        w.push_cluster(1, near.iter().map(|(id, v)| (*id, v.as_slice())));
+        w.push_cluster(2, far.iter().map(|(id, v)| (*id, v.as_slice())));
+        store.put(0, w.finish()).unwrap();
+        store
+    }
+
+    fn plan_for(clusters: &[u64]) -> QueryPlan {
+        let mut p = QueryPlan::default();
+        for &c in clusters {
+            p.add_read(0, c);
+        }
+        p
+    }
+
+    #[test]
+    fn refine_ranks_by_distance() {
+        let store = toy_store();
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false);
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.results[0].0, 0);
+        assert_eq!(out.results[1].0, 1);
+        assert!((out.results[1].1 - sq_ed(&[0.0, 0.0], &[0.1, 0.0])).abs() < 1e-9);
+        assert_eq!(out.records_scanned, 4);
+        assert_eq!(out.partitions_opened, 1);
+    }
+
+    #[test]
+    fn expansion_fires_only_when_short_of_k() {
+        let store = toy_store();
+        // k=6 > 4 records in cluster 1 → expansion reads cluster 2 too.
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, true);
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(out.records_scanned, 8);
+        // without expansion we stop at 4
+        let out2 = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, false);
+        assert_eq!(out2.results.len(), 4);
+    }
+
+    #[test]
+    fn expansion_not_used_when_k_satisfied() {
+        let store = toy_store();
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 3, true);
+        assert_eq!(out.records_scanned, 4, "must not touch cluster 2");
+    }
+
+    #[test]
+    fn missing_partition_is_tolerated() {
+        let store = toy_store();
+        let mut p = plan_for(&[1]);
+        p.add_read(99, 1); // nonexistent partition
+        let out = refine(&store, &p, &[0.0, 0.0], 2, false);
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn missing_cluster_is_tolerated() {
+        let store = toy_store();
+        let out = refine(&store, &plan_for(&[42]), &[0.0, 0.0], 2, false);
+        assert!(out.results.is_empty());
+        assert_eq!(out.records_scanned, 0);
+    }
+
+    #[test]
+    fn results_are_squared_distances_sorted() {
+        let store = toy_store();
+        let out = refine(&store, &plan_for(&[1, 2]), &[0.0, 0.0], 8, false);
+        for w in out.results.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(out.results.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let store = toy_store();
+        refine(&store, &plan_for(&[1]), &[0.0, 0.0], 0, false);
+    }
+}

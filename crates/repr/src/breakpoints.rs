@@ -1,0 +1,203 @@
+//! Gaussian breakpoints for SAX/iSAX quantisation.
+//!
+//! SAX divides the value axis into `c` stripes that are equiprobable under
+//! N(0, 1) (data series are z-normalised first). The stripe boundaries are
+//! the `(i/c)`-quantiles of the standard normal, `i = 1..c-1`. The paper's
+//! Figure 1 uses `c = 8`, whose boundaries include ±1.15 and -0.31/0 as
+//! mentioned in §III-B.
+//!
+//! The quantiles are computed once per cardinality with the Acklam inverse
+//! normal CDF approximation (|relative error| < 1.15e-9, far below the
+//! f32 resolution of the data), and cached.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::sync::Mutex;
+
+/// Maximum supported cardinality exponent (cardinality `2^MAX_CARD_BITS`).
+pub const MAX_CARD_BITS: u8 = 16;
+
+/// Returns the `c - 1` breakpoints dividing N(0,1) into `c` equiprobable
+/// stripes, ascending. `c` must be a power of two between 2 and 2^16.
+pub fn breakpoints(cardinality: u32) -> &'static [f64] {
+    assert!(
+        cardinality.is_power_of_two() && cardinality >= 2,
+        "cardinality must be a power of two >= 2, got {cardinality}"
+    );
+    assert!(
+        cardinality.trailing_zeros() <= MAX_CARD_BITS as u32,
+        "cardinality {cardinality} exceeds 2^{MAX_CARD_BITS}"
+    );
+    static CACHE: OnceLock<Mutex<HashMap<u32, &'static [f64]>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("breakpoint cache poisoned");
+    if let Some(&bps) = guard.get(&cardinality) {
+        return bps;
+    }
+    let v: Vec<f64> = (1..cardinality)
+        .map(|i| inv_norm_cdf(i as f64 / cardinality as f64))
+        .collect();
+    let leaked: &'static [f64] = Box::leak(v.into_boxed_slice());
+    guard.insert(cardinality, leaked);
+    leaked
+}
+
+/// Maps a value to its stripe index (the SAX symbol) under `cardinality`.
+/// Stripe 0 is the lowest stripe; stripe `c-1` the highest.
+#[inline]
+pub fn symbol_for(value: f64, cardinality: u32) -> u16 {
+    let bps = breakpoints(cardinality);
+    // binary search: number of breakpoints <= value
+    bps.partition_point(|&b| b <= value) as u16
+}
+
+/// Acklam's rational approximation of the inverse standard-normal CDF.
+///
+/// Peter Acklam, "An algorithm for computing the inverse normal cumulative
+/// distribution function" (2003). Max relative error ~1.15e-9 over (0, 1).
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inverse CDF defined on (0,1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_two_has_single_zero_breakpoint() {
+        let bps = breakpoints(2);
+        assert_eq!(bps.len(), 1);
+        assert!(bps[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn cardinality_eight_matches_known_table() {
+        // Standard SAX table for c=8 (e.g. Lin et al. 2007):
+        // [-1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15]
+        let bps = breakpoints(8);
+        let want = [-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15];
+        assert_eq!(bps.len(), 7);
+        for (g, w) in bps.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 0.01, "{bps:?}");
+        }
+    }
+
+    #[test]
+    fn breakpoints_are_strictly_increasing_and_symmetric() {
+        for card in [2u32, 4, 8, 16, 32, 64, 256] {
+            let bps = breakpoints(card);
+            for w in bps.windows(2) {
+                assert!(w[0] < w[1], "card {card}: {bps:?}");
+            }
+            // Gaussian symmetry: b_i == -b_{c-2-i}
+            let m = bps.len();
+            for i in 0..m {
+                assert!(
+                    (bps[i] + bps[m - 1 - i]).abs() < 1e-9,
+                    "card {card} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        breakpoints(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cardinality_one_rejected() {
+        breakpoints(1);
+    }
+
+    #[test]
+    fn symbol_for_assigns_stripes() {
+        // c=4 breakpoints are approx [-0.674, 0, 0.674].
+        assert_eq!(symbol_for(-2.0, 4), 0);
+        assert_eq!(symbol_for(-0.3, 4), 1);
+        assert_eq!(symbol_for(0.3, 4), 2);
+        assert_eq!(symbol_for(2.0, 4), 3);
+    }
+
+    #[test]
+    fn symbol_boundaries_are_inclusive_upwards() {
+        // A value exactly on a breakpoint belongs to the upper stripe
+        // (partition_point with <=).
+        assert_eq!(symbol_for(0.0, 4), 2);
+    }
+
+    #[test]
+    fn inv_norm_cdf_known_quantiles() {
+        assert!(inv_norm_cdf(0.5).abs() < 1e-12);
+        assert!((inv_norm_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inv_norm_cdf(0.025) + 1.959964).abs() < 1e-5);
+        assert!((inv_norm_cdf(0.8413447) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inv_norm_cdf_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let v = inv_norm_cdf(i as f64 / 1000.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse CDF")]
+    fn inv_norm_cdf_rejects_zero() {
+        inv_norm_cdf(0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! iSAX words: SAX with *per-segment* cardinality (§III-B, Figure 1(b)).
+//!
+//! An iSAX symbol keeps only a prefix of the full-cardinality SAX bits, so
+//! different segments can be represented at different resolutions. This is
+//! the representation indexed by iSAX trees, DPiSAX and TARDIS. Key
+//! operations: reducing/promoting bit widths, prefix containment (does a
+//! coarse node cover a fine word?), and the `mindist` lower bound on
+//! Euclidean distance used for exact search pruning.
+
+use crate::breakpoints::breakpoints;
+use crate::paa::paa;
+use crate::sax::sax_from_paa;
+
+/// Maximum bits per segment supported by [`ISaxWord::from_series`].
+pub const MAX_BITS: u8 = 10;
+
+/// One iSAX segment: the top `bits` bits of the full-resolution SAX symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ISaxSymbol {
+    /// Symbol value in `[0, 2^bits)`.
+    pub symbol: u16,
+    /// Number of bits retained for this segment (>= 1).
+    pub bits: u8,
+}
+
+impl ISaxSymbol {
+    /// Creates a symbol, checking the value fits the bit width.
+    pub fn new(symbol: u16, bits: u8) -> Self {
+        assert!(bits >= 1 && bits <= MAX_BITS, "bits out of range: {bits}");
+        assert!(
+            (symbol as u32) < (1u32 << bits),
+            "symbol {symbol} does not fit in {bits} bits"
+        );
+        Self { symbol, bits }
+    }
+
+    /// Cardinality `2^bits` of this segment.
+    #[inline]
+    pub fn cardinality(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Drops precision to `bits` (keeps the high bits).
+    pub fn reduce_to(&self, bits: u8) -> Self {
+        assert!(
+            bits >= 1 && bits <= self.bits,
+            "cannot reduce {} bits to {bits}",
+            self.bits
+        );
+        Self {
+            symbol: self.symbol >> (self.bits - bits),
+            bits,
+        }
+    }
+
+    /// True when `self` (coarse) covers `other` (equal or finer resolution):
+    /// the high bits of `other` equal `self`.
+    pub fn covers(&self, other: &ISaxSymbol) -> bool {
+        other.bits >= self.bits && other.reduce_to(self.bits).symbol == self.symbol
+    }
+
+    /// The value interval `[lo, hi)` of this symbol's stripe under its own
+    /// cardinality; `lo`/`hi` are `-inf`/`+inf` at the extremes.
+    pub fn stripe_bounds(&self) -> (f64, f64) {
+        let bps = breakpoints(self.cardinality());
+        let s = self.symbol as usize;
+        let lo = if s == 0 { f64::NEG_INFINITY } else { bps[s - 1] };
+        let hi = if s == bps.len() { f64::INFINITY } else { bps[s] };
+        (lo, hi)
+    }
+}
+
+/// An iSAX word: one [`ISaxSymbol`] per PAA segment, possibly at different
+/// resolutions (Figure 1(b)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ISaxWord {
+    /// Per-segment symbols.
+    pub symbols: Vec<ISaxSymbol>,
+}
+
+impl ISaxWord {
+    /// Builds the word of a (z-normalised) series: `segments` segments, all
+    /// at `bits` bits.
+    pub fn from_series(values: &[f32], segments: usize, bits: u8) -> Self {
+        let p = paa(values, segments);
+        Self::from_paa(&p, bits)
+    }
+
+    /// Builds the word from a PAA signature, all segments at `bits` bits.
+    pub fn from_paa(paa_sig: &[f64], bits: u8) -> Self {
+        assert!(bits >= 1 && bits <= MAX_BITS, "bits out of range: {bits}");
+        let sax = sax_from_paa(paa_sig, 1u32 << bits);
+        Self {
+            symbols: sax
+                .symbols
+                .into_iter()
+                .map(|s| ISaxSymbol { symbol: s, bits })
+                .collect(),
+        }
+    }
+
+    /// Word length `w`.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True for an empty word.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Reduces every segment to the per-segment widths in `bits`.
+    pub fn reduce(&self, bits: &[u8]) -> Self {
+        assert_eq!(bits.len(), self.symbols.len(), "width list length mismatch");
+        Self {
+            symbols: self
+                .symbols
+                .iter()
+                .zip(bits.iter())
+                .map(|(s, &b)| s.reduce_to(b))
+                .collect(),
+        }
+    }
+
+    /// True when every segment of `self` covers the corresponding segment of
+    /// `other` — i.e. `other` lies in the subtree labelled `self`.
+    pub fn covers(&self, other: &ISaxWord) -> bool {
+        self.symbols.len() == other.symbols.len()
+            && self
+                .symbols
+                .iter()
+                .zip(other.symbols.iter())
+                .all(|(a, b)| a.covers(b))
+    }
+
+    /// The classic iSAX `mindist` lower bound between a query PAA signature
+    /// and *any* series whose word is covered by `self`.
+    ///
+    /// `n` is the original series length. Guaranteed `<= ED(query, series)`.
+    pub fn mindist(&self, query_paa: &[f64], n: usize) -> f64 {
+        assert_eq!(
+            query_paa.len(),
+            self.symbols.len(),
+            "query PAA length must equal word length"
+        );
+        let w = self.symbols.len();
+        let mut sum = 0.0f64;
+        for (sym, &q) in self.symbols.iter().zip(query_paa.iter()) {
+            let (lo, hi) = sym.stripe_bounds();
+            let d = if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            };
+            sum += d * d;
+        }
+        ((n as f64 / w as f64) * sum).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_series::distance::ed;
+    use climber_series::gen::{Domain, SeriesGenerator, RandomWalkGenerator};
+    use climber_series::znorm::znormalize;
+
+    #[test]
+    fn paper_figure1b_mixed_cardinalities() {
+        // Figure 1(b): iSAX = [00, 010, 10, 1] — 2, 3, 2, 1 bits.
+        // Build the full-resolution word for means in stripes 0,2,5,7 (c=8)
+        // then reduce to the figure's widths.
+        let x: Vec<f32> = [-1.5f32, -0.5, 0.5, 1.5]
+            .iter()
+            .flat_map(|&m| [m - 0.05, m, m + 0.05])
+            .collect();
+        let w = ISaxWord::from_series(&x, 4, 3);
+        let reduced = w.reduce(&[2, 3, 2, 1]);
+        let syms: Vec<(u16, u8)> = reduced.symbols.iter().map(|s| (s.symbol, s.bits)).collect();
+        // 000→00, 010→010, 101→10, 111→1
+        assert_eq!(syms, vec![(0b00, 2), (0b010, 3), (0b10, 2), (0b1, 1)]);
+    }
+
+    #[test]
+    fn coarse_word_covers_fine_word() {
+        let x: Vec<f32> = znormalize(&(0..64).map(|i| (i as f32).sin()).collect::<Vec<_>>());
+        let fine = ISaxWord::from_series(&x, 8, 8);
+        let coarse = fine.reduce(&[3; 8]);
+        assert!(coarse.covers(&fine));
+        assert!(!fine.covers(&coarse));
+    }
+
+    #[test]
+    fn covers_is_reflexive() {
+        let x: Vec<f32> = znormalize(&(0..32).map(|i| i as f32).collect::<Vec<_>>());
+        let w = ISaxWord::from_series(&x, 4, 4);
+        assert!(w.covers(&w));
+    }
+
+    #[test]
+    fn sibling_words_do_not_cover() {
+        let a = ISaxWord {
+            symbols: vec![ISaxSymbol::new(0, 1)],
+        };
+        let b = ISaxWord {
+            symbols: vec![ISaxSymbol::new(1, 1)],
+        };
+        assert!(!a.covers(&b));
+        assert!(!b.covers(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn symbol_must_fit_bits() {
+        ISaxSymbol::new(4, 2);
+    }
+
+    #[test]
+    fn stripe_bounds_extremes_are_infinite() {
+        let lo_sym = ISaxSymbol::new(0, 3);
+        let hi_sym = ISaxSymbol::new(7, 3);
+        assert_eq!(lo_sym.stripe_bounds().0, f64::NEG_INFINITY);
+        assert_eq!(hi_sym.stripe_bounds().1, f64::INFINITY);
+    }
+
+    #[test]
+    fn mindist_is_zero_for_own_word() {
+        let x: Vec<f32> = znormalize(&(0..64).map(|i| ((i * i) % 17) as f32).collect::<Vec<_>>());
+        let p = crate::paa::paa(&x, 8);
+        let w = ISaxWord::from_paa(&p, 6);
+        assert_eq!(w.mindist(&p, 64), 0.0);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_true_distance() {
+        // For random pairs: mindist(word(Y), PAA(X)) <= ED(X, Y).
+        let ds = RandomWalkGenerator::new(64).generate(60, 5);
+        for i in 0..30u64 {
+            let x = ds.get(i);
+            let y = ds.get(i + 30);
+            let px = crate::paa::paa(x, 8);
+            let wy = ISaxWord::from_series(y, 8, 5);
+            let md = wy.mindist(&px, 64);
+            let true_d = ed(x, y);
+            assert!(md <= true_d + 1e-9, "mindist {md} > ED {true_d}");
+            // Reduced (coarser) words must bound at least as loosely.
+            let coarse = wy.reduce(&[2; 8]);
+            assert!(coarse.mindist(&px, 64) <= md + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mindist_bounds_hold_across_domains() {
+        for d in Domain::ALL {
+            let ds = d.generate(20, 77);
+            let n = ds.series_len();
+            let q = ds.get(0);
+            let pq = crate::paa::paa(q, 16);
+            for id in 1..20u64 {
+                let y = ds.get(id);
+                let wy = ISaxWord::from_series(y, 16, 4);
+                assert!(
+                    wy.mindist(&pq, n) <= ed(q, y) + 1e-9,
+                    "domain {}",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_requires_matching_length() {
+        let w = ISaxWord {
+            symbols: vec![ISaxSymbol::new(1, 2); 4],
+        };
+        let r = w.reduce(&[1, 1, 2, 2]);
+        assert_eq!(r.symbols[0].bits, 1);
+        assert_eq!(r.symbols[3].bits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width list length mismatch")]
+    fn reduce_with_wrong_length_panics() {
+        let w = ISaxWord {
+            symbols: vec![ISaxSymbol::new(0, 1)],
+        };
+        w.reduce(&[1, 1]);
+    }
+}

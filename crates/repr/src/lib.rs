@@ -1,0 +1,29 @@
+//! # climber-repr
+//!
+//! Dimensionality-reduction representations for data series.
+//!
+//! CLIMBER's feature extraction (§IV-B) starts from **PAA** (Piecewise
+//! Aggregate Approximation): the series is cut into `w` equal segments whose
+//! means form a `w`-dimensional signature. The **SAX**/**iSAX** family builds
+//! on PAA by quantising each segment mean into one of `c` symbols using
+//! Gaussian breakpoints; those representations power the baseline systems
+//! (DPiSAX, TARDIS, the Odyssey-like exact engine) and the paper's §III-B
+//! discussion of why iSAX loses similarity information.
+//!
+//! Provided here:
+//! * [`paa`] — PAA transform and PAA-space lower-bounding distance;
+//! * [`breakpoints`] — Gaussian N(0,1) quantile breakpoints for any
+//!   power-of-two cardinality;
+//! * [`sax`] — fixed-cardinality SAX words;
+//! * [`isax`] — variable-cardinality iSAX words with promotion, prefix
+//!   containment and the mindist lower bound.
+
+pub mod breakpoints;
+pub mod isax;
+pub mod paa;
+pub mod sax;
+
+pub use breakpoints::breakpoints;
+pub use isax::{ISaxSymbol, ISaxWord};
+pub use paa::{paa, paa_dist, Paa};
+pub use sax::{sax_word, SaxWord};

@@ -1,0 +1,99 @@
+//! Property-based tests for PAA/SAX/iSAX invariants.
+
+use climber_repr::breakpoints::{breakpoints, symbol_for};
+use climber_repr::isax::ISaxWord;
+use climber_repr::paa::{paa, paa_dist};
+use climber_repr::sax::sax_from_paa;
+use climber_series::distance::ed;
+use climber_series::znorm::znormalize;
+use proptest::prelude::*;
+
+fn raw_series(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, len)
+}
+
+proptest! {
+    #[test]
+    fn paa_means_lie_within_value_range(x in raw_series(64), w in 1usize..64) {
+        let p = paa(&x, w);
+        let lo = x.iter().cloned().fold(f32::INFINITY, f32::min) as f64 - 1e-6;
+        let hi = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64 + 1e-6;
+        for &m in &p {
+            prop_assert!(m >= lo && m <= hi);
+        }
+    }
+
+    #[test]
+    fn paa_preserves_global_mean(x in raw_series(60)) {
+        // With w | n, the mean of the PAA signature equals the series mean.
+        let p = paa(&x, 6);
+        let series_mean: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64;
+        let paa_mean: f64 = p.iter().sum::<f64>() / p.len() as f64;
+        prop_assert!((series_mean - paa_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paa_dist_lower_bounds_ed(x in raw_series(64), y in raw_series(64)) {
+        let zx = znormalize(&x);
+        let zy = znormalize(&y);
+        for w in [4usize, 8, 16] {
+            let d = paa_dist(&paa(&zx, w), &paa(&zy, w), 64);
+            prop_assert!(d <= ed(&zx, &zy) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn sax_symbols_fit_cardinality(x in raw_series(32), bits in 1u32..8) {
+        let card = 1u32 << bits;
+        let p = paa(&znormalize(&x), 8);
+        let wrd = sax_from_paa(&p, card);
+        for &s in &wrd.symbols {
+            prop_assert!((s as u32) < card);
+        }
+    }
+
+    #[test]
+    fn symbol_is_monotone_in_value(v1 in -4.0f64..4.0, v2 in -4.0f64..4.0) {
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(symbol_for(lo, 16) <= symbol_for(hi, 16));
+    }
+
+    #[test]
+    fn breakpoint_count_is_cardinality_minus_one(bits in 1u32..10) {
+        let c = 1u32 << bits;
+        prop_assert_eq!(breakpoints(c).len() as u32, c - 1);
+    }
+
+    #[test]
+    fn isax_reduce_then_covers(x in raw_series(64), coarse_bits in 1u8..6) {
+        let z = znormalize(&x);
+        let fine = ISaxWord::from_series(&z, 8, 6);
+        let coarse = fine.reduce(&[coarse_bits; 8]);
+        prop_assert!(coarse.covers(&fine));
+    }
+
+    #[test]
+    fn isax_mindist_lower_bounds_ed(x in raw_series(64), y in raw_series(64)) {
+        let zx = znormalize(&x);
+        let zy = znormalize(&y);
+        let px = paa(&zx, 8);
+        let wy = ISaxWord::from_series(&zy, 8, 4);
+        prop_assert!(wy.mindist(&px, 64) <= ed(&zx, &zy) + 1e-6);
+    }
+
+    #[test]
+    fn isax_mindist_monotone_in_resolution(x in raw_series(64), y in raw_series(64)) {
+        // Finer words give tighter (larger) lower bounds.
+        let zx = znormalize(&x);
+        let zy = znormalize(&y);
+        let px = paa(&zx, 8);
+        let fine = ISaxWord::from_series(&zy, 8, 6);
+        let mid = fine.reduce(&[3; 8]);
+        let coarse = fine.reduce(&[1; 8]);
+        let d_fine = fine.mindist(&px, 64);
+        let d_mid = mid.mindist(&px, 64);
+        let d_coarse = coarse.mindist(&px, 64);
+        prop_assert!(d_coarse <= d_mid + 1e-9);
+        prop_assert!(d_mid <= d_fine + 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! A data-series dataset (Definition 2): a collection of `d` series, each of
+//! the same length `n`, stored row-major in one contiguous buffer.
+
+use crate::series::{DataSeries, SeriesId};
+
+/// A collection of equal-length data series (Definition 2).
+///
+/// Values are stored in one contiguous row-major `Vec<f32>` so that scans are
+/// cache-friendly and the dataset can be memory-mapped or sliced into
+/// partitions without per-series allocations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    len: usize,
+    values: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset whose series all have length `series_len`.
+    pub fn new(series_len: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        Self {
+            len: series_len,
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset with pre-allocated room for `capacity` series.
+    pub fn with_capacity(series_len: usize, capacity: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        Self {
+            len: series_len,
+            values: Vec::with_capacity(series_len * capacity),
+        }
+    }
+
+    /// Builds a dataset directly from a row-major buffer.
+    ///
+    /// # Panics
+    /// If the buffer length is not a multiple of `series_len`.
+    pub fn from_raw(series_len: usize, values: Vec<f32>) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        assert!(
+            values.len() % series_len == 0,
+            "buffer length {} is not a multiple of series length {}",
+            values.len(),
+            series_len
+        );
+        Self {
+            len: series_len,
+            values,
+        }
+    }
+
+    /// The common length `n` of all series.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of series `d` in the dataset.
+    #[inline]
+    pub fn num_series(&self) -> usize {
+        self.values.len() / self.len
+    }
+
+    /// True when the dataset contains no series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a series and returns its assigned id.
+    ///
+    /// # Panics
+    /// If the series length differs from the dataset's series length.
+    pub fn push(&mut self, values: &[f32]) -> SeriesId {
+        assert_eq!(
+            values.len(),
+            self.len,
+            "series length mismatch: got {}, want {}",
+            values.len(),
+            self.len
+        );
+        let id = self.num_series() as SeriesId;
+        self.values.extend_from_slice(values);
+        id
+    }
+
+    /// Borrowed view of the readings of series `id`.
+    #[inline]
+    pub fn get(&self, id: SeriesId) -> &[f32] {
+        let i = id as usize;
+        let start = i * self.len;
+        &self.values[start..start + self.len]
+    }
+
+    /// Owned copy of series `id`.
+    pub fn series(&self, id: SeriesId) -> DataSeries {
+        DataSeries::new(id, self.get(id).to_vec())
+    }
+
+    /// Iterator over `(id, values)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SeriesId, &[f32])> {
+        self.values
+            .chunks_exact(self.len)
+            .enumerate()
+            .map(|(i, c)| (i as SeriesId, c))
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn raw(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Total in-memory payload size in bytes (values only).
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut ds = Dataset::new(3);
+        let a = ds.push(&[1.0, 2.0, 3.0]);
+        let b = ds.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(ds.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.get(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.num_series(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn push_wrong_length_panics() {
+        let mut ds = Dataset::new(4);
+        ds.push(&[1.0]);
+    }
+
+    #[test]
+    fn from_raw_splits_rows() {
+        let ds = Dataset::from_raw(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ds.num_series(), 2);
+        assert_eq!(ds.get(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_raw_rejects_ragged_buffer() {
+        Dataset::from_raw(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = Dataset::from_raw(1, vec![9.0, 8.0, 7.0]);
+        let ids: Vec<_> = ds.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let vals: Vec<f32> = ds.iter().map(|(_, v)| v[0]).collect();
+        assert_eq!(vals, vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn series_returns_owned_copy() {
+        let ds = Dataset::from_raw(2, vec![1.0, 2.0]);
+        let s = ds.series(0);
+        assert_eq!(s.id, 0);
+        assert_eq!(s.values, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn payload_bytes_counts_f32s() {
+        let ds = Dataset::from_raw(4, vec![0.0; 12]);
+        assert_eq!(ds.payload_bytes(), 48);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new(8);
+        assert!(ds.is_empty());
+        assert_eq!(ds.num_series(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Synthetic dataset generators standing in for the paper's evaluation
+//! corpora (§VII-A).
+//!
+//! The paper evaluates on four datasets: the RandomWalk benchmark (1B series
+//! × 256 points), the TexMex corpus (1B SIFT vectors × 128), a DNA dataset
+//! (subsequences of the human genome, 192 points) and a seizure EEG dataset
+//! (16-electrode recordings split into 256-point series). None of those
+//! corpora are available offline at terabyte scale, so each generator below
+//! synthesises series with the same *geometry* that drives index behaviour:
+//!
+//! * [`randomwalk`] — the exact benchmark process (cumulative N(0,1) steps);
+//! * [`sift`] — clustered, non-negative, heavy-tailed gradient-histogram-like
+//!   vectors (SIFT features are strongly clustered, which is why pivots work
+//!   well on TexMex);
+//! * [`dna`] — 4-letter-alphabet walks smoothed into numeric series, giving
+//!   the step-plateau structure of genome subsequence encodings;
+//! * [`eeg`] — oscillatory background with injected high-amplitude "seizure"
+//!   regimes, mimicking epileptic EEG morphology.
+//!
+//! All generators are fully deterministic given a seed, and all emit
+//! z-normalised series (the standard preprocessing for data-series indexes).
+
+mod dna;
+mod eeg;
+mod randomwalk;
+mod sift;
+
+pub use dna::DnaGenerator;
+pub use eeg::EegGenerator;
+pub use randomwalk::RandomWalkGenerator;
+pub use sift::SiftGenerator;
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Default series length used by the RandomWalk benchmark (paper: 256).
+pub const RANDOMWALK_LEN: usize = 256;
+/// Default series length of the TexMex SIFT corpus (paper: 128).
+pub const SIFT_LEN: usize = 128;
+/// Default series length of the DNA dataset (paper: 192).
+pub const DNA_LEN: usize = 192;
+/// Default series length of the seizure EEG dataset (paper: 256).
+pub const EEG_LEN: usize = 256;
+
+/// A deterministic generator of equal-length data series.
+pub trait SeriesGenerator {
+    /// Length of every generated series.
+    fn series_len(&self) -> usize;
+
+    /// Writes one series into `out` (which has length [`Self::series_len`])
+    /// using the provided RNG.
+    fn fill(&self, rng: &mut StdRng, out: &mut [f32]);
+
+    /// Generates a dataset of `n` series, deterministically from `seed`.
+    fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let len = self.series_len();
+        let mut ds = Dataset::with_capacity(len, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0f32; len];
+        for _ in 0..n {
+            self.fill(&mut rng, &mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+}
+
+/// The four evaluation domains of the paper (§VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// RandomWalk benchmark, 256 points.
+    RandomWalk,
+    /// TexMex / SIFT image features, 128 points.
+    TexMex,
+    /// Human-genome subsequences, 192 points.
+    Dna,
+    /// Seizure EEG recordings, 256 points.
+    Eeg,
+}
+
+impl Domain {
+    /// All four domains, in the order the paper's figures list them.
+    pub const ALL: [Domain; 4] = [Domain::RandomWalk, Domain::TexMex, Domain::Eeg, Domain::Dna];
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Domain::RandomWalk => "RandomWalk",
+            Domain::TexMex => "TexMex",
+            Domain::Dna => "DNA",
+            Domain::Eeg => "EEG",
+        }
+    }
+
+    /// The per-domain series length used by the paper.
+    pub fn series_len(&self) -> usize {
+        match self {
+            Domain::RandomWalk => RANDOMWALK_LEN,
+            Domain::TexMex => SIFT_LEN,
+            Domain::Dna => DNA_LEN,
+            Domain::Eeg => EEG_LEN,
+        }
+    }
+
+    /// Generates `n` series of this domain, deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        match self {
+            Domain::RandomWalk => RandomWalkGenerator::new(RANDOMWALK_LEN).generate(n, seed),
+            Domain::TexMex => SiftGenerator::new(SIFT_LEN).generate(n, seed),
+            Domain::Dna => DnaGenerator::new(DNA_LEN).generate(n, seed),
+            Domain::Eeg => EegGenerator::new(EEG_LEN).generate(n, seed),
+        }
+    }
+}
+
+/// Samples a standard normal via the Box-Muller transform.
+///
+/// Implemented locally so the crate stays within the approved dependency set
+/// (`rand_distr` is not used).
+#[inline]
+pub fn gauss(rng: &mut StdRng) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Selects `count` query series uniformly at random from `ds` (the paper's
+/// query workload: "query objects are randomly selected from the entire
+/// dataset"), returning their ids.
+pub fn query_workload(ds: &Dataset, count: usize, seed: u64) -> Vec<u64> {
+    assert!(
+        ds.num_series() > 0,
+        "cannot draw queries from an empty dataset"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| rng.random_range(0..ds.num_series() as u64))
+        .collect()
+}
+
+/// Selects `count` query series like [`query_workload`], then perturbs each
+/// with Gaussian noise of relative magnitude `noise` so queries are *near*
+/// dataset members without being exact copies. Useful for harder workloads.
+pub fn noisy_query_workload(ds: &Dataset, count: usize, noise: f64, seed: u64) -> Vec<Vec<f32>> {
+    let ids = query_workload(ds, count, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    ids.into_iter()
+        .map(|id| {
+            ds.get(id)
+                .iter()
+                .map(|&v| (v as f64 + noise * gauss(&mut rng)) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::znorm::is_znormalized;
+
+    #[test]
+    fn all_domains_generate_requested_shape() {
+        for d in Domain::ALL {
+            let ds = d.generate(10, 42);
+            assert_eq!(ds.num_series(), 10, "{}", d.name());
+            assert_eq!(ds.series_len(), d.series_len(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for d in Domain::ALL {
+            let a = d.generate(5, 7);
+            let b = d.generate(5, 7);
+            assert_eq!(a, b, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Domain::RandomWalk.generate(3, 1);
+        let b = Domain::RandomWalk.generate(3, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_series_are_znormalized() {
+        for d in Domain::ALL {
+            let ds = d.generate(8, 11);
+            for (id, v) in ds.iter() {
+                assert!(
+                    is_znormalized(v, 1e-3),
+                    "{} series {} not z-normalised",
+                    d.name(),
+                    id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_has_roughly_standard_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn query_workload_ids_are_in_range() {
+        let ds = Domain::Eeg.generate(20, 3);
+        let q = query_workload(&ds, 50, 4);
+        assert_eq!(q.len(), 50);
+        assert!(q.iter().all(|&id| id < 20));
+    }
+
+    #[test]
+    fn noisy_queries_have_right_length_and_differ_from_source() {
+        let ds = Domain::TexMex.generate(10, 5);
+        let qs = noisy_query_workload(&ds, 4, 0.1, 6);
+        assert_eq!(qs.len(), 4);
+        for q in &qs {
+            assert_eq!(q.len(), ds.series_len());
+        }
+    }
+
+    #[test]
+    fn domain_names_are_stable() {
+        assert_eq!(Domain::RandomWalk.name(), "RandomWalk");
+        assert_eq!(Domain::TexMex.name(), "TexMex");
+        assert_eq!(Domain::Dna.name(), "DNA");
+        assert_eq!(Domain::Eeg.name(), "EEG");
+    }
+}

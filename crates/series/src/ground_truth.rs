@@ -1,0 +1,153 @@
+//! Exact kNN ground truth (the `S_exact` of Definition 4).
+//!
+//! Recall of every approximate algorithm in the paper is computed against the
+//! exact answer set produced by a full scan. The scan is parallelised with a
+//! per-worker [`TopK`] merged at the end, and uses early-abandoning ED once a
+//! worker's collector is full.
+
+use crate::dataset::Dataset;
+use crate::distance::ed_early_abandon;
+use crate::topk::TopK;
+use rayon::prelude::*;
+
+/// Exact k nearest neighbours of `query` in `ds` by squared ED, sorted
+/// ascending by `(distance, id)`. Distances returned are squared ED.
+///
+/// # Panics
+/// If `k == 0` or the query length differs from the dataset series length.
+pub fn exact_knn(ds: &Dataset, query: &[f32], k: usize) -> Vec<(u64, f64)> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(
+        query.len(),
+        ds.series_len(),
+        "query length must match dataset series length"
+    );
+    let n = ds.num_series();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Split into contiguous chunks; each worker keeps its own TopK.
+    let chunk = (n / rayon::current_num_threads().max(1)).max(1024);
+    let tops: Vec<TopK> = (0..n)
+        .into_par_iter()
+        .chunks(chunk)
+        .map(|ids| {
+            let mut top = TopK::new(k);
+            for id in ids {
+                let cand = ds.get(id as u64);
+                if let Some(d) = ed_early_abandon(query, cand, top.bound()) {
+                    top.offer(id as u64, d);
+                }
+            }
+            top
+        })
+        .collect();
+    let mut merged = TopK::new(k);
+    for t in tops {
+        merged.merge(t);
+    }
+    merged.into_sorted()
+}
+
+/// Ground truth for a batch of queries, parallelised across queries.
+pub fn exact_knn_batch(ds: &Dataset, queries: &[Vec<f32>], k: usize) -> Vec<Vec<(u64, f64)>> {
+    queries
+        .par_iter()
+        .map(|q| exact_knn_serial(ds, q, k))
+        .collect()
+}
+
+/// Single-threaded exact scan (used per-query inside [`exact_knn_batch`] and
+/// as the reference implementation in tests).
+pub fn exact_knn_serial(ds: &Dataset, query: &[f32], k: usize) -> Vec<(u64, f64)> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(
+        query.len(),
+        ds.series_len(),
+        "query length must match dataset series length"
+    );
+    let mut top = TopK::new(k);
+    for (id, cand) in ds.iter() {
+        if let Some(d) = ed_early_abandon(query, cand, top.bound()) {
+            top.offer(id, d);
+        }
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::sq_ed;
+    use crate::gen::{Domain, SeriesGenerator};
+    use crate::gen::RandomWalkGenerator;
+
+    fn brute_force(ds: &Dataset, q: &[f32], k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = ds.iter().map(|(id, v)| (id, sq_ed(q, v))).collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn parallel_matches_brute_force() {
+        let ds = RandomWalkGenerator::new(64).generate(500, 13);
+        let q = ds.get(17).to_vec();
+        for k in [1, 5, 50] {
+            let got = exact_knn(&ds, &q, k);
+            let want = brute_force(&ds, &q, k);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        let ds = Domain::Eeg.generate(300, 21);
+        let q = ds.get(5).to_vec();
+        assert_eq!(exact_knn_serial(&ds, &q, 10), exact_knn(&ds, &q, 10));
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let ds = Domain::TexMex.generate(100, 22);
+        let q = ds.get(42).to_vec();
+        let got = exact_knn(&ds, &q, 3);
+        assert_eq!(got[0].0, 42);
+        assert_eq!(got[0].1, 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_all() {
+        let ds = RandomWalkGenerator::new(16).generate(7, 1);
+        let q = ds.get(0).to_vec();
+        let got = exact_knn(&ds, &q, 50);
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let ds = Domain::Dna.generate(150, 30);
+        let queries: Vec<Vec<f32>> = (0..4).map(|i| ds.get(i * 30).to_vec()).collect();
+        let batch = exact_knn_batch(&ds, &queries, 5);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], exact_knn(&ds, q, 5));
+        }
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let ds = RandomWalkGenerator::new(32).generate(200, 9);
+        let q = ds.get(3).to_vec();
+        let got = exact_knn(&ds, &q, 20);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_returns_empty() {
+        let ds = Dataset::new(8);
+        let q = vec![0.0f32; 8];
+        assert!(exact_knn(&ds, &q, 3).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Minimal binary dataset I/O.
+//!
+//! A dataset file is little-endian: magic `CLDS`, format version, series
+//! length, series count, then the row-major `f32` payload. Used by examples
+//! to persist generated corpora and by tests for roundtrip checks. The
+//! format is deliberately dependency-free (no serde) per the design notes.
+
+use crate::dataset::Dataset;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"CLDS";
+const VERSION: u32 = 1;
+
+/// Writes `ds` to `path` in the `CLDS` binary format.
+pub fn write_dataset(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(ds.series_len() as u64).to_le_bytes())?;
+    w.write_all(&(ds.num_series() as u64).to_le_bytes())?;
+    for &v in ds.raw() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a dataset previously written with [`write_dataset`].
+pub fn read_dataset(path: &Path) -> io::Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic {magic:?}, expected {MAGIC:?}"),
+        ));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported dataset format version {version}"),
+        ));
+    }
+    let series_len = read_u64(&mut r)? as usize;
+    let num_series = read_u64(&mut r)? as usize;
+    if series_len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "series length of zero",
+        ));
+    }
+    let total = series_len
+        .checked_mul(num_series)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "size overflow"))?;
+    let mut values = vec![0.0f32; total];
+    let mut buf = [0u8; 4];
+    for v in values.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    // Trailing bytes indicate corruption.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(Dataset::from_raw(series_len, values)),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after dataset payload",
+        )),
+    }
+}
+
+/// Reads a dataset from a delimited text file (CSV/TSV): one series per
+/// line, readings separated by `delimiter`, optionally skipping a header
+/// line. This is the standard interchange format of the UCR archive and
+/// most public data-series corpora.
+///
+/// All rows must have the same number of readings. When `label_column` is
+/// true the first field of each row (a class label, as in the UCR archive)
+/// is skipped.
+pub fn read_delimited(
+    path: &Path,
+    delimiter: char,
+    has_header: bool,
+    label_column: bool,
+) -> io::Result<Dataset> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut ds: Option<Dataset> = None;
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        if has_header && line_no == 1 {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(delimiter);
+        if label_column {
+            fields.next();
+        }
+        let values: Result<Vec<f32>, _> = fields.map(|f| f.trim().parse::<f32>()).collect();
+        let values = values.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {line_no}: {e}"),
+            )
+        })?;
+        if values.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {line_no}: no readings"),
+            ));
+        }
+        match &mut ds {
+            None => {
+                let mut d = Dataset::new(values.len());
+                d.push(&values);
+                ds = Some(d);
+            }
+            Some(d) => {
+                if values.len() != d.series_len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "line {line_no}: {} readings, expected {}",
+                            values.len(),
+                            d.series_len()
+                        ),
+                    ));
+                }
+                d.push(&values);
+            }
+        }
+    }
+    ds.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "file holds no series"))
+}
+
+/// Writes a dataset as comma-separated text, one series per line.
+pub fn write_csv(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for (_, values) in ds.iter() {
+        let mut first = true;
+        for v in values {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Domain;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("climber-series-io-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let ds = Domain::RandomWalk.generate(20, 77);
+        let p = tmp("roundtrip.clds");
+        write_dataset(&ds, &p).unwrap();
+        let back = read_dataset(&p).unwrap();
+        assert_eq!(ds, back);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("badmagic.clds");
+        fs::write(&p, b"NOPE0000000000000000000000").unwrap();
+        let err = read_dataset(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let ds = Domain::Eeg.generate(4, 1);
+        let p = tmp("trunc.clds");
+        write_dataset(&ds, &p).unwrap();
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_dataset(&p).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let ds = Domain::Dna.generate(2, 1);
+        let p = tmp("trailing.clds");
+        write_dataset(&ds, &p).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        bytes.push(0xAB);
+        fs::write(&p, &bytes).unwrap();
+        assert!(read_dataset(&p).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = Domain::TexMex.generate(6, 3);
+        let p = tmp("roundtrip.csv");
+        write_csv(&ds, &p).unwrap();
+        let back = read_delimited(&p, ',', false, false).unwrap();
+        assert_eq!(back.num_series(), 6);
+        assert_eq!(back.series_len(), ds.series_len());
+        for (a, b) in ds.raw().iter().zip(back.raw().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn delimited_with_header_and_labels() {
+        let p = tmp("ucr.tsv");
+        fs::write(&p, "name\tc1\tc2\tc3\n1\t0.5\t1.5\t2.5\n2\t3.5\t4.5\t5.5\n").unwrap();
+        let ds = read_delimited(&p, '\t', true, true).unwrap();
+        assert_eq!(ds.num_series(), 2);
+        assert_eq!(ds.get(0), &[0.5, 1.5, 2.5]);
+        assert_eq!(ds.get(1), &[3.5, 4.5, 5.5]);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn delimited_blank_lines_skipped() {
+        let p = tmp("blank.csv");
+        fs::write(&p, "1,2\n\n3,4\n").unwrap();
+        let ds = read_delimited(&p, ',', false, false).unwrap();
+        assert_eq!(ds.num_series(), 2);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn delimited_ragged_rows_rejected() {
+        let p = tmp("ragged.csv");
+        fs::write(&p, "1,2,3\n4,5\n").unwrap();
+        let err = read_delimited(&p, ',', false, false).unwrap_err();
+        assert!(err.to_string().contains("expected 3"));
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn delimited_bad_number_rejected() {
+        let p = tmp("nan.csv");
+        fs::write(&p, "1,two,3\n").unwrap();
+        assert!(read_delimited(&p, ',', false, false).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn delimited_empty_file_rejected() {
+        let p = tmp("empty.csv");
+        fs::write(&p, "").unwrap();
+        assert!(read_delimited(&p, ',', false, false).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let ds = Dataset::new(16);
+        let p = tmp("empty.clds");
+        write_dataset(&ds, &p).unwrap();
+        let back = read_dataset(&p).unwrap();
+        assert_eq!(back.num_series(), 0);
+        assert_eq!(back.series_len(), 16);
+        fs::remove_file(&p).ok();
+    }
+}

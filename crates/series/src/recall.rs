@@ -1,0 +1,104 @@
+//! The recall metric of Definition 4:
+//! `recall = |S_approx ∩ S_exact| / |S_exact|`.
+
+use crate::series::SeriesId;
+use std::collections::HashSet;
+
+/// Recall of an approximate answer set against the exact one (Definition 4).
+///
+/// Only ids participate; distances are ignored. Returns 1.0 for an empty
+/// exact set (nothing to find ⇒ nothing missed).
+pub fn recall(approx: &[SeriesId], exact: &[SeriesId]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let exact_set: HashSet<SeriesId> = exact.iter().copied().collect();
+    // Intersection is a set operation: duplicate approx ids count once.
+    let approx_set: HashSet<SeriesId> = approx.iter().copied().collect();
+    let hit = approx_set.intersection(&exact_set).count();
+    hit as f64 / exact_set.len() as f64
+}
+
+/// Recall computed directly from `(id, dist)` result lists, the shape that
+/// query algorithms and [`crate::ground_truth::exact_knn`] return.
+pub fn recall_of_results(approx: &[(SeriesId, f64)], exact: &[(SeriesId, f64)]) -> f64 {
+    let a: Vec<SeriesId> = approx.iter().map(|&(id, _)| id).collect();
+    let e: Vec<SeriesId> = exact.iter().map(|&(id, _)| id).collect();
+    recall(&a, &e)
+}
+
+/// Mean recall over a batch of query results.
+pub fn mean_recall(approx: &[Vec<(SeriesId, f64)>], exact: &[Vec<(SeriesId, f64)>]) -> f64 {
+    assert_eq!(
+        approx.len(),
+        exact.len(),
+        "batch sizes differ: {} vs {}",
+        approx.len(),
+        exact.len()
+    );
+    if approx.is_empty() {
+        return 1.0;
+    }
+    approx
+        .iter()
+        .zip(exact.iter())
+        .map(|(a, e)| recall_of_results(a, e))
+        .sum::<f64>()
+        / approx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recall() {
+        assert_eq!(recall(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn zero_recall() {
+        assert_eq!(recall(&[4, 5], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        assert!((recall(&[1, 9, 2, 8], &[1, 2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_exact_set_is_perfect() {
+        assert_eq!(recall(&[1, 2], &[]), 1.0);
+    }
+
+    #[test]
+    fn extra_approx_entries_do_not_exceed_one() {
+        assert_eq!(recall(&[1, 2, 3, 4, 5], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn duplicate_approx_ids_not_double_counted() {
+        // |{1} ∩ {1,2}| = 1: duplicates on the approx side count once.
+        assert!((recall(&[1, 1], &[1, 2]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_of_results_ignores_distances() {
+        let a = vec![(1u64, 9.0), (2, 8.0)];
+        let e = vec![(1u64, 0.1), (3, 0.2)];
+        assert!((recall_of_results(&a, &e) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_recall_averages() {
+        let a = vec![vec![(1u64, 0.0)], vec![(9u64, 0.0)]];
+        let e = vec![vec![(1u64, 0.0)], vec![(1u64, 0.0)]];
+        assert!((mean_recall(&a, &e) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch sizes differ")]
+    fn mean_recall_requires_equal_batches() {
+        mean_recall(&[vec![]], &[]);
+    }
+}

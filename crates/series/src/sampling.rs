@@ -1,0 +1,142 @@
+//! Sampling utilities used by the index-construction pipeline.
+//!
+//! CLIMBER builds its index skeleton from a *partition-level* sample
+//! (§V, Step 1): rather than scanning the whole dataset, whole storage
+//! partitions are selected at random and every series inside them is used.
+//! This module provides that sampler plus a plain reservoir sampler used for
+//! pivot selection.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Selects `take` out of `total` partition indices uniformly at random,
+/// without replacement, deterministically from `seed`.
+///
+/// # Panics
+/// If `take > total`.
+pub fn partition_level_sample(total: usize, take: usize, seed: u64) -> Vec<usize> {
+    assert!(
+        take <= total,
+        "cannot sample {take} partitions out of {total}"
+    );
+    let mut idx: Vec<usize> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(take);
+    idx.sort_unstable();
+    idx
+}
+
+/// Number of partitions to sample for a target sampling fraction `alpha`
+/// (rounded up so tiny datasets still yield a non-empty sample).
+pub fn partitions_for_alpha(total: usize, alpha: f64) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "alpha must be within [0, 1], got {alpha}"
+    );
+    if total == 0 {
+        return 0;
+    }
+    ((total as f64 * alpha).ceil() as usize).clamp(1, total)
+}
+
+/// Classic reservoir sampling of `k` items from a streamed iterator.
+/// Returns fewer than `k` when the stream is shorter than `k`.
+pub fn reservoir_sample<T, I>(iter: I, k: usize, seed: u64) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if reservoir.len() < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_sample_is_sorted_unique_and_in_range() {
+        let s = partition_level_sample(100, 10, 1);
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn partition_sample_deterministic() {
+        assert_eq!(
+            partition_level_sample(50, 5, 9),
+            partition_level_sample(50, 5, 9)
+        );
+    }
+
+    #[test]
+    fn partition_sample_all() {
+        let s = partition_level_sample(5, 5, 3);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        partition_level_sample(3, 4, 0);
+    }
+
+    #[test]
+    fn alpha_to_partitions() {
+        assert_eq!(partitions_for_alpha(100, 0.1), 10);
+        assert_eq!(partitions_for_alpha(100, 0.001), 1); // never zero
+        assert_eq!(partitions_for_alpha(100, 1.0), 100);
+        assert_eq!(partitions_for_alpha(0, 0.5), 0);
+        assert_eq!(partitions_for_alpha(7, 0.5), 4); // ceil
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_out_of_range_panics() {
+        partitions_for_alpha(10, 1.5);
+    }
+
+    #[test]
+    fn reservoir_returns_k_items() {
+        let out = reservoir_sample(0..1000, 16, 7);
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn reservoir_short_stream_returns_all() {
+        let out = reservoir_sample(0..3, 10, 7);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Sample 1 of 4 many times; each item should appear ~25%.
+        let mut counts = [0usize; 4];
+        for seed in 0..4000u64 {
+            let s = reservoir_sample(0..4usize, 1, seed);
+            counts[s[0]] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 1000.0).abs() < 150.0,
+                "non-uniform reservoir: {counts:?}"
+            );
+        }
+    }
+}

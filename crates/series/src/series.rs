@@ -1,0 +1,127 @@
+//! The data-series model (Definitions 1 and 2 of the paper).
+
+use std::fmt;
+
+/// Dense, 0-based identifier of a data series within a [`crate::Dataset`].
+pub type SeriesId = u64;
+
+/// A data series `X = [x1, .., xn]`, an ordered sequence of real values
+/// (Definition 1). A series of length `n` is a point in `n`-dimensional
+/// space: reading `i` is the value of dimension `i`.
+#[derive(Clone, PartialEq)]
+pub struct DataSeries {
+    /// Identifier of the series within its dataset.
+    pub id: SeriesId,
+    /// The readings, in order.
+    pub values: Vec<f32>,
+}
+
+impl DataSeries {
+    /// Creates a series from raw readings.
+    pub fn new(id: SeriesId, values: Vec<f32>) -> Self {
+        Self { id, values }
+    }
+
+    /// Length `n = |X|` of the series (its dimensionality).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series holds no readings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the readings.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.values.iter().map(|&v| v as f64).sum();
+        sum / self.values.len() as f64
+    }
+
+    /// Population standard deviation of the readings.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var: f64 = self
+            .values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+}
+
+impl fmt::Debug for DataSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Avoid dumping hundreds of readings in assertion failures.
+        let head: Vec<f32> = self.values.iter().take(4).copied().collect();
+        write!(
+            f,
+            "DataSeries(id={}, n={}, head={:?}{})",
+            self.id,
+            self.values.len(),
+            head,
+            if self.values.len() > 4 { ", .." } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_emptiness() {
+        let s = DataSeries::new(0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(DataSeries::new(1, vec![]).is_empty());
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        let s = DataSeries::new(0, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_of_constant_series_is_zero() {
+        let s = DataSeries::new(0, vec![5.0; 17]);
+        assert!(s.std_dev().abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_of_known_values() {
+        // Population stddev of [2,4,4,4,5,5,7,9] is exactly 2.
+        let s = DataSeries::new(0, vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series_stats_are_zero() {
+        let s = DataSeries::new(0, vec![]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn debug_output_is_truncated() {
+        let s = DataSeries::new(3, (0..100).map(|i| i as f32).collect());
+        let d = format!("{s:?}");
+        assert!(d.contains("id=3"));
+        assert!(d.contains("n=100"));
+        assert!(d.contains(".."));
+        assert!(d.len() < 120);
+    }
+}

@@ -1,0 +1,116 @@
+//! Z-normalisation of data series.
+//!
+//! Data-series indexes (SAX/iSAX in particular) assume z-normalised input:
+//! each series is shifted to zero mean and scaled to unit variance, so the
+//! Gaussian breakpoint tables of `climber-repr` apply. Constant series (zero
+//! variance) normalise to all-zero, matching common practice (e.g. the UCR
+//! suite).
+
+/// Minimum standard deviation below which a series is treated as constant.
+pub const EPSILON_STD: f64 = 1e-8;
+
+/// Z-normalises `values` in place: zero mean, unit (population) variance.
+///
+/// Constant series become all zeros rather than dividing by ~0.
+pub fn znormalize_in_place(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let n = values.len() as f64;
+    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let std = var.sqrt();
+    if std < EPSILON_STD {
+        values.iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        values
+            .iter_mut()
+            .for_each(|v| *v = ((*v as f64 - mean) / std) as f32);
+    }
+}
+
+/// Returns a z-normalised copy of `values`.
+pub fn znormalize(values: &[f32]) -> Vec<f32> {
+    let mut out = values.to_vec();
+    znormalize_in_place(&mut out);
+    out
+}
+
+/// True when the series already has (approximately) zero mean and unit
+/// variance, within `tol`.
+pub fn is_znormalized(values: &[f32], tol: f64) -> bool {
+    if values.is_empty() {
+        return true;
+    }
+    let n = values.len() as f64;
+    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    // all-zero (constant input) series also count as normalised
+    (mean.abs() < tol && (var - 1.0).abs() < tol) || var < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_variance() {
+        let mut v: Vec<f32> = (0..64).map(|i| (i as f32) * 3.0 + 7.0).collect();
+        znormalize_in_place(&mut v);
+        assert!(is_znormalized(&v, 1e-4));
+    }
+
+    #[test]
+    fn constant_series_becomes_zeros() {
+        let mut v = vec![42.0f32; 10];
+        znormalize_in_place(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_series_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        znormalize_in_place(&mut v);
+        assert!(v.is_empty());
+        assert!(is_znormalized(&v, 1e-9));
+    }
+
+    #[test]
+    fn znormalize_returns_copy() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        let z = znormalize(&v);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]); // original untouched
+        assert!(is_znormalized(&z, 1e-5));
+    }
+
+    #[test]
+    fn idempotent_on_normalized_input() {
+        let v = znormalize(&[5.0, -2.0, 0.5, 9.0, -7.0]);
+        let w = znormalize(&v);
+        for (a, b) in v.iter().zip(w.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn preserves_shape_ordering() {
+        // z-normalisation is monotone: ordering of readings is preserved.
+        let v = vec![3.0f32, 1.0, 2.0];
+        let z = znormalize(&v);
+        assert!(z[0] > z[2] && z[2] > z[1]);
+    }
+}

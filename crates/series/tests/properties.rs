@@ -1,0 +1,127 @@
+//! Property-based tests for the data-series substrate.
+
+use climber_series::distance::{ed, ed_early_abandon, sq_ed};
+use climber_series::recall::recall;
+use climber_series::topk::TopK;
+use climber_series::znorm::{is_znormalized, znormalize};
+use proptest::prelude::*;
+
+fn finite_series(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3f32..1e3f32, len)
+}
+
+proptest! {
+    #[test]
+    fn ed_is_non_negative(x in finite_series(32), y in finite_series(32)) {
+        prop_assert!(ed(&x, &y) >= 0.0);
+    }
+
+    #[test]
+    fn ed_is_symmetric(x in finite_series(16), y in finite_series(16)) {
+        prop_assert_eq!(ed(&x, &y), ed(&y, &x));
+    }
+
+    #[test]
+    fn ed_identity(x in finite_series(24)) {
+        prop_assert_eq!(ed(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn ed_triangle_inequality(
+        a in finite_series(16),
+        b in finite_series(16),
+        c in finite_series(16),
+    ) {
+        let lhs = ed(&a, &c);
+        let rhs = ed(&a, &b) + ed(&b, &c);
+        prop_assert!(lhs <= rhs + 1e-6 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn early_abandon_never_disagrees(
+        x in finite_series(48),
+        y in finite_series(48),
+        bound in 0.0f64..1e9,
+    ) {
+        let exact = sq_ed(&x, &y);
+        match ed_early_abandon(&x, &y, bound) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+            }
+            None => prop_assert!(exact > bound),
+        }
+    }
+
+    #[test]
+    fn znorm_output_is_normalized(x in finite_series(64)) {
+        let z = znormalize(&x);
+        prop_assert!(is_znormalized(&z, 1e-3));
+    }
+
+    #[test]
+    fn znorm_is_shift_and_scale_invariant(
+        x in finite_series(32),
+        shift in -100.0f32..100.0,
+        scale in 0.1f32..10.0,
+    ) {
+        let a = znormalize(&x);
+        let shifted: Vec<f32> = x.iter().map(|&v| v * scale + shift).collect();
+        let b = znormalize(&shifted);
+        for (p, q) in a.iter().zip(b.iter()) {
+            prop_assert!((p - q).abs() < 1e-2, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn topk_matches_sort(
+        dists in prop::collection::vec(0.0f64..1e6, 1..200),
+        k in 1usize..50,
+    ) {
+        let mut t = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            t.offer(i as u64, d);
+        }
+        let got = t.into_sorted();
+
+        let mut want: Vec<(u64, f64)> =
+            dists.iter().enumerate().map(|(i, &d)| (i as u64, d)).collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn topk_bound_is_max_of_results(
+        dists in prop::collection::vec(0.0f64..1e6, 1..100),
+        k in 1usize..20,
+    ) {
+        let mut t = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            t.offer(i as u64, d);
+        }
+        let bound = t.bound();
+        let results = t.into_sorted();
+        if results.len() == k {
+            prop_assert_eq!(bound, results.last().unwrap().1);
+        } else {
+            prop_assert_eq!(bound, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn recall_is_within_unit_interval(
+        approx in prop::collection::vec(0u64..100, 0..50),
+        exact in prop::collection::vec(0u64..100, 0..50),
+    ) {
+        let r = recall(&approx, &exact);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn recall_of_superset_is_one(exact in prop::collection::hash_set(0u64..1000, 1..40)) {
+        let exact: Vec<u64> = exact.into_iter().collect();
+        let mut approx = exact.clone();
+        approx.extend(2000..2010u64);
+        prop_assert_eq!(recall(&approx, &exact), 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Invariants of the simulated distributed substrate: worker-count
+//! independence, shuffle accounting, placement replay.
+
+use climber_core::dfs::store::{MemStore, PartitionStore};
+use climber_core::index::builder::IndexBuilder;
+use climber_core::series::gen::Domain;
+use climber_core::{Climber, ClimberConfig};
+
+fn cfg() -> ClimberConfig {
+    ClimberConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(48)
+        .with_prefix_len(6)
+        .with_capacity(100)
+        .with_alpha(0.3)
+        .with_epsilon(1)
+        .with_seed(4242)
+}
+
+#[test]
+fn builds_identical_across_worker_counts() {
+    let ds = Domain::RandomWalk.generate(1_500, 3);
+    let mut skeletons = Vec::new();
+    let mut partition_dumps = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let store = MemStore::new();
+        let (skeleton, _) = IndexBuilder::new(cfg().with_workers(workers)).build(&ds, &store);
+        let mut dump: Vec<(u32, Vec<u64>)> = Vec::new();
+        for pid in store.ids() {
+            let mut ids = Vec::new();
+            store.open(pid).unwrap().for_each(|id, _| ids.push(id));
+            dump.push((pid, ids));
+        }
+        skeletons.push(skeleton);
+        partition_dumps.push(dump);
+    }
+    assert_eq!(skeletons[0], skeletons[1]);
+    assert_eq!(skeletons[1], skeletons[2]);
+    assert_eq!(partition_dumps[0], partition_dumps[1]);
+    assert_eq!(partition_dumps[1], partition_dumps[2]);
+}
+
+#[test]
+fn build_shuffles_every_record_once() {
+    let ds = Domain::Eeg.generate(900, 5);
+    let store = MemStore::new();
+    let builder = IndexBuilder::new(cfg().with_workers(4));
+    let (_, report) = builder.build(&ds, &store);
+    // Step 4 shuffles each record to its partition exactly once.
+    assert_eq!(report.io.partitions_written as usize, store.ids().len());
+    assert!(report.io.bytes_written > 0);
+}
+
+#[test]
+fn query_io_accounting_matches_plan() {
+    let ds = Domain::TexMex.generate(1_200, 7);
+    let climber = Climber::build_in_memory(&ds, cfg().with_workers(2));
+    let stats = climber.store().stats();
+    let before = stats.snapshot();
+    let out = climber.knn(ds.get(11), 10);
+    let diff = stats.snapshot().since(&before);
+    assert_eq!(diff.partitions_opened as usize, out.partitions_opened);
+    assert!(diff.bytes_read > 0);
+    assert!(diff.records_read >= out.records_scanned);
+}
+
+#[test]
+fn placement_replay_reconstructs_storage() {
+    // The skeleton alone determines where every record lives: replaying
+    // place() over the raw data must reproduce the store contents.
+    let ds = Domain::Dna.generate(800, 9);
+    let climber = Climber::build_in_memory(&ds, cfg().with_workers(2));
+    for pid in climber.store().ids() {
+        let reader = climber.store().open(pid).unwrap();
+        reader.for_each(|id, vals| {
+            let p = climber.skeleton().place(vals, id);
+            assert_eq!(p.partition, pid, "record {id}");
+        });
+    }
+}
+
+#[test]
+fn fallback_group_exists_and_is_group_zero() {
+    let ds = Domain::RandomWalk.generate(600, 11);
+    let climber = Climber::build_in_memory(&ds, cfg());
+    let sk = climber.skeleton();
+    assert!(sk.groups[0].centroid.is_none(), "G0 must be the fallback");
+    assert!(sk.groups.len() >= 2, "no real groups were formed");
+    // the fallback's default partition exists in the store
+    let pid = sk.groups[0].default_partition;
+    assert!(climber.store().open(pid).is_ok());
+}

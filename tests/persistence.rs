@@ -1,0 +1,112 @@
+//! Persistence: disk-backed indexes survive restarts and reject corruption.
+
+use climber_core::series::gen::Domain;
+use climber_core::{Climber, ClimberConfig, SKELETON_FILE};
+use std::fs;
+use std::path::PathBuf;
+
+fn cfg() -> ClimberConfig {
+    ClimberConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(48)
+        .with_prefix_len(6)
+        .with_capacity(120)
+        .with_alpha(0.3)
+        .with_epsilon(1)
+        .with_seed(911)
+        .with_workers(2)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("climber-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn reopened_index_answers_identically() {
+    let dir = tmp_dir("reopen");
+    let ds = Domain::RandomWalk.generate(1_200, 5);
+    let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    let before: Vec<_> = (0..5u64)
+        .map(|q| built.knn_adaptive(ds.get(q * 100), 20, 4).results)
+        .collect();
+    drop(built);
+
+    let reopened = Climber::open(&dir).unwrap();
+    for (i, want) in before.iter().enumerate() {
+        let got = reopened.knn_adaptive(ds.get(i as u64 * 100), 20, 4).results;
+        assert_eq!(&got, want, "query {i} diverged after reopen");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn skeleton_file_is_the_global_index() {
+    let dir = tmp_dir("skeleton");
+    let ds = Domain::Eeg.generate(600, 7);
+    let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    let on_disk = fs::read(dir.join(SKELETON_FILE)).unwrap();
+    assert_eq!(on_disk.len(), built.global_index_bytes());
+    // The paper's "global index size" is tiny relative to the data.
+    assert!(
+        on_disk.len() < ds.payload_bytes() / 10,
+        "skeleton {} bytes vs data {} bytes",
+        on_disk.len(),
+        ds.payload_bytes()
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_skeleton_is_rejected() {
+    let dir = tmp_dir("corrupt");
+    let ds = Domain::Dna.generate(400, 9);
+    Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    let path = dir.join(SKELETON_FILE);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes.truncate(bytes.len() / 2);
+    fs::write(&path, &bytes).unwrap();
+    assert!(Climber::open(&dir).is_err(), "truncated skeleton accepted");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_partitions_detected_on_open() {
+    let dir = tmp_dir("noparts");
+    let ds = Domain::TexMex.generate(400, 11);
+    Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    // delete every partition file but keep the skeleton
+    for entry in fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "clbp") {
+            fs::remove_file(p).unwrap();
+        }
+    }
+    assert!(Climber::open(&dir).is_err(), "opened an index with no data");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queries_tolerate_a_lost_partition() {
+    // Fault injection: losing one partition file degrades recall but must
+    // not panic or error — the distributed system keeps serving.
+    let dir = tmp_dir("lostpart");
+    let ds = Domain::RandomWalk.generate(1_000, 13);
+    let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    // remove one partition file
+    let victim = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "clbp"))
+        .expect("at least one partition");
+    fs::remove_file(victim).unwrap();
+
+    let reopened = Climber::open(&dir).unwrap();
+    for q in 0..10u64 {
+        let out = reopened.knn(ds.get(q * 37), 10);
+        // some queries may return fewer than k if their partition vanished,
+        // but none may fail
+        assert!(out.results.len() <= 10);
+    }
+    drop(built);
+    fs::remove_dir_all(&dir).ok();
+}
