@@ -1,0 +1,340 @@
+//! Vendored minimal stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! providing the surface the CLIMBER bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`], `Bencher::{iter, iter_batched}`, [`BatchSize`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of external APIs it needs. Measurement is honest
+//! but simple: each benchmark is warmed up, then timed over enough
+//! iterations to fill a wall-clock budget, and the per-iteration mean,
+//! minimum and sample count are printed. No HTML reports or statistical
+//! regression analysis.
+//!
+//! Command-line flags understood (everything else is ignored for
+//! compatibility with `cargo bench` and the real harness):
+//!
+//! * `--quick` — shrink warm-up and measurement budgets ~50×, for CI smoke
+//!   lanes that only need to prove the benchmark executes;
+//! * any bare (non-flag) argument — a substring filter on benchmark names.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost (API compatibility; this shim
+/// re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    budget: Duration,
+    min_samples: u64,
+}
+
+impl Settings {
+    fn standard() -> Self {
+        Self {
+            warm_up: Duration::from_millis(60),
+            budget: Duration::from_millis(300),
+            min_samples: 10,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            warm_up: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+            min_samples: 1,
+        }
+    }
+}
+
+/// The benchmark driver: owns CLI-derived configuration and runs
+/// registered benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+    ran: u64,
+    skipped: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            settings: Settings::standard(),
+            filter: None,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `cargo bench`-style command-line arguments (`--quick`,
+    /// name filters); unknown flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => self.settings = Settings::quick(),
+                a if a.starts_with('-') => {} // ignore harness flags
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks inside it are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Registers and runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: Option<usize>, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        let mut settings = self.settings.clone();
+        if let Some(n) = sample_size {
+            settings.min_samples = (n as u64).max(1);
+        }
+        let mut bencher = Bencher {
+            settings,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.ran += 1;
+        report(name, &bencher.samples);
+    }
+
+    /// Prints a one-line summary; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        eprintln!(
+            "criterion(shim): {} benchmark(s) run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+}
+
+/// Prints the measurement line for one benchmark.
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        eprintln!("{name:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    eprintln!(
+        "{name:<40} time: [mean {} min {}] ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Closes the group (reporting is live, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it repeatedly until the measurement budget
+    /// is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget is spent, counting calls
+        // to size the measured batches.
+        let warm_start = Instant::now();
+        let mut warm_calls: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up || warm_calls == 0 {
+            std::hint::black_box(routine());
+            warm_calls += 1;
+            if warm_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed() / warm_calls.max(1) as u32;
+        // Aim for ~min_samples samples inside the budget; each sample is a
+        // batch of `batch` calls.
+        let budget = self.settings.budget;
+        let target_sample = budget / (self.settings.min_samples.max(1) as u32);
+        let batch = if per_call.is_zero() {
+            1_000
+        } else {
+            (target_sample.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget
+            || (self.samples.len() as u64) < self.settings.min_samples
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+            if self.samples.len() >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // One warm-up call.
+        std::hint::black_box(routine(setup()));
+        let budget = self.settings.budget;
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget
+            || (self.samples.len() as u64) < self.settings.min_samples
+        {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function, mirroring
+/// the real crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_criterion() -> Criterion {
+        Criterion {
+            settings: Settings::quick(),
+            ..Criterion::default()
+        }
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = quick_criterion();
+        c.bench_function("trivial_add", |b| {
+            b.iter(|| std::hint::black_box(1u64) + std::hint::black_box(2u64))
+        });
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_filter_applies() {
+        let mut c = quick_criterion();
+        c.filter = Some("match_me".to_string());
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("match_me", |b| b.iter(|| 1 + 1));
+            g.bench_function("not_this_one", |b| b.iter(|| 2 + 2));
+            g.finish();
+        }
+        assert_eq!(c.ran, 1);
+        assert_eq!(c.skipped, 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quick_criterion();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.ran, 1);
+    }
+}

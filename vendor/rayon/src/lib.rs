@@ -1,0 +1,551 @@
+//! Vendored minimal stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate, providing the parallel-iterator surface the CLIMBER workspace
+//! uses: `par_iter().map().collect()`, `par_iter().for_each()`,
+//! `into_par_iter()` over vectors and ranges, `chunks`, `par_chunks`,
+//! [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`, and
+//! [`current_num_threads`].
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of external APIs it needs. Unlike a toy sequential
+//! shim, this implementation genuinely fans work out across OS threads
+//! (`std::thread::scope`), splitting inputs into contiguous blocks — one
+//! per worker — and reassembling results in input order, so the
+//! determinism guarantees the callers rely on hold for any worker count.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Worker count installed by the innermost active [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this thread:
+/// the installed pool's size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a [`ThreadPool`] (never produced by this shim; kept for
+/// API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped worker-count context: operations run inside
+/// [`ThreadPool::install`] split work across this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed as the ambient
+    /// parallelism for the duration of the call.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 means "use available parallelism").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Runs `task` over `threads` contiguous index blocks of `0..len` on scoped
+/// OS threads, returning per-block outputs in block order.
+fn run_blocks<R: Send>(len: usize, task: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().clamp(1, len.max(1));
+    let per = len.div_ceil(threads.max(1)).max(1);
+    let blocks: Vec<Range<usize>> = (0..threads)
+        .map(|t| (t * per).min(len)..((t + 1) * per).min(len))
+        .filter(|r| !r.is_empty())
+        .collect();
+    if blocks.len() <= 1 {
+        return blocks.into_iter().map(&task).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| {
+                let task = &task;
+                scope.spawn(move || task(block))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel indexed map: applies `f` to every index of `0..len`, returning
+/// outputs in index order.
+fn par_map_indexed<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut out = Vec::with_capacity(len);
+    for block in run_blocks(len, |range| range.map(&f).collect::<Vec<R>>()) {
+        out.extend(block);
+    }
+    out
+}
+
+pub mod iter {
+    //! The parallel-iterator types. Each pipeline the workspace uses gets a
+    //! concrete eager type; all of them reduce to block-parallel execution
+    //! with order-preserving reassembly.
+
+    use super::{par_map_indexed, run_blocks};
+    use std::ops::Range;
+
+    /// Conversion of an owned collection into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator produced.
+        type Iter;
+
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion of a borrowed collection into a parallel iterator over
+    /// references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The parallel iterator produced.
+        type Iter;
+
+        /// Converts `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// `par_chunks` over slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// A parallel iterator over contiguous chunks of length `size`
+        /// (the last chunk may be shorter).
+        fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ChunksIter { data: self, size }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { data: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { data: self }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { data: self }
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = RangeIter;
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter { range: self }
+        }
+    }
+
+    /// Parallel iterator over `&[T]`.
+    #[derive(Debug)]
+    pub struct SliceIter<'a, T> {
+        data: &'a [T],
+    }
+
+    impl<'a, T: Sync> SliceIter<'a, T> {
+        /// Maps every element through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> SliceMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            SliceMap { data: self.data, f }
+        }
+
+        /// Applies `f` to every element in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            run_blocks(self.data.len(), |range| {
+                for item in &self.data[range] {
+                    f(item);
+                }
+            });
+        }
+    }
+
+    /// Mapped parallel iterator over `&[T]`.
+    #[derive(Debug)]
+    pub struct SliceMap<'a, T, F> {
+        data: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> SliceMap<'a, T, F> {
+        /// Executes the pipeline and collects results in input order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let data = self.data;
+            let f = &self.f;
+            par_map_indexed(data.len(), |i| f(&data[i]))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec<T>`.
+    #[derive(Debug)]
+    pub struct VecIter<T> {
+        data: Vec<T>,
+    }
+
+    impl<T: Send> VecIter<T> {
+        /// Maps every element through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> VecMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            VecMap { data: self.data, f }
+        }
+    }
+
+    /// Mapped parallel iterator over an owned `Vec<T>`.
+    #[derive(Debug)]
+    pub struct VecMap<T, F> {
+        data: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, F> VecMap<T, F> {
+        /// Executes the pipeline and collects results in input order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let len = self.data.len();
+            let f = &self.f;
+            // Moving items out of the vector from worker threads: wrap each
+            // slot in an Option and take per index. To stay safe-only, the
+            // vector is converted into per-block sub-vectors first.
+            let mut blocks: Vec<Vec<T>> = Vec::new();
+            {
+                let threads = super::current_num_threads().clamp(1, len.max(1));
+                let per = len.div_ceil(threads.max(1)).max(1);
+                let mut rest = self.data;
+                while rest.len() > per {
+                    let tail = rest.split_off(per);
+                    blocks.push(std::mem::replace(&mut rest, tail));
+                }
+                blocks.push(rest);
+            }
+            if blocks.len() <= 1 {
+                return blocks.into_iter().flatten().map(f).collect();
+            }
+            let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = blocks
+                    .into_iter()
+                    .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel worker panicked"))
+                    .collect()
+            });
+            mapped.into_iter().flatten().collect()
+        }
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    #[derive(Debug)]
+    pub struct RangeIter {
+        range: Range<usize>,
+    }
+
+    impl RangeIter {
+        /// Groups the range into `Vec<usize>` chunks of length `size`.
+        pub fn chunks(self, size: usize) -> RangeChunks {
+            assert!(size > 0, "chunk size must be positive");
+            RangeChunks {
+                range: self.range,
+                size,
+            }
+        }
+
+        /// Maps every index through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> RangeMap<F>
+        where
+            R: Send,
+            F: Fn(usize) -> R + Sync,
+        {
+            RangeMap {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel iterator over a range of indices.
+    #[derive(Debug)]
+    pub struct RangeMap<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl<F> RangeMap<F> {
+        /// Executes the pipeline and collects results in index order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(usize) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let start = self.range.start;
+            let f = &self.f;
+            par_map_indexed(self.range.len(), |i| f(start + i))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Chunked parallel iterator over a range of indices.
+    #[derive(Debug)]
+    pub struct RangeChunks {
+        range: Range<usize>,
+        size: usize,
+    }
+
+    impl RangeChunks {
+        /// Maps every chunk (a `Vec<usize>` of consecutive indices) through
+        /// `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> RangeChunksMap<F>
+        where
+            R: Send,
+            F: Fn(Vec<usize>) -> R + Sync,
+        {
+            RangeChunksMap {
+                range: self.range,
+                size: self.size,
+                f,
+            }
+        }
+    }
+
+    /// Mapped chunked parallel iterator over a range of indices.
+    #[derive(Debug)]
+    pub struct RangeChunksMap<F> {
+        range: Range<usize>,
+        size: usize,
+        f: F,
+    }
+
+    impl<F> RangeChunksMap<F> {
+        /// Executes the pipeline and collects results in chunk order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(Vec<usize>) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let Self { range, size, f } = self;
+            let n_chunks = range.len().div_ceil(size);
+            let f = &f;
+            par_map_indexed(n_chunks, |c| {
+                let lo = range.start + c * size;
+                let hi = (lo + size).min(range.end);
+                f((lo..hi).collect())
+            })
+            .into_iter()
+            .collect()
+        }
+    }
+
+    /// Parallel iterator over slice chunks.
+    #[derive(Debug)]
+    pub struct ChunksIter<'a, T> {
+        data: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ChunksIter<'a, T> {
+        /// Maps every chunk through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ChunksMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+        {
+            ChunksMap {
+                data: self.data,
+                size: self.size,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel iterator over slice chunks.
+    #[derive(Debug)]
+    pub struct ChunksMap<'a, T, F> {
+        data: &'a [T],
+        size: usize,
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> ChunksMap<'a, T, F> {
+        /// Executes the pipeline and collects results in chunk order.
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let chunks: Vec<&'a [T]> = self.data.chunks(self.size).collect();
+            let f = &self.f;
+            par_map_indexed(chunks.len(), |i| f(chunks[i]))
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_map_preserves_order() {
+        let v: Vec<String> = (0..5_000).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out[9], 1);
+        assert_eq!(out[4999], 4);
+        assert_eq!(out.len(), 5_000);
+    }
+
+    #[test]
+    fn range_chunks_cover_everything() {
+        let sums: Vec<usize> = (0..1000usize)
+            .into_par_iter()
+            .chunks(64)
+            .map(|ids| ids.into_iter().sum::<usize>())
+            .collect();
+        assert_eq!(sums.iter().sum::<usize>(), 499_500);
+        assert_eq!(sums.len(), 16);
+    }
+
+    #[test]
+    fn par_chunks_matches_serial() {
+        let data: Vec<i64> = (0..777).collect();
+        let par: Vec<i64> = data.par_chunks(50).map(|c| c.iter().sum()).collect();
+        let ser: Vec<i64> = data.chunks(50).map(|c| c.iter().sum()).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn for_each_visits_every_element() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let v: Vec<u64> = (0..2_000).collect();
+        let sum = AtomicU64::new(0);
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1_999_000);
+    }
+
+    #[test]
+    fn pool_install_sets_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let out2: Vec<usize> = (0..0usize).into_par_iter().map(|x| x).collect();
+        assert!(out2.is_empty());
+    }
+}
