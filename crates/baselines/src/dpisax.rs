@@ -155,9 +155,8 @@ impl DpisaxIndex {
         if est <= self.config.capacity || depth >= max_depth || words.len() <= 1 {
             return;
         }
-        let (zeros, ones): (Vec<&ISaxWord>, Vec<&ISaxWord>) = words
-            .into_iter()
-            .partition(|w| self.bit_of(w, depth) == 0);
+        let (zeros, ones): (Vec<&ISaxWord>, Vec<&ISaxWord>) =
+            words.into_iter().partition(|w| self.bit_of(w, depth) == 0);
         let mk = |depth: u32, len: usize| Node {
             depth,
             count: (len as f64 * scale) as u64,
@@ -203,12 +202,7 @@ impl DpisaxIndex {
     }
 
     /// Single-partition approximate kNN query.
-    pub fn query<S: PartitionStore>(
-        &self,
-        store: &S,
-        query: &[f32],
-        k: usize,
-    ) -> BaselineOutcome {
+    pub fn query<S: PartitionStore>(&self, store: &S, query: &[f32], k: usize) -> BaselineOutcome {
         assert!(k > 0, "k must be positive");
         let w = word_of(query, &self.config);
         let pid = self.route(&w);

@@ -210,12 +210,6 @@ mod tests {
     #[should_panic(expected = "at most 64 bits")]
     fn oversized_hash_rejected() {
         let ds = Domain::Dna.generate(10, 91);
-        LshIndex::build(
-            &ds,
-            LshConfig {
-                bits: 65,
-                ..cfg()
-            },
-        );
+        LshIndex::build(&ds, LshConfig { bits: 65, ..cfg() });
     }
 }

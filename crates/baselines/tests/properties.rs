@@ -9,7 +9,7 @@ use climber_baselines::odyssey::{OdysseyConfig, OdysseyIndex};
 use climber_baselines::tardis::{TardisConfig, TardisIndex};
 use climber_dfs::sample::scatter_dataset;
 use climber_dfs::store::{MemStore, PartitionStore};
-use climber_series::gen::{Domain, SeriesGenerator, RandomWalkGenerator};
+use climber_series::gen::{Domain, RandomWalkGenerator, SeriesGenerator};
 use climber_series::ground_truth::exact_knn;
 use proptest::prelude::*;
 

@@ -11,10 +11,10 @@ use climber_bench::paper::FIG10B_RECALL_VS_PIVOTS;
 use climber_bench::runner::{dataset, sweep, workload};
 use climber_bench::table::{f2, f3, Table};
 use climber_bench::{banner, default_k, default_n, default_queries, experiment_config, QUERY_SEED};
-use climber_core::index::builder::IndexBuilder;
 use climber_core::dfs::store::MemStore;
-use climber_core::Climber;
+use climber_core::index::builder::IndexBuilder;
 use climber_core::series::gen::Domain;
+use climber_core::Climber;
 
 fn main() {
     let n = default_n();

@@ -73,7 +73,10 @@ fn main() {
 
     // ---------------- (b) OD-Smallest relative scores ----------------
     for (domain, paper) in [(Domain::Dna, FIG11B_DNA), (Domain::Eeg, FIG11B_EEG)] {
-        println!("\n(b) OD-Smallest / variant relative scores ({}):", domain.name());
+        println!(
+            "\n(b) OD-Smallest / variant relative scores ({}):",
+            domain.name()
+        );
         let ds = dataset(domain, n);
         // Paper geometry: each group spans many partitions, so a full
         // group scan reads a large multiple of a one-node query. Use a

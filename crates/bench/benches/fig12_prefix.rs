@@ -12,8 +12,8 @@ use climber_bench::table::{f2, Table};
 use climber_bench::{banner, default_k, default_n, default_queries, experiment_config, QUERY_SEED};
 use climber_core::dfs::store::MemStore;
 use climber_core::index::builder::IndexBuilder;
-use climber_core::Climber;
 use climber_core::series::gen::Domain;
+use climber_core::Climber;
 use climber_pivot::decay::DecayFunction;
 
 fn main() {

@@ -8,9 +8,7 @@
 //! is 25-35+ points above DPiSAX and TARDIS on every dataset.
 
 use climber_bench::paper::FIG7B_RECALL;
-use climber_bench::runner::{
-    build_climber, build_dpisax, build_tardis, dataset, sweep, workload,
-};
+use climber_bench::runner::{build_climber, build_dpisax, build_tardis, dataset, sweep, workload};
 use climber_bench::table::{f3, ms, Table};
 use climber_bench::{banner, default_k, default_n, default_queries, experiment_config, QUERY_SEED};
 use climber_core::baselines::dss::dss_query;
@@ -31,7 +29,10 @@ fn main() {
         "recall",
         "paper-recall",
     ]);
-    for (domain, paper) in climber_bench::FIGURE_DOMAINS.iter().zip(FIG7B_RECALL.iter()) {
+    for (domain, paper) in climber_bench::FIGURE_DOMAINS
+        .iter()
+        .zip(FIG7B_RECALL.iter())
+    {
         let ds = dataset(*domain, n);
         let (queries, truth) = workload(&ds, nq, k, QUERY_SEED);
         let cap = experiment_config(n).capacity;

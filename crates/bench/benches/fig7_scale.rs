@@ -7,9 +7,7 @@
 //! CLIMBER and stays far above the iSAX systems throughout.
 
 use climber_bench::paper::FIG7D_RECALL_VS_SIZE;
-use climber_bench::runner::{
-    build_climber, build_dpisax, build_tardis, dataset, sweep, workload,
-};
+use climber_bench::runner::{build_climber, build_dpisax, build_tardis, dataset, sweep, workload};
 use climber_bench::table::{f3, ms, Table};
 use climber_bench::{banner, default_k, default_n, default_queries, experiment_config, QUERY_SEED};
 use climber_core::baselines::dss::dss_query;
@@ -27,7 +25,11 @@ fn main() {
     // Five sizes standing in for 200..1000 GB.
     let sizes: Vec<usize> = [2, 4, 6, 8, 10].iter().map(|m| base * m / 4).collect();
     let mut table = Table::new(vec![
-        "N", "system", "time(ms)", "recall", "paper-recall@size",
+        "N",
+        "system",
+        "time(ms)",
+        "recall",
+        "paper-recall@size",
     ]);
     for (i, &n) in sizes.iter().enumerate() {
         let ds = dataset(Domain::RandomWalk, n);

@@ -8,9 +8,7 @@
 //! while Dss is orders of magnitude slower.
 
 use climber_bench::paper::{FIG9A_RECALL_VS_K, FIG9B_TIME_VS_K};
-use climber_bench::runner::{
-    build_climber, build_dpisax, build_tardis, dataset, sweep, workload,
-};
+use climber_bench::runner::{build_climber, build_dpisax, build_tardis, dataset, sweep, workload};
 use climber_bench::table::{f3, ms, Table};
 use climber_bench::{banner, default_n, default_queries, experiment_config, QUERY_SEED};
 use climber_core::baselines::dss::dss_query;
@@ -64,9 +62,10 @@ fn main() {
             format!("{:.1}", pb.4),
         ]);
 
-        for (name, factor, paper_recall, paper_time) in
-            [("Adaptive-2X", 2usize, pa.1, pb.3), ("Adaptive-4X", 4, pa.1, pb.2)]
-        {
+        for (name, factor, paper_recall, paper_time) in [
+            ("Adaptive-2X", 2usize, pa.1, pb.3),
+            ("Adaptive-4X", 4, pa.1, pb.2),
+        ] {
             let s = sweep(&ds, &queries, &truth, |q| {
                 let o = built.climber.knn_adaptive(q, k, factor);
                 (o.results, o.records_scanned, o.partitions_opened)

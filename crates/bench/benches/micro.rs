@@ -22,7 +22,9 @@ fn bench_distances(c: &mut Criterion) {
     let x = ds.get(0).to_vec();
     let y = ds.get(1).to_vec();
     let mut g = c.benchmark_group("distance");
-    g.bench_function("sq_ed_256", |b| b.iter(|| sq_ed(black_box(&x), black_box(&y))));
+    g.bench_function("sq_ed_256", |b| {
+        b.iter(|| sq_ed(black_box(&x), black_box(&y)))
+    });
     g.bench_function("ed_256", |b| b.iter(|| ed(black_box(&x), black_box(&y))));
     g.bench_function("ed_early_abandon_tight", |b| {
         b.iter(|| ed_early_abandon(black_box(&x), black_box(&y), 1.0))

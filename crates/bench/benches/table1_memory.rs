@@ -39,9 +39,9 @@ fn main() {
         .map(|m| base * m / 4)
         .collect();
     let payload_per_series = 256 * 4; // RandomWalk record bytes
-    // Budgets sit between consecutive sweep sizes so the X cells land at
-    // the paper's positions: Odyssey X from the 5th size (1 TB analog),
-    // HNSW X from the 3rd (600 GB analog, ParlayANN).
+                                      // Budgets sit between consecutive sweep sizes so the X cells land at
+                                      // the paper's positions: Odyssey X from the 5th size (1 TB analog),
+                                      // HNSW X from the 3rd (600 GB analog, ParlayANN).
     let odyssey_budget = (sizes[3] * payload_per_series) as u64 * 9 / 8;
     let hnsw_budget = (sizes[1] * payload_per_series) as u64 * 3 / 2;
 

@@ -102,9 +102,5 @@ pub fn banner(figure: &str, detail: &str) {
 }
 
 /// The domain order the paper's bar charts use.
-pub const FIGURE_DOMAINS: [Domain; 4] = [
-    Domain::RandomWalk,
-    Domain::TexMex,
-    Domain::Eeg,
-    Domain::Dna,
-];
+pub const FIGURE_DOMAINS: [Domain; 4] =
+    [Domain::RandomWalk, Domain::TexMex, Domain::Eeg, Domain::Dna];

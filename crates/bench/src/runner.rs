@@ -44,7 +44,12 @@ where
 }
 
 /// Generates the standard workload + ground truth for a dataset.
-pub fn workload(ds: &Dataset, queries: usize, k: usize, seed: u64) -> (Vec<u64>, Vec<Vec<(u64, f64)>>) {
+pub fn workload(
+    ds: &Dataset,
+    queries: usize,
+    k: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<Vec<(u64, f64)>>) {
     let qs = query_workload(ds, queries, seed);
     let truth: Vec<Vec<(u64, f64)>> = qs.iter().map(|&q| exact_knn(ds, ds.get(q), k)).collect();
     (qs, truth)

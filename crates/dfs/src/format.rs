@@ -264,7 +264,10 @@ mod tests {
         let mut w = PartitionWriter::new(3, 4);
         w.push_cluster(
             100,
-            vec![(1u64, &[1.0f32, 2.0, 3.0, 4.0][..]), (2, &[5.0, 6.0, 7.0, 8.0])],
+            vec![
+                (1u64, &[1.0f32, 2.0, 3.0, 4.0][..]),
+                (2, &[5.0, 6.0, 7.0, 8.0]),
+            ],
         );
         w.push_cluster(200, vec![(3u64, &[9.0f32, 10.0, 11.0, 12.0][..])]);
         w.finish()

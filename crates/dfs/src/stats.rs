@@ -49,7 +49,9 @@ impl IoStats {
 
     /// Records a partition write of `bytes` bytes.
     pub fn on_partition_write(&self, bytes: u64) {
-        self.inner.partitions_written.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .partitions_written
+            .fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
@@ -65,7 +67,9 @@ impl IoStats {
 
     /// Records `records` decoded records.
     pub fn on_records_read(&self, records: u64) {
-        self.inner.records_read.fetch_add(records, Ordering::Relaxed);
+        self.inner
+            .records_read
+            .fetch_add(records, Ordering::Relaxed);
     }
 
     /// Records `records` shuffled records.

@@ -98,12 +98,10 @@ impl PartitionStore for MemStore {
     }
 
     fn open(&self, id: PartitionId) -> io::Result<PartitionReader> {
-        let bytes = self
-            .parts
-            .read()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("partition {id}")))?;
+        let bytes =
+            self.parts.read().get(&id).cloned().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("partition {id}"))
+            })?;
         self.stats.on_partition_open();
         let reader = PartitionReader::open(bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -246,10 +244,7 @@ mod tests {
 
     #[test]
     fn disk_store_ids_survive_reopen() {
-        let dir = std::env::temp_dir().join(format!(
-            "climber-dfs-reopen-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("climber-dfs-reopen-{}", std::process::id()));
         {
             let store = DiskStore::new(&dir).unwrap();
             store.put(7, encode_partition(0, 1, 2)).unwrap();

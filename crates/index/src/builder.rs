@@ -93,7 +93,11 @@ impl IndexBuilder {
 
     /// Builds the index over `ds`, writing partitions into `store`.
     /// Returns the skeleton and a build report.
-    pub fn build<S: PartitionStore>(&self, ds: &Dataset, store: &S) -> (IndexSkeleton, BuildReport) {
+    pub fn build<S: PartitionStore>(
+        &self,
+        ds: &Dataset,
+        store: &S,
+    ) -> (IndexSkeleton, BuildReport) {
         let cfg = &self.config;
         cfg.validate(ds.series_len());
         assert!(ds.num_series() > 0, "cannot index an empty dataset");
@@ -106,9 +110,9 @@ impl IndexBuilder {
         let achieved_alpha = sampled_records as f64 / ds.num_series() as f64;
 
         // Step 1: PAA + pivots + rank-sensitive signatures of the sample.
-        let sample_paa: Vec<Vec<f64>> = self.cluster.par_map(sample_ids.clone(), |id| {
-            paa(ds.get(id), cfg.paa_segments)
-        });
+        let sample_paa: Vec<Vec<f64>> = self
+            .cluster
+            .par_map(sample_ids.clone(), |id| paa(ds.get(id), cfg.paa_segments));
         let pivots = select_pivots(&sample_paa, cfg.num_pivots, cfg.seed);
         let bpivots = Broadcast::new(pivots);
         let sensitive: Vec<Vec<PivotId>> = {
@@ -171,8 +175,7 @@ impl IndexBuilder {
         let mut groups: Vec<GroupMeta> = Vec::with_capacity(centroids.len() + 1);
         let mut partition_group: BTreeMap<PartitionId, GroupId> = BTreeMap::new();
         for (g, members) in group_members.iter().enumerate() {
-            let refs: Vec<(&[PivotId], u64)> =
-                members.iter().map(|(s, c)| (&s[..], *c)).collect();
+            let refs: Vec<(&[PivotId], u64)> = members.iter().map(|(s, c)| (&s[..], *c)).collect();
             // The fall-back group holds structurally unrelated objects, so
             // it gets no trie (Figure 5 shows G0 as a bare entry).
             let mut trie = if g == FALLBACK_GROUP as usize {
@@ -247,16 +250,13 @@ impl IndexBuilder {
             .iter()
             .filter(|p| p.group == FALLBACK_GROUP)
             .count() as u64;
-        let default_routed_records =
-            placements.iter().filter(|p| p.via_default).count() as u64;
+        let default_routed_records = placements.iter().filter(|p| p.via_default).count() as u64;
         let routed: Vec<(u64, Placement)> = placements
             .into_iter()
             .enumerate()
             .map(|(i, p)| (i as u64, p))
             .collect();
-        let by_partition = self
-            .cluster
-            .shuffle_by_key(routed, |&(_, p)| p.partition);
+        let by_partition = self.cluster.shuffle_by_key(routed, |&(_, p)| p.partition);
 
         // Write every planned partition, including ones that received no
         // records, so the store's id set matches the skeleton.
@@ -274,7 +274,9 @@ impl IndexBuilder {
             for (node, sids) in clusters {
                 writer.push_cluster(node, sids.iter().map(|&sid| (sid, ds.get(sid))));
             }
-            store.put(pid, writer.finish()).expect("partition write failed");
+            store
+                .put(pid, writer.finish())
+                .expect("partition write failed");
         }
         let redistribution_secs = t2.elapsed().as_secs_f64();
 

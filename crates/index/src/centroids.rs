@@ -79,10 +79,7 @@ pub fn compute_centroids(
     let mut stop_reason = StopReason::ListExhausted;
     for &&(ref sig, freq) in l.iter().skip(1) {
         // Lines 5-9: skip candidates too close to an existing centroid.
-        if centroids
-            .iter()
-            .any(|c| overlap_distance(c, sig) < epsilon)
-        {
+        if centroids.iter().any(|c| overlap_distance(c, sig) < epsilon) {
             continue;
         }
         // Lines 10-12: estimated group size, assuming the remaining

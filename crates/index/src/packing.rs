@@ -87,7 +87,11 @@ mod tests {
         let items: Vec<PackItem<u32>> = vec![(0, 25), (1, 3), (2, 30)];
         let bins = first_fit_decreasing(&items, 10);
         assert_eq!(bins.len(), 3);
-        let oversized: Vec<u64> = bins.iter().filter(|b| b.total > 10).map(|b| b.total).collect();
+        let oversized: Vec<u64> = bins
+            .iter()
+            .filter(|b| b.total > 10)
+            .map(|b| b.total)
+            .collect();
         assert_eq!(oversized.len(), 2);
     }
 
@@ -116,7 +120,7 @@ mod tests {
         ];
         for items in workloads {
             let cap = 64;
-            let bins = first_fit_decreasing(&items, cap) ;
+            let bins = first_fit_decreasing(&items, cap);
             let lb = bin_lower_bound(&items, cap);
             assert!(
                 (bins.len() as u64) <= (3 * lb).div_ceil(2) + 1,

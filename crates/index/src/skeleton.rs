@@ -97,7 +97,12 @@ impl IndexSkeleton {
         if centroids.is_empty() {
             return FALLBACK_GROUP;
         }
-        match assign_group(&centroids, sig, self.decay, splitmix64(self.seed ^ tie_seed)) {
+        match assign_group(
+            &centroids,
+            sig,
+            self.decay,
+            splitmix64(self.seed ^ tie_seed),
+        ) {
             Assignment::Fallback => FALLBACK_GROUP,
             a => a.centroid().expect("non-fallback has centroid") as GroupId + 1,
         }
@@ -382,12 +387,7 @@ mod tests {
     /// 2 real groups + fallback, group 1 with a trivial trie, group 2 with
     /// a 2-level trie.
     fn toy_skeleton() -> IndexSkeleton {
-        let pivots = PivotSet::from_points(vec![
-            vec![0.0],
-            vec![10.0],
-            vec![20.0],
-            vec![30.0],
-        ]);
+        let pivots = PivotSet::from_points(vec![vec![0.0], vec![10.0], vec![20.0], vec![30.0]]);
         let mut next_node = 0u64;
 
         // fall-back group: trivial trie, partition 0
@@ -406,8 +406,7 @@ mod tests {
         t1.assign_partitions(&m1);
 
         // group 2 (centroid <2,3>): split on 1st pivot, partitions 2,3
-        let members2: Vec<(Vec<PivotId>, u64)> =
-            vec![(vec![2, 3], 80), (vec![3, 2], 70)];
+        let members2: Vec<(Vec<PivotId>, u64)> = vec![(vec![2, 3], 80), (vec![3, 2], 70)];
         let refs2: Vec<(&[PivotId], u64)> = members2.iter().map(|(s, c)| (&s[..], *c)).collect();
         let mut t2 = Trie::build(&refs2, 100, 2, &mut next_node);
         let leaves = t2.leaves();
@@ -490,9 +489,8 @@ mod tests {
         let sk = toy_skeleton();
         // craft a signature with pivots outside every centroid — impossible
         // here with 4 pivots all covered, so shrink to a direct call:
-        let sig = DualSignature::from_sensitive(
-            climber_pivot::signature::RankSensitive(vec![0, 3]),
-        );
+        let sig =
+            DualSignature::from_sensitive(climber_pivot::signature::RankSensitive(vec![0, 3]));
         // centroids are {0,1} and {2,3}: overlap 1 each → not fallback.
         let (gs, _) = sk.groups_by_overlap(&sig);
         assert_eq!(gs, vec![1, 2]);

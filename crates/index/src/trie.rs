@@ -509,11 +509,7 @@ mod tests {
         // every internal node's size equals the sum of its children's
         for n in t.nodes() {
             if !n.is_leaf() {
-                let child_sum: u64 = n
-                    .children
-                    .iter()
-                    .map(|&(_, c)| t.node(c).est_size)
-                    .sum();
+                let child_sum: u64 = n.children.iter().map(|&(_, c)| t.node(c).est_size).sum();
                 assert_eq!(n.est_size, child_sum, "node {}", n.id);
             }
         }

@@ -22,13 +22,7 @@ fn insensitive(m: usize) -> impl Strategy<Value = RankInsensitive> {
 
 /// Strategy: members for a trie — (signature of length 4, count).
 fn trie_members() -> impl Strategy<Value = Vec<(Vec<PivotId>, u64)>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(0u16..12, 4),
-            1u64..500,
-        ),
-        1..40,
-    )
+    prop::collection::vec((prop::collection::vec(0u16..12, 4), 1u64..500), 1..40)
 }
 
 proptest! {

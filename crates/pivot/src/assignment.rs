@@ -37,9 +37,7 @@ impl Assignment {
     pub fn centroid(&self) -> Option<usize> {
         match *self {
             Assignment::Fallback => None,
-            Assignment::ByOverlap(i) | Assignment::ByWeight(i) | Assignment::ByRandom(i) => {
-                Some(i)
-            }
+            Assignment::ByOverlap(i) | Assignment::ByWeight(i) | Assignment::ByRandom(i) => Some(i),
         }
     }
 }
@@ -213,12 +211,12 @@ mod tests {
         }
         // Different seeds eventually pick both groups.
         let picks: std::collections::HashSet<usize> = (0..32)
-            .map(|s| {
-                match assign_group(&c, &dual(&[6, 2, 7]), DecayFunction::DEFAULT, s) {
+            .map(
+                |s| match assign_group(&c, &dual(&[6, 2, 7]), DecayFunction::DEFAULT, s) {
                     Assignment::ByRandom(i) => i,
                     other => panic!("expected random tie-break, got {other:?}"),
-                }
-            })
+                },
+            )
             .collect();
         assert_eq!(picks.len(), 2, "both tied groups should be reachable");
     }
@@ -289,7 +287,11 @@ mod tests {
         let c = vec![ri(&[1, 2, 3]), ri(&[5, 4, 2])];
         let sig = dual(&[5, 4, 2]); // P4↛ = <2,4,5> — overlaps o2 fully
         let od_choice = assign_group(&c, &sig, DecayFunction::DEFAULT, 0);
-        assert_eq!(od_choice, Assignment::ByOverlap(1), "Algorithm 1 is unambiguous");
+        assert_eq!(
+            od_choice,
+            Assignment::ByOverlap(1),
+            "Algorithm 1 is unambiguous"
+        );
         // whatever footrule picks, Algorithm 1's pick has OD 0 — the
         // correctness criterion the ablation measures end-to-end.
         let naive = assign_group_naive_footrule(&c, &sig);
@@ -299,8 +301,7 @@ mod tests {
     #[test]
     fn splitmix_is_deterministic_and_spreads() {
         assert_eq!(splitmix64(42), splitmix64(42));
-        let distinct: std::collections::HashSet<u64> =
-            (0..1000u64).map(splitmix64).collect();
+        let distinct: std::collections::HashSet<u64> = (0..1000u64).map(splitmix64).collect();
         assert_eq!(distinct.len(), 1000);
     }
 }

@@ -53,11 +53,7 @@ fn intersection_size(a: &[u16], b: &[u16]) -> usize {
 ///
 /// Lower is better: the more of X's pivots present in the centroid — and the
 /// nearer to the front they sit — the smaller the distance.
-pub fn weight_distance(
-    x: &RankSensitive,
-    centroid: &RankInsensitive,
-    decay: DecayFunction,
-) -> f64 {
+pub fn weight_distance(x: &RankSensitive, centroid: &RankInsensitive, decay: DecayFunction) -> f64 {
     let m = x.len();
     assert!(m > 0, "weight distance of an empty signature");
     let total = decay.total_weight(m);
@@ -76,7 +72,11 @@ pub fn weight_distance(
 /// Ids present in only one signature are assigned the "just past the end"
 /// rank `m` (the standard induced-footrule convention for top-m lists).
 pub fn spearman_footrule(a: &RankSensitive, b: &RankSensitive) -> usize {
-    assert_eq!(a.len(), b.len(), "footrule requires equal-length signatures");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "footrule requires equal-length signatures"
+    );
     let m = a.len();
     let rank_in = |sig: &RankSensitive, id: u16| -> usize {
         sig.0.iter().position(|&p| p == id).unwrap_or(m)
@@ -97,7 +97,11 @@ pub fn spearman_footrule(a: &RankSensitive, b: &RankSensitive) -> usize {
 /// rank-sensitive signatures, again with absent ids ranked `m`
 /// (the induced top-m Kendall distance).
 pub fn kendall_tau(a: &RankSensitive, b: &RankSensitive) -> usize {
-    assert_eq!(a.len(), b.len(), "kendall tau requires equal-length signatures");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "kendall tau requires equal-length signatures"
+    );
     let m = a.len();
     let rank_in = |sig: &RankSensitive, id: u16| -> usize {
         sig.0.iter().position(|&p| p == id).unwrap_or(m)

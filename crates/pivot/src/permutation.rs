@@ -59,8 +59,8 @@ pub fn pivot_permutation_prefix(pivots: &PivotSet, point: &[f64], m: usize) -> V
         let worst = heap[m - 1];
         if d.total_cmp(&worst.0).then(id.cmp(&worst.1)).is_lt() {
             // insert in sorted position, drop the worst
-            let pos = heap
-                .partition_point(|&(hd, hid)| hd.total_cmp(&d).then(hid.cmp(&id)).is_lt());
+            let pos =
+                heap.partition_point(|&(hd, hid)| hd.total_cmp(&d).then(hid.cmp(&id)).is_lt());
             heap.insert(pos, (d, id));
             heap.pop();
         }

@@ -5,9 +5,9 @@
 //! sophisticated selection method" — citing the PPP literature). Once
 //! chosen, the pivots remain fixed for the lifetime of the index.
 
+use climber_repr::paa::paa;
 use climber_series::dataset::Dataset;
 use climber_series::sampling::reservoir_sample;
-use climber_repr::paa::paa;
 
 /// Identifier of a pivot within a [`PivotSet`] (dense, 0-based).
 pub type PivotId = u16;

@@ -159,7 +159,10 @@ mod tests {
             let plain = plan_knn(&skeleton, &sig, qid);
             let k = (plain.primary_node_size as usize + 1) * 4;
             let adaptive = plan_adaptive(&skeleton, &sig, k, 4, qid);
-            assert!(adaptive.est_candidates >= plain.est_candidates, "query {qid}");
+            assert!(
+                adaptive.est_candidates >= plain.est_candidates,
+                "query {qid}"
+            );
             if adaptive.est_candidates > plain.est_candidates {
                 expanded += 1;
             }

@@ -156,8 +156,7 @@ mod tests {
         for &qid in &queries {
             let exact = exact_knn(&ds, ds.get(qid), k);
             r_knn += recall_of_results(&engine.knn(ds.get(qid), k).results, &exact);
-            r_adp +=
-                recall_of_results(&engine.knn_adaptive(ds.get(qid), k, 4).results, &exact);
+            r_adp += recall_of_results(&engine.knn_adaptive(ds.get(qid), k, 4).results, &exact);
         }
         assert!(
             r_adp >= r_knn - 1e-9,
@@ -184,8 +183,14 @@ mod tests {
             rec_knn += recall_of_results(&a.results, &exact);
             rec_ods += recall_of_results(&b.results, &exact);
         }
-        assert!(scan_ods >= scan_knn, "OD-Smallest must scan at least as much");
-        assert!(rec_ods >= rec_knn - 1e-9, "OD-Smallest must recall at least as much");
+        assert!(
+            scan_ods >= scan_knn,
+            "OD-Smallest must scan at least as much"
+        );
+        assert!(
+            rec_ods >= rec_knn - 1e-9,
+            "OD-Smallest must recall at least as much"
+        );
     }
 
     #[test]
@@ -194,10 +199,7 @@ mod tests {
         let engine = KnnEngine::new(&skeleton, &store);
         let q = ds.get(9);
         assert_eq!(engine.knn(q, 10), engine.knn(q, 10));
-        assert_eq!(
-            engine.knn_adaptive(q, 50, 2),
-            engine.knn_adaptive(q, 50, 2)
-        );
+        assert_eq!(engine.knn_adaptive(q, 50, 2), engine.knn_adaptive(q, 50, 2));
     }
 
     #[test]

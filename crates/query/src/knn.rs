@@ -71,18 +71,18 @@ pub fn descend_group(skeleton: &IndexSkeleton, g: GroupId, sig: &DualSignature) 
 /// Lines 10-19: descends every candidate group and applies the
 /// longest-path → largest-size → random ladder, returning the single
 /// winner.
-pub fn select_primary(
-    skeleton: &IndexSkeleton,
-    sig: &DualSignature,
-    qseed: u64,
-) -> GroupDescent {
+pub fn select_primary(skeleton: &IndexSkeleton, sig: &DualSignature, qseed: u64) -> GroupDescent {
     let groups = select_groups(skeleton, sig);
     let mut descents: Vec<GroupDescent> = groups
         .iter()
         .map(|&g| descend_group(skeleton, g, sig))
         .collect();
     // longest path
-    let max_path = descents.iter().map(|d| d.path_len).max().expect("non-empty");
+    let max_path = descents
+        .iter()
+        .map(|d| d.path_len)
+        .max()
+        .expect("non-empty");
     descents.retain(|d| d.path_len == max_path);
     // largest node size
     let max_size = descents.iter().map(|d| d.size).max().expect("non-empty");
@@ -115,12 +115,7 @@ pub fn plan_knn(skeleton: &IndexSkeleton, sig: &DualSignature, qseed: u64) -> Qu
 /// Adds the reads for one `(group, node)` selection to a plan: every leaf
 /// cluster under the node (in its packed partition), plus the group's
 /// overflow cluster when the node is the trie root.
-pub fn add_node_reads(
-    skeleton: &IndexSkeleton,
-    g: GroupId,
-    node: NodeIdx,
-    plan: &mut QueryPlan,
-) {
+pub fn add_node_reads(skeleton: &IndexSkeleton, g: GroupId, node: NodeIdx, plan: &mut QueryPlan) {
     let meta = &skeleton.groups[g as usize];
     let trie = &meta.trie;
     for leaf_idx in trie.leaves_under(node) {
@@ -201,7 +196,10 @@ mod tests {
     fn plan_is_deterministic() {
         let (skeleton, _, ds) = build_index();
         let sig = skeleton.extract_signature(ds.get(123));
-        assert_eq!(plan_knn(&skeleton, &sig, 123), plan_knn(&skeleton, &sig, 123));
+        assert_eq!(
+            plan_knn(&skeleton, &sig, 123),
+            plan_knn(&skeleton, &sig, 123)
+        );
     }
 
     #[test]

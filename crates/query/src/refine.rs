@@ -98,10 +98,10 @@ mod tests {
     fn toy_store() -> MemStore {
         let store = MemStore::new();
         let mut w = PartitionWriter::new(0, 2);
-        let near: Vec<(u64, Vec<f32>)> =
-            (0..4).map(|i| (i, vec![i as f32 * 0.1, 0.0])).collect();
-        let far: Vec<(u64, Vec<f32>)> =
-            (10..14).map(|i| (i, vec![100.0 + i as f32, 100.0])).collect();
+        let near: Vec<(u64, Vec<f32>)> = (0..4).map(|i| (i, vec![i as f32 * 0.1, 0.0])).collect();
+        let far: Vec<(u64, Vec<f32>)> = (10..14)
+            .map(|i| (i, vec![100.0 + i as f32, 100.0]))
+            .collect();
         w.push_cluster(1, near.iter().map(|(id, v)| (*id, v.as_slice())));
         w.push_cluster(2, far.iter().map(|(id, v)| (*id, v.as_slice())));
         store.put(0, w.finish()).unwrap();

@@ -9,7 +9,7 @@ use climber_query::engine::KnnEngine;
 use climber_query::knn::plan_knn;
 use climber_query::od_smallest::plan_od_smallest;
 use climber_series::dataset::Dataset;
-use climber_series::gen::{Domain, SeriesGenerator, RandomWalkGenerator};
+use climber_series::gen::{Domain, RandomWalkGenerator, SeriesGenerator};
 use proptest::prelude::*;
 
 /// Builds a small index over a seeded random-walk dataset.

@@ -137,10 +137,7 @@ mod tests {
         for w in [1, 2, 4, 8, 16, 32, 64] {
             let pd = paa_dist(&paa(&x, w), &paa(&y, w), 64);
             let true_d = ed(&x, &y);
-            assert!(
-                pd <= true_d + 1e-9,
-                "w={w}: paa_dist {pd} > ED {true_d}"
-            );
+            assert!(pd <= true_d + 1e-9, "w={w}: paa_dist {pd} > ED {true_d}");
         }
     }
 

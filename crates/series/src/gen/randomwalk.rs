@@ -82,7 +82,10 @@ mod tests {
                 / (buf.len() - 1) as f64;
             mean_abs_diff += d / REPS as f64;
         }
-        assert!(mean_abs_diff < 0.5, "walks look like noise: {mean_abs_diff}");
+        assert!(
+            mean_abs_diff < 0.5,
+            "walks look like noise: {mean_abs_diff}"
+        );
     }
 
     #[test]

@@ -148,11 +148,10 @@ mod tests {
         // z-normalised shapes.
         let mut distinct: Vec<Vec<f32>> = Vec::new();
         for (_, v) in ds.iter() {
-            if !distinct.iter().any(|d| {
-                d.iter()
-                    .zip(v.iter())
-                    .all(|(a, b)| (a - b).abs() < 1e-5)
-            }) {
+            if !distinct
+                .iter()
+                .any(|d| d.iter().zip(v.iter()).all(|(a, b)| (a - b).abs() < 1e-5))
+            {
                 distinct.push(v.to_vec());
             }
         }

@@ -79,8 +79,8 @@ pub fn exact_knn_serial(ds: &Dataset, query: &[f32], k: usize) -> Vec<(u64, f64)
 mod tests {
     use super::*;
     use crate::distance::sq_ed;
-    use crate::gen::{Domain, SeriesGenerator};
     use crate::gen::RandomWalkGenerator;
+    use crate::gen::{Domain, SeriesGenerator};
 
     fn brute_force(ds: &Dataset, q: &[f32], k: usize) -> Vec<(u64, f64)> {
         let mut all: Vec<(u64, f64)> = ds.iter().map(|(id, v)| (id, sq_ed(q, v))).collect();

@@ -110,10 +110,7 @@ pub fn read_delimited(
         }
         let values: Result<Vec<f32>, _> = fields.map(|f| f.trim().parse::<f32>()).collect();
         let values = values.map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {line_no}: {e}"),
-            )
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {e}"))
         })?;
         if values.is_empty() {
             return Err(io::Error::new(

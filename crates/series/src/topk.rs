@@ -134,7 +134,10 @@ mod tests {
             t.offer(id, d);
         }
         let out = t.into_sorted();
-        assert_eq!(out.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![1, 3, 2]);
+        assert_eq!(
+            out.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![1, 3, 2]
+        );
     }
 
     #[test]
@@ -156,7 +159,10 @@ mod tests {
         t.offer(3, 1.0);
         t.offer(1, 1.0);
         let out = t.into_sorted();
-        assert_eq!(out.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            out.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
     }
 
     #[test]
@@ -193,7 +199,10 @@ mod tests {
         b.offer(3, 9.0);
         a.merge(b);
         let out = a.into_sorted();
-        assert_eq!(out.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![2, 1]);
+        assert_eq!(
+            out.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![2, 1]
+        );
     }
 
     #[test]

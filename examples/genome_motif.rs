@@ -39,7 +39,11 @@ fn main() {
         "algorithm", "recall", "records read", "partitions"
     );
     let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
-    for (name, factor) in [("CLIMBER-kNN", 0usize), ("Adaptive-2X", 2), ("Adaptive-4X", 4)] {
+    for (name, factor) in [
+        ("CLIMBER-kNN", 0usize),
+        ("Adaptive-2X", 2),
+        ("Adaptive-4X", 4),
+    ] {
         let (mut r, mut recs, mut parts) = (0.0, 0.0, 0.0);
         for &qid in &queries {
             let out = if factor == 0 {

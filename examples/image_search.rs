@@ -28,7 +28,10 @@ fn main() {
     let corpus = Domain::TexMex.generate(n, 77);
     let queries = query_workload(&corpus, 12, 5);
 
-    println!("{:<16} {:>10} {:>10} {:>8}", "system", "build(s)", "query(ms)", "recall");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "system", "build(s)", "query(ms)", "recall"
+    );
 
     // CLIMBER (disk-class system, measured with in-memory store here).
     let t = Instant::now();

@@ -44,7 +44,10 @@ fn main() {
     drop(built); // service restarts ...
 
     let service = Climber::open(&dir).expect("reopen index");
-    println!("index reopened; skeleton is {} bytes in memory", service.global_index_bytes());
+    println!(
+        "index reopened; skeleton is {} bytes in memory",
+        service.global_index_bytes()
+    );
 
     // Probes: noisy versions of real episodes (a live channel never exactly
     // repeats an archived one).

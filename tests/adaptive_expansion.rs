@@ -104,7 +104,10 @@ fn od_smallest_dominates_data_access() {
         rec_fast += recall_of_results(&fast.results, &exact) / queries.len() as f64;
         rec_scan += recall_of_results(&scan.results, &exact) / queries.len() as f64;
     }
-    assert!(acc_scan >= acc_fast, "OD-Smallest read less than Adaptive-4X");
+    assert!(
+        acc_scan >= acc_fast,
+        "OD-Smallest read less than Adaptive-4X"
+    );
     assert!(rec_scan >= rec_fast - 1e-9, "OD-Smallest recalled less");
     // and the headline: the recall gap is bounded while the access gap is
     // a multiple (the trie layer pays for itself)

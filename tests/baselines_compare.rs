@@ -48,9 +48,7 @@ fn dss_is_exact_and_climber_beats_isax_systems() {
     let queries = query_workload(&ds, 10, 77);
 
     let climber = Climber::build_in_memory(&ds, climber_cfg());
-    let r_climber = mean_recall(&ds, &queries, |q| {
-        climber.knn_adaptive(q, K, 4).results
-    });
+    let r_climber = mean_recall(&ds, &queries, |q| climber.knn_adaptive(q, K, 4).results);
 
     let dstore = MemStore::new();
     let (dpisax, _) = DpisaxIndex::build(
@@ -82,9 +80,7 @@ fn dss_is_exact_and_climber_beats_isax_systems() {
 
     // Dss on CLIMBER's own partitions is exact.
     use climber_core::dfs::store::PartitionStore;
-    let r_dss = mean_recall(&ds, &queries, |q| {
-        dss_query(climber.store(), q, K).results
-    });
+    let r_dss = mean_recall(&ds, &queries, |q| dss_query(climber.store(), q, K).results);
     assert!((r_dss - 1.0).abs() < 1e-9, "Dss recall {r_dss} != 1.0");
 
     // Paper Figure 7(b): CLIMBER 25-35 recall points above both baselines.

@@ -104,7 +104,10 @@ fn self_query_returns_zero_distance_first() {
             hits += 1;
         }
     }
-    assert!(hits >= 17, "only {hits}/20 self-queries returned themselves first");
+    assert!(
+        hits >= 17,
+        "only {hits}/20 self-queries returned themselves first"
+    );
 }
 
 #[test]
