@@ -136,9 +136,7 @@ impl TardisIndex {
         let mut buckets: HashMap<PartitionId, BTreeMap<u64, Vec<u64>>> = HashMap::new();
         for id in 0..n as u64 {
             let leaf = index.descend(ds.get(id));
-            let pid = index.nodes[leaf as usize]
-                .partition
-                .expect("leaf packed");
+            let pid = index.nodes[leaf as usize].partition.expect("leaf packed");
             buckets
                 .entry(pid)
                 .or_default()
@@ -228,12 +226,7 @@ impl TardisIndex {
     /// Single-partition approximate kNN query: read the matched leaf's
     /// cluster; if short of `k`, expand to the other clusters packed in the
     /// same partition (never a second partition).
-    pub fn query<S: PartitionStore>(
-        &self,
-        store: &S,
-        query: &[f32],
-        k: usize,
-    ) -> BaselineOutcome {
+    pub fn query<S: PartitionStore>(&self, store: &S, query: &[f32], k: usize) -> BaselineOutcome {
         assert!(k > 0, "k must be positive");
         let leaf = self.descend(query);
         let pid = self.nodes[leaf as usize].partition.expect("leaf packed");
@@ -282,8 +275,7 @@ impl TardisIndex {
 
     /// Number of packed partitions.
     pub fn num_partitions(&self) -> usize {
-        let mut pids: Vec<PartitionId> =
-            self.nodes.iter().filter_map(|n| n.partition).collect();
+        let mut pids: Vec<PartitionId> = self.nodes.iter().filter_map(|n| n.partition).collect();
         pids.sort_unstable();
         pids.dedup();
         pids.len()
@@ -314,10 +306,7 @@ fn reduced_symbols(word: &ISaxWord, bits: u8) -> Vec<u16> {
 fn label_mindist(symbols: &[u16], bits: u8, query_paa: &[f64], n: usize) -> f64 {
     use climber_repr::isax::{ISaxSymbol, ISaxWord as W};
     let word = W {
-        symbols: symbols
-            .iter()
-            .map(|&s| ISaxSymbol::new(s, bits))
-            .collect(),
+        symbols: symbols.iter().map(|&s| ISaxSymbol::new(s, bits)).collect(),
     };
     word.mindist(query_paa, n)
 }
@@ -421,7 +410,10 @@ mod tests {
         }
         r /= 16.0;
         assert!(r > 0.0);
-        assert!(r < 0.95, "single-partition sigTree should not be near-exact");
+        assert!(
+            r < 0.95,
+            "single-partition sigTree should not be near-exact"
+        );
     }
 
     #[test]
@@ -431,6 +423,6 @@ mod tests {
         let (index, stats) = TardisIndex::build(&ds, &store, cfg());
         assert_eq!(stats.index_bytes, index.size_bytes());
         assert!(stats.index_bytes > 0);
-        assert!(index.num_nodes() >= 1 + index.nodes[0].children.len());
+        assert!(index.num_nodes() > index.nodes[0].children.len());
     }
 }

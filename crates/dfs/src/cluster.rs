@@ -78,8 +78,7 @@ impl Cluster {
         F: Fn(T) -> R + Sync + Send,
     {
         use rayon::prelude::*;
-        self.pool
-            .install(|| items.into_par_iter().map(f).collect())
+        self.pool.install(|| items.into_par_iter().map(f).collect())
     }
 
     /// Parallel for-each over borrowed items.
@@ -117,7 +116,13 @@ impl Cluster {
 
     /// Runs a fold over chunks in parallel and merges the partial results
     /// (a combine-style aggregation).
-    pub fn par_fold<T, A, F, M>(&self, items: &[T], init: impl Fn() -> A + Sync, f: F, merge: M) -> A
+    pub fn par_fold<T, A, F, M>(
+        &self,
+        items: &[T],
+        init: impl Fn() -> A + Sync,
+        f: F,
+        merge: M,
+    ) -> A
     where
         T: Sync,
         A: Send,
@@ -129,7 +134,7 @@ impl Cluster {
         let partials: Vec<A> = self.pool.install(|| {
             items
                 .par_chunks(chunk)
-                .map(|c| c.iter().fold(init(), |a, t| f(a, t)))
+                .map(|c| c.iter().fold(init(), &f))
                 .collect()
         });
         let mut it = partials.into_iter();

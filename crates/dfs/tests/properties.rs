@@ -6,9 +6,12 @@ use climber_dfs::format::{PartitionReader, PartitionWriter};
 use climber_dfs::store::{MemStore, PartitionStore};
 use proptest::prelude::*;
 
+/// Cluster contents: `(trie node id, records)` with records `(id, values)`.
+type Clusters = Vec<(u64, Vec<(u64, Vec<f32>)>)>;
+
 /// Strategy: clusters of records — distinct node ids, each with up to 12
 /// records of width `w`.
-fn clusters(w: usize) -> impl Strategy<Value = Vec<(u64, Vec<(u64, Vec<f32>)>)>> {
+fn clusters(w: usize) -> impl Strategy<Value = Clusters> {
     prop::collection::btree_map(
         0u64..50,
         prop::collection::vec(
@@ -68,7 +71,7 @@ proptest! {
         let groups = c.shuffle_by_key(items.clone(), move |&x| x % modulus);
         // every item lands in exactly one bucket, in input order
         let mut reassembled: Vec<u32> = Vec::new();
-        for (_, bucket) in &groups {
+        for bucket in groups.values() {
             reassembled.extend(bucket.iter().copied());
         }
         reassembled.sort_unstable();

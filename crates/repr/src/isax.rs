@@ -26,7 +26,7 @@ pub struct ISaxSymbol {
 impl ISaxSymbol {
     /// Creates a symbol, checking the value fits the bit width.
     pub fn new(symbol: u16, bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= MAX_BITS, "bits out of range: {bits}");
+        assert!((1..=MAX_BITS).contains(&bits), "bits out of range: {bits}");
         assert!(
             (symbol as u32) < (1u32 << bits),
             "symbol {symbol} does not fit in {bits} bits"
@@ -64,8 +64,16 @@ impl ISaxSymbol {
     pub fn stripe_bounds(&self) -> (f64, f64) {
         let bps = breakpoints(self.cardinality());
         let s = self.symbol as usize;
-        let lo = if s == 0 { f64::NEG_INFINITY } else { bps[s - 1] };
-        let hi = if s == bps.len() { f64::INFINITY } else { bps[s] };
+        let lo = if s == 0 {
+            f64::NEG_INFINITY
+        } else {
+            bps[s - 1]
+        };
+        let hi = if s == bps.len() {
+            f64::INFINITY
+        } else {
+            bps[s]
+        };
         (lo, hi)
     }
 }
@@ -88,7 +96,7 @@ impl ISaxWord {
 
     /// Builds the word from a PAA signature, all segments at `bits` bits.
     pub fn from_paa(paa_sig: &[f64], bits: u8) -> Self {
-        assert!(bits >= 1 && bits <= MAX_BITS, "bits out of range: {bits}");
+        assert!((1..=MAX_BITS).contains(&bits), "bits out of range: {bits}");
         let sax = sax_from_paa(paa_sig, 1u32 << bits);
         Self {
             symbols: sax
@@ -164,7 +172,7 @@ impl ISaxWord {
 mod tests {
     use super::*;
     use climber_series::distance::ed;
-    use climber_series::gen::{Domain, SeriesGenerator, RandomWalkGenerator};
+    use climber_series::gen::{Domain, RandomWalkGenerator, SeriesGenerator};
     use climber_series::znorm::znormalize;
 
     #[test]
@@ -261,11 +269,7 @@ mod tests {
             for id in 1..20u64 {
                 let y = ds.get(id);
                 let wy = ISaxWord::from_series(y, 16, 4);
-                assert!(
-                    wy.mindist(&pq, n) <= ed(q, y) + 1e-9,
-                    "domain {}",
-                    d.name()
-                );
+                assert!(wy.mindist(&pq, n) <= ed(q, y) + 1e-9, "domain {}", d.name());
             }
         }
     }
