@@ -30,6 +30,13 @@
 //! let answer = climber.knn(data.get(17), 10);
 //! assert_eq!(answer.results.len(), 10);
 //! assert_eq!(answer.results[0].0, 17); // the query itself is indexed
+//!
+//! // 4. the approximate answer overlaps the exact one (recall@10 > 0)
+//! use climber_core::series::{exact_knn, recall};
+//! let exact = exact_knn(&data, data.get(17), 10);
+//! let approx_ids: Vec<u64> = answer.results.iter().map(|&(id, _)| id).collect();
+//! let exact_ids: Vec<u64> = exact.iter().map(|&(id, _)| id).collect();
+//! assert!(recall(&approx_ids, &exact_ids) > 0.0);
 //! ```
 //!
 //! The sibling crates are re-exported under short names: [`series`]
@@ -350,8 +357,7 @@ mod tests {
         for qlen in [64usize, 128, 256, 500] {
             // take a prefix (or stretch) of a real series as the probe
             let src = ds.get(7);
-            let probe: Vec<f32> =
-                climber_series::resample::resample_linear(src, qlen);
+            let probe: Vec<f32> = climber_series::resample::resample_linear(src, qlen);
             let out = climber.knn_resampled(&probe, 5, 2);
             assert_eq!(out.results.len(), 5, "qlen={qlen}");
             if qlen == 256 {
