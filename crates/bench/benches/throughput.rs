@@ -1,0 +1,216 @@
+//! Throughput (QPS) of the batched partition-major engine vs the
+//! sequential per-query engine.
+//!
+//! The Lernaean Hydra evaluation (Echihabi et al.) measures data-series
+//! engines by *sustained query throughput*, not single-query latency. This
+//! harness runs the same fixed query workload through every
+//! batch-size × thread-count configuration and reports queries/second:
+//!
+//! * `batch=1 threads=1` — the sequential per-query engine, the baseline;
+//! * larger batches — the partition-major engine: each partition selected
+//!   by any query of a batch is opened once and each cluster decoded once
+//!   for all its queries, so throughput rises even on a single core;
+//! * more threads — partitions fan out across workers via the work-queue
+//!   `rayon::scope`.
+//!
+//! Results are bit-identical across all configurations (asserted on a
+//! sample at the end). Emits a `BENCH_throughput.json` record next to the
+//! printed table; scale with `CLIMBER_N` / `CLIMBER_K` /
+//! `CLIMBER_BATCH_QUERIES`, or pass `--quick` for the CI smoke scale.
+
+use climber_bench::runner::{build_climber, dataset};
+use climber_bench::table::{f2, Table};
+use climber_bench::{default_k, default_n, env_usize, experiment_config, QUERY_SEED};
+use climber_core::dfs::store::{MemStore, PartitionStore};
+use climber_core::series::gen::{query_workload, Domain};
+use climber_core::{BatchRequest, Climber};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Row {
+    batch: usize,
+    threads: usize,
+    qps: f64,
+    secs: f64,
+    sharing: f64,
+}
+
+/// Runs a configuration `reps` times and keeps the fastest run (standard
+/// benching practice: the minimum is the least noise-contaminated sample,
+/// and every configuration gets the same treatment).
+fn run_config_best(
+    climber: &Climber<MemStore>,
+    queries: &[Vec<f32>],
+    k: usize,
+    factor: usize,
+    batch: usize,
+    threads: usize,
+    reps: usize,
+) -> Row {
+    (0..reps.max(1))
+        .map(|_| run_config(climber, queries, k, factor, batch, threads))
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+        .expect("reps >= 1")
+}
+
+/// Runs the whole workload split into `batch`-sized requests on `threads`
+/// workers; `batch == 1 && threads == 1` uses the sequential engine.
+fn run_config(
+    climber: &Climber<MemStore>,
+    queries: &[Vec<f32>],
+    k: usize,
+    factor: usize,
+    batch: usize,
+    threads: usize,
+) -> Row {
+    let t = Instant::now();
+    let mut decoded = 0u64;
+    let mut scanned = 0u64;
+    if batch == 1 && threads == 1 {
+        for q in queries {
+            let out = climber.knn_adaptive(q, k, factor);
+            decoded += out.records_scanned; // sequential decodes per query
+            scanned += out.records_scanned;
+        }
+    } else {
+        for chunk in queries.chunks(batch) {
+            let out =
+                climber.batch(&BatchRequest::adaptive(chunk, k, factor).with_threads(threads));
+            decoded += out.records_decoded;
+            scanned += out.records_scanned;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    Row {
+        batch,
+        threads,
+        qps: queries.len() as f64 / secs,
+        secs,
+        sharing: if decoded == 0 {
+            1.0
+        } else {
+            scanned as f64 / decoded as f64
+        },
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 4_000 } else { default_n() };
+    let nq = env_usize("CLIMBER_BATCH_QUERIES", 256);
+    let k = if quick { 10 } else { default_k() };
+    let factor = 4;
+    // Not the shared banner(): its scale line prints the CLIMBER_N /
+    // CLIMBER_QUERIES / CLIMBER_K defaults, which --quick overrides —
+    // print the parameters this run actually uses.
+    println!("==========================================================================");
+    println!("Throughput — batched partition-major execution (QPS)");
+    println!("workload: fixed query set, Adaptive-{factor}X; grid: batch {{1,16,256}} x threads {{1,4,8}}");
+    println!(
+        "scale: N={n} queries={nq} K={k}{} (CLIMBER_N / CLIMBER_BATCH_QUERIES / CLIMBER_K)",
+        if quick { " [--quick]" } else { "" }
+    );
+    println!("==========================================================================");
+
+    let ds = dataset(Domain::RandomWalk, n);
+    let built = build_climber(&ds, experiment_config(n));
+    let climber = &built.climber;
+    println!(
+        "index: {n} series, built in {:.2}s, {} partitions",
+        built.build_secs,
+        climber.store().len()
+    );
+
+    let qids = query_workload(&ds, nq, QUERY_SEED);
+    let queries: Vec<Vec<f32>> = qids.iter().map(|&q| ds.get(q).to_vec()).collect();
+
+    let batches = [1usize, 16, 256];
+    let threads = [1usize, 4, 8];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(vec![
+        "batch", "threads", "QPS", "secs", "sharing", "speedup",
+    ]);
+    // Warm up caches so the 1×1 baseline is not penalised by first-touch.
+    run_config(climber, &queries[..queries.len().min(8)], k, factor, 1, 1);
+    let mut baseline_qps = 0.0;
+    for &b in &batches {
+        for &t in &threads {
+            if b == 1 && t > 1 && quick {
+                continue; // single-query batches gain nothing on smoke runs
+            }
+            let row = run_config_best(climber, &queries, k, factor, b, t, 3);
+            if b == 1 && t == 1 {
+                baseline_qps = row.qps;
+            }
+            table.row(vec![
+                row.batch.to_string(),
+                row.threads.to_string(),
+                f2(row.qps),
+                f2(row.secs),
+                f2(row.sharing),
+                format!("{:.2}x", row.qps / baseline_qps),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+
+    let best = rows
+        .iter()
+        .find(|r| r.batch == 256 && r.threads == 8)
+        .or_else(|| rows.last())
+        .expect("at least one configuration ran");
+    let speedup = best.qps / baseline_qps;
+    println!(
+        "\nbatch={} threads={}: {:.1} QPS vs sequential {:.1} QPS -> {speedup:.2}x (target >= 2x)",
+        best.batch, best.threads, best.qps, baseline_qps
+    );
+
+    // The batched engine must return exactly what the sequential one does.
+    let sample = &queries[..queries.len().min(16)];
+    let out = climber.batch(&BatchRequest::adaptive(sample, k, factor).with_threads(8));
+    for (q, got) in sample.iter().zip(&out.outcomes) {
+        assert_eq!(got, &climber.knn_adaptive(q, k, factor), "batch diverged");
+    }
+    println!(
+        "equivalence check: batch == sequential on {} queries",
+        sample.len()
+    );
+
+    // BENCH_*.json record (consumed by tooling; schema kept flat).
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"throughput\",\n  \"n\": {n},\n  \"queries\": {nq},\n  \"k\": {k},\n  \"strategy\": \"adaptive{factor}x\",\n  \"rows\": ["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"batch\": {}, \"threads\": {}, \"qps\": {:.2}, \"secs\": {:.4}, \"sharing\": {:.2}}}",
+            if i == 0 { "" } else { "," },
+            r.batch,
+            r.threads,
+            r.qps,
+            r.secs,
+            r.sharing
+        );
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"speedup_best_vs_sequential\": {speedup:.2}\n}}\n"
+    );
+    let path =
+        std::env::var("CLIMBER_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if std::env::var("CLIMBER_BENCH_STRICT").as_deref() == Ok("1") {
+        assert!(
+            speedup >= 2.0,
+            "batched engine speedup {speedup:.2}x below the 2x target"
+        );
+    }
+}

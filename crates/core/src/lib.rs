@@ -45,6 +45,8 @@
 //! [`index`] (skeleton/builder), [`query`] (search algorithms) and
 //! [`baselines`] (Dss, DPiSAX-like, TARDIS-like, LSH, HNSW, Odyssey-like).
 
+#![warn(missing_docs)]
+
 pub use climber_baselines as baselines;
 pub use climber_dfs as dfs;
 pub use climber_index as index;
@@ -56,6 +58,7 @@ pub use climber_series as series;
 pub use climber_index::builder::BuildReport;
 pub use climber_index::config::IndexConfig as ClimberConfig;
 pub use climber_index::skeleton::IndexSkeleton;
+pub use climber_query::batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use climber_query::plan::QueryOutcome;
 
 use climber_dfs::format::PartitionWriter;
@@ -168,16 +171,37 @@ impl<S: PartitionStore> Climber<S> {
         KnnEngine::new(&self.skeleton, &self.store).od_smallest(query, k)
     }
 
-    /// Batch evaluation of CLIMBER-kNN-Adaptive over many queries in
-    /// parallel (the workload the in-memory engines of §VII-D are tuned
-    /// for; CLIMBER parallelises trivially because queries share only
-    /// read-only state).
+    /// Executes a whole [`BatchRequest`] partition-major across threads:
+    /// the union of all per-query plans is regrouped by partition, each
+    /// partition is opened once, each needed cluster decoded once, and the
+    /// decoded records are scored against every query that selected them.
+    /// Per-query outcomes are bit-identical to the sequential methods —
+    /// see [`climber_query::batch`] for the execution model.
+    ///
+    /// ```
+    /// use climber_core::{BatchRequest, Climber, ClimberConfig};
+    /// use climber_core::series::gen::Domain;
+    ///
+    /// let data = Domain::RandomWalk.generate(500, 3);
+    /// let climber = Climber::build_in_memory(&data, ClimberConfig::default()
+    ///     .with_pivots(32).with_capacity(100));
+    /// let queries: Vec<Vec<f32>> = (0..16u64).map(|i| data.get(i * 31).to_vec()).collect();
+    ///
+    /// let batch = climber.batch(&BatchRequest::adaptive(&queries, 10, 4));
+    /// assert_eq!(batch.outcomes.len(), 16);
+    /// assert_eq!(batch.outcomes[0], climber.knn_adaptive(&queries[0], 10, 4));
+    /// ```
+    pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
+        KnnEngine::new(&self.skeleton, &self.store).batch(request)
+    }
+
+    /// Batch evaluation of CLIMBER-kNN-Adaptive over many queries — the
+    /// sustained-throughput workload (queries/second) the Lernaean Hydra
+    /// evaluation measures engines by. A convenience wrapper over
+    /// [`batch`](Self::batch) returning just the per-query outcomes.
     pub fn knn_batch(&self, queries: &[Vec<f32>], k: usize, factor: usize) -> Vec<QueryOutcome> {
-        use rayon::prelude::*;
-        queries
-            .par_iter()
-            .map(|q| self.knn_adaptive(q, k, factor))
-            .collect()
+        self.batch(&BatchRequest::adaptive(queries, k, factor))
+            .outcomes
     }
 
     /// Approximate kNN for a query *shorter or longer* than the indexed

@@ -109,6 +109,100 @@ impl PartitionWriter {
     }
 }
 
+/// A reusable flat buffer of decoded records: ids side by side with a
+/// single `f32` arena, `series_len` values per record.
+///
+/// The per-query refinement path decodes each record into a scratch slice
+/// as it visits it ([`PartitionReader::for_each_in_cluster`]); the batched
+/// partition-major path instead decodes a cluster **once** into a
+/// `ClusterBuf` and scores it against every query that selected it.
+/// Reusing the buffer across clusters and partitions means the steady
+/// state performs no per-call allocation at all.
+///
+/// ```
+/// use climber_dfs::format::{ClusterBuf, PartitionReader, PartitionWriter};
+///
+/// let mut w = PartitionWriter::new(0, 2);
+/// w.push_cluster(7, vec![(1u64, &[1.0f32, 2.0][..]), (2, &[3.0, 4.0])]);
+/// let reader = PartitionReader::open(w.finish()).unwrap();
+///
+/// let mut buf = ClusterBuf::new();
+/// assert_eq!(reader.read_cluster_into(7, &mut buf), 2);
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.get(1), (2, &[3.0f32, 4.0][..]));
+/// buf.clear(); // keeps capacity for the next cluster
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ClusterBuf {
+    series_len: usize,
+    ids: Vec<u64>,
+    values: Vec<f32>,
+}
+
+impl ClusterBuf {
+    /// An empty buffer; its series length is set by the first decode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of decoded records held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no records are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Length of every held series (0 while empty and untouched).
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Drops all records but keeps the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.values.clear();
+    }
+
+    /// The `i`-th decoded record as `(series id, values)`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> (u64, &[f32]) {
+        let s = i * self.series_len;
+        (self.ids[i], &self.values[s..s + self.series_len])
+    }
+
+    /// Iterates the decoded records in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.ids
+            .iter()
+            .copied()
+            .zip(self.values.chunks_exact(self.series_len.max(1)))
+    }
+
+    /// Prepares for appends of `series_len`-point records: adopts the
+    /// length when empty, asserts it matches otherwise.
+    fn adopt_len(&mut self, series_len: usize) {
+        if self.ids.is_empty() {
+            self.series_len = series_len;
+        } else {
+            assert_eq!(
+                self.series_len, series_len,
+                "ClusterBuf holds {}-point series, cannot append {}-point ones",
+                self.series_len, series_len
+            );
+        }
+    }
+}
+
 /// Zero-copy reader over an encoded partition.
 #[derive(Debug, Clone)]
 pub struct PartitionReader {
@@ -225,6 +319,39 @@ impl PartitionReader {
             return 0;
         };
         self.visit_range(start, count, &mut f);
+        count as u64
+    }
+
+    /// Decodes every record of cluster `node_id` into `buf`, **appending**
+    /// to whatever the buffer already holds and reusing its allocations.
+    /// Returns the number of records appended (0 when the node is absent).
+    ///
+    /// This is the partition-major counterpart of
+    /// [`for_each_in_cluster`](Self::for_each_in_cluster): decode once,
+    /// then let many queries scan the decoded floats.
+    ///
+    /// # Panics
+    /// If `buf` is non-empty and holds series of a different length.
+    pub fn read_cluster_into(&self, node_id: TrieNodeId, buf: &mut ClusterBuf) -> u64 {
+        let Some(&(_, start, count)) = self.directory.iter().find(|&&(n, _, _)| n == node_id)
+        else {
+            return 0;
+        };
+        buf.adopt_len(self.series_len);
+        let record_size = 8 + self.series_len * 4;
+        buf.ids.reserve(count as usize);
+        buf.values.reserve(count as usize * self.series_len);
+        for r in 0..count as u64 {
+            let off = self.records_at + ((start + r) as usize) * record_size;
+            buf.ids.push(u64::from_le_bytes(
+                self.bytes[off..off + 8].try_into().unwrap(),
+            ));
+            let vals = &self.bytes[off + 8..off + record_size];
+            buf.values.extend(
+                vals.chunks_exact(4)
+                    .map(|chunk| f32::from_le_bytes(chunk.try_into().unwrap())),
+            );
+        }
         count as u64
     }
 
@@ -361,6 +488,49 @@ mod tests {
     fn header_bytes_counts_directory() {
         let r = PartitionReader::open(sample_partition()).unwrap();
         assert_eq!(r.header_bytes(), 24 + 2 * 20);
+    }
+
+    #[test]
+    fn read_cluster_into_matches_for_each() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        for node in [100u64, 200, 999] {
+            let mut via_visit = Vec::new();
+            let n1 = r.for_each_in_cluster(node, |id, vals| via_visit.push((id, vals.to_vec())));
+            let mut buf = ClusterBuf::new();
+            let n2 = r.read_cluster_into(node, &mut buf);
+            assert_eq!(n1, n2, "node {node}");
+            let via_buf: Vec<(u64, Vec<f32>)> =
+                buf.iter().map(|(id, v)| (id, v.to_vec())).collect();
+            assert_eq!(via_visit, via_buf, "node {node}");
+        }
+    }
+
+    #[test]
+    fn cluster_buf_appends_and_reuses() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let mut buf = ClusterBuf::new();
+        r.read_cluster_into(100, &mut buf);
+        r.read_cluster_into(200, &mut buf); // appends
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.series_len(), 4);
+        assert_eq!(buf.get(2), (3, &[9.0f32, 10.0, 11.0, 12.0][..]));
+        buf.clear();
+        assert!(buf.is_empty());
+        r.read_cluster_into(200, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get(0).0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn cluster_buf_rejects_mixed_lengths() {
+        let r4 = PartitionReader::open(sample_partition()).unwrap();
+        let mut w = PartitionWriter::new(0, 2);
+        w.push_cluster(1, vec![(9u64, &[0.0f32, 0.0][..])]);
+        let r2 = PartitionReader::open(w.finish()).unwrap();
+        let mut buf = ClusterBuf::new();
+        r4.read_cluster_into(100, &mut buf);
+        r2.read_cluster_into(1, &mut buf);
     }
 
     #[test]

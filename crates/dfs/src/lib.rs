@@ -10,7 +10,8 @@
 //!
 //! * [`stats`] — atomic I/O accounting (partitions opened, bytes read and
 //!   written, records shuffled) that every experiment reads;
-//! * [`format`] — the on-disk partition format: records clustered by trie
+//! * [`format`](mod@format) — the on-disk partition format: records
+//!   clustered by trie
 //!   node with a header directory of offsets, exactly the layout §VI
 //!   describes for localized record-level access;
 //! * [`store`] — in-memory and on-disk partition stores behind one trait;

@@ -77,6 +77,18 @@ impl IndexSkeleton {
         DualSignature::extract_from_paa(&p, &self.pivots, self.prefix_len)
     }
 
+    /// Extracts the dual signatures of many queries at once, fanned out
+    /// across threads (signature extraction is pure and per-query
+    /// independent). Output order matches input order; used by the batched
+    /// query engine's planning phase.
+    pub fn extract_signatures(&self, queries: &[Vec<f32>]) -> Vec<DualSignature> {
+        use rayon::prelude::*;
+        queries
+            .par_iter()
+            .map(|q| self.extract_signature(q))
+            .collect()
+    }
+
     /// Centroids of the real (non-fall-back) groups, index-aligned with
     /// group ids `1..`.
     fn real_centroids(&self) -> Vec<RankInsensitive> {
@@ -454,6 +466,19 @@ mod tests {
         // A series of constant 1.0 → PAA [1.0] → nearest pivots 0 then 1.
         let sig = sk.extract_signature(&[1.0, 1.0]);
         assert_eq!(sig.sensitive.0, vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_signature_extraction_matches_single() {
+        let sk = toy_skeleton();
+        let queries: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![i as f32 * 0.8, i as f32 * 0.8])
+            .collect();
+        let batch = sk.extract_signatures(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, sig) in queries.iter().zip(batch.iter()) {
+            assert_eq!(sig, &sk.extract_signature(q));
+        }
     }
 
     #[test]

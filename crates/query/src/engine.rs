@@ -2,6 +2,7 @@
 //! strategies together.
 
 use crate::adaptive::plan_adaptive;
+use crate::batch::{BatchOutcome, BatchRequest};
 use crate::knn::plan_knn;
 use crate::od_smallest::plan_od_smallest;
 use crate::plan::QueryOutcome;
@@ -50,10 +51,22 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
         let plan = plan_od_smallest(self.skeleton, &sig);
         refine(self.store, &plan, query, k, false)
     }
+
+    /// Executes a whole [`BatchRequest`] partition-major across threads:
+    /// each partition selected by *any* query of the batch is opened once,
+    /// each needed cluster decoded once, and the decoded records scored
+    /// against every query that selected them. Outcomes are bit-identical
+    /// to calling [`knn`](Self::knn) / [`knn_adaptive`](Self::knn_adaptive)
+    /// / [`od_smallest`](Self::od_smallest) once per query — see
+    /// [`crate::batch`] for the execution model and the throughput
+    /// characteristics.
+    pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
+        crate::batch::execute(self.skeleton, self.store, request)
+    }
 }
 
 /// Deterministic per-query seed for tie-breaks: hash of the query bytes.
-fn query_seed(query: &[f32]) -> u64 {
+pub(crate) fn query_seed(query: &[f32]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for v in query {
         h ^= v.to_bits() as u64;

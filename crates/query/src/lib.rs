@@ -15,13 +15,23 @@
 //!   the partitions CLIMBER-kNN would touch (the paper's 2X/4X variants);
 //! * [`od_smallest`] — the ablation baseline of Figure 11(b): scan *all*
 //!   partitions of every OD-tied group (stop at Algorithm 3 line 6).
+//!
+//! Each strategy runs either **per query** through [`KnnEngine::knn`] and
+//! friends, or over a whole query batch through [`KnnEngine::batch`], which
+//! executes the union of all plans **partition-major** across threads (open
+//! each partition once, decode each cluster once, score it against every
+//! query that selected it) with bit-identical results — see [`batch`].
+
+#![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod batch;
 pub mod engine;
 pub mod knn;
 pub mod od_smallest;
 pub mod plan;
 pub mod refine;
 
+pub use batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use engine::KnnEngine;
 pub use plan::{QueryOutcome, QueryPlan};

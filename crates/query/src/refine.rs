@@ -9,11 +9,26 @@
 //! when the selected clusters hold fewer than `k` records: the remaining
 //! clusters of the already-opened partitions are read before giving up on
 //! `k` results — no extra partitions are touched.
+//!
+//! Two scanning paths live here:
+//!
+//! * the **per-query** path ([`refine`]) — one query walks its plan,
+//!   decoding records on the fly;
+//! * the **partition-major** primitives (`scan_decoded_range`,
+//!   `expand_partition`) — shared with [`crate::batch`], which opens each
+//!   partition once, decodes each cluster once into a
+//!   [`climber_dfs::format::ClusterBuf`], and scores it against every query
+//!   of a batch that selected it.
+//!
+//! Both paths feed the same [`TopK`] with distances from the same kernel,
+//! so their results are bit-identical.
 
 use crate::plan::{QueryOutcome, QueryPlan};
+use climber_dfs::format::{ClusterBuf, PartitionReader, TrieNodeId};
+use climber_dfs::stats::IoStats;
 use climber_dfs::store::PartitionStore;
 use climber_series::distance::ed_early_abandon;
-use climber_series::topk::TopK;
+use climber_series::topk::{SharedBound, TopK};
 
 /// Executes `plan` against `store`, returning the top-`k` records by
 /// squared ED.
@@ -33,7 +48,7 @@ pub fn refine<S: PartitionStore>(
     let mut partitions_opened = 0usize;
 
     // First pass: the planned clusters.
-    let mut openers: Vec<(u32, climber_dfs::format::PartitionReader)> = Vec::new();
+    let mut openers: Vec<(u32, PartitionReader)> = Vec::new();
     for (&pid, clusters) in &plan.reads {
         let Ok(reader) = store.open(pid) else {
             continue; // partition vanished: treat as empty (fault tolerance)
@@ -58,20 +73,7 @@ pub fn refine<S: PartitionStore>(
     if expand_within_partitions && top.len() < k {
         for (pid, reader) in &openers {
             let planned = &plan.reads[pid];
-            for node in reader.cluster_ids() {
-                if planned.contains(&node) {
-                    continue;
-                }
-                let bytes = reader.cluster_bytes(node).unwrap_or(0);
-                let n = reader.for_each_in_cluster(node, |id, vals| {
-                    if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
-                        top.offer(id, d);
-                    }
-                });
-                store.stats().on_read(bytes as u64);
-                store.stats().on_records_read(n);
-                records_scanned += n;
-            }
+            records_scanned += expand_partition(reader, planned, query, &mut top, store.stats());
             if top.len() >= k {
                 break;
             }
@@ -84,6 +86,63 @@ pub fn refine<S: PartitionStore>(
         records_scanned,
         plan: plan.clone(),
     }
+}
+
+/// Scans every cluster of an already-opened partition that `planned` did
+/// not select, offering records into `top`. Returns the records scanned.
+///
+/// This is the within-partition expansion of CLIMBER-kNN, factored out so
+/// the sequential path and the batched path execute the *identical* loop —
+/// the equivalence guarantee of `batch` depends on it.
+pub(crate) fn expand_partition(
+    reader: &PartitionReader,
+    planned: &[TrieNodeId],
+    query: &[f32],
+    top: &mut TopK,
+    stats: &IoStats,
+) -> u64 {
+    let mut scanned = 0u64;
+    for node in reader.cluster_ids() {
+        if planned.contains(&node) {
+            continue;
+        }
+        let bytes = reader.cluster_bytes(node).unwrap_or(0);
+        let n = reader.for_each_in_cluster(node, |id, vals| {
+            if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
+                top.offer(id, d);
+            }
+        });
+        stats.on_read(bytes as u64);
+        stats.on_records_read(n);
+        scanned += n;
+    }
+    scanned
+}
+
+/// Scores a range of decoded cluster records against one query: the
+/// partition-major inner loop. Abandons with the tighter of the
+/// collector's own bound and the [`SharedBound`] published by workers
+/// refining the same query on other partitions, then publishes back.
+///
+/// The batch executor scores clusters in small record blocks so the block
+/// stays cache-resident while every interested query scans it. For one
+/// query, iterating blocks in order visits records in exactly the same
+/// order as one full pass, so the offers — and therefore the results —
+/// are identical.
+pub(crate) fn scan_decoded_range(
+    query: &[f32],
+    buf: &ClusterBuf,
+    range: std::ops::Range<usize>,
+    top: &mut TopK,
+    shared: &SharedBound,
+) {
+    for i in range {
+        let (id, vals) = buf.get(i);
+        if let Some(d) = ed_early_abandon(query, vals, top.bound_with(shared)) {
+            top.offer(id, d);
+        }
+    }
+    top.publish_bound(shared);
 }
 
 #[cfg(test)]
@@ -179,5 +238,31 @@ mod tests {
     fn zero_k_rejected() {
         let store = toy_store();
         refine(&store, &plan_for(&[1]), &[0.0, 0.0], 0, false);
+    }
+
+    #[test]
+    fn scan_decoded_matches_per_record_visit() {
+        let store = toy_store();
+        let reader = store.open(0).unwrap();
+        let mut buf = ClusterBuf::new();
+        reader.read_cluster_into(1, &mut buf);
+        reader.read_cluster_into(2, &mut buf);
+
+        let q = [0.3f32, 0.1];
+        let shared = SharedBound::new();
+        let mut via_buf = TopK::new(3);
+        scan_decoded_range(&q, &buf, 0..buf.len(), &mut via_buf, &shared);
+
+        let mut via_visit = TopK::new(3);
+        for node in [1u64, 2] {
+            reader.for_each_in_cluster(node, |id, vals| {
+                if let Some(d) = ed_early_abandon(&q, vals, via_visit.bound()) {
+                    via_visit.offer(id, d);
+                }
+            });
+        }
+        assert_eq!(via_buf.into_sorted(), via_visit.into_sorted());
+        // A full heap published its bound.
+        assert!(shared.get() < f64::INFINITY);
     }
 }

@@ -1,0 +1,106 @@
+//! Property test: batched partition-major execution is bit-identical to
+//! sequential per-query execution — across random datasets, batch sizes,
+//! thread counts, and all three strategies.
+//!
+//! This is the contract the batch engine is built on (see
+//! `climber_query::batch`): full [`QueryOutcome`] equality, i.e. result
+//! ids, exact distances, `records_scanned`, `partitions_opened`, and the
+//! plan itself.
+
+use climber_dfs::store::MemStore;
+use climber_index::builder::IndexBuilder;
+use climber_index::config::IndexConfig;
+use climber_index::skeleton::IndexSkeleton;
+use climber_query::batch::{BatchRequest, BatchStrategy};
+use climber_query::engine::KnnEngine;
+use climber_query::plan::QueryOutcome;
+use climber_series::dataset::Dataset;
+use climber_series::gen::{RandomWalkGenerator, SeriesGenerator};
+use proptest::prelude::*;
+
+fn build_index(n: usize, seed: u64, capacity: u64) -> (IndexSkeleton, MemStore, Dataset) {
+    let ds = RandomWalkGenerator::new(64).generate(n, seed);
+    let store = MemStore::new();
+    let cfg = IndexConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(24)
+        .with_prefix_len(4)
+        .with_capacity(capacity)
+        .with_alpha(0.5)
+        .with_epsilon(1)
+        .with_seed(seed ^ 0xBA7C)
+        .with_workers(2);
+    let (skeleton, _) = IndexBuilder::new(cfg).build(&ds, &store);
+    (skeleton, store, ds)
+}
+
+fn sequential<S: climber_dfs::store::PartitionStore>(
+    engine: &KnnEngine<'_, S>,
+    strategy: BatchStrategy,
+    query: &[f32],
+    k: usize,
+) -> QueryOutcome {
+    match strategy {
+        BatchStrategy::Knn => engine.knn(query, k),
+        BatchStrategy::Adaptive { factor } => engine.knn_adaptive(query, k, factor),
+        BatchStrategy::OdSmallest => engine.od_smallest(query, k),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_equals_sequential(
+        seed in 0u64..1000,
+        n in 150usize..400,
+        capacity in 30u64..90,
+        batch_size in 1usize..24,
+        threads_pick in 0usize..4,
+        k in 1usize..40,
+        strategy_pick in 0usize..4,
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_pick];
+        let (skeleton, store, ds) = build_index(n, seed, capacity);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let strategy = match strategy_pick {
+            0 => BatchStrategy::Knn,
+            1 => BatchStrategy::Adaptive { factor: 2 },
+            2 => BatchStrategy::Adaptive { factor: 4 },
+            _ => BatchStrategy::OdSmallest,
+        };
+
+        // Queries: members of the dataset plus slightly perturbed copies,
+        // so both exact-hit and near-miss paths are exercised.
+        let queries: Vec<Vec<f32>> = (0..batch_size as u64)
+            .map(|i| {
+                let mut q = ds.get((i * 13) % n as u64).to_vec();
+                if i % 3 == 1 {
+                    let j = (i as usize) % q.len();
+                    q[0] += 0.25;
+                    q[j] -= 0.5;
+                }
+                q
+            })
+            .collect();
+
+        let request = BatchRequest::new(&queries, k, strategy).with_threads(threads);
+        let batch = engine.batch(&request);
+        prop_assert_eq!(batch.outcomes.len(), queries.len());
+
+        for (qi, (q, out)) in queries.iter().zip(batch.outcomes.iter()).enumerate() {
+            let want = sequential(&engine, strategy, q, k);
+            // Full outcome equality: ids, exact distances, counters, plan.
+            prop_assert_eq!(
+                out, &want,
+                "query {} of {} diverged (strategy {:?}, threads {})",
+                qi, batch_size, strategy, threads
+            );
+        }
+
+        // The shared pass never decodes more than the per-query paths
+        // would: every decoded (partition, cluster) pair is in >= 1 plan.
+        let seq_total: u64 = batch.outcomes.iter().map(|o| o.records_scanned).sum();
+        prop_assert!(batch.records_decoded <= seq_total);
+    }
+}

@@ -11,8 +11,8 @@
 //! discussion of why iSAX loses similarity information.
 //!
 //! Provided here:
-//! * [`paa`] — PAA transform and PAA-space lower-bounding distance;
-//! * [`breakpoints`] — Gaussian N(0,1) quantile breakpoints for any
+//! * [`paa`](mod@paa) — PAA transform and PAA-space lower-bounding distance;
+//! * [`breakpoints`](mod@breakpoints) — Gaussian N(0,1) quantile breakpoints for any
 //!   power-of-two cardinality;
 //! * [`sax`] — fixed-cardinality SAX words;
 //! * [`isax`] — variable-cardinality iSAX words with promotion, prefix

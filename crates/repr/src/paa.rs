@@ -15,6 +15,18 @@ pub type Paa = Vec<f64>;
 /// # Panics
 /// If `segments == 0` or `segments > values.len()`.
 pub fn paa(values: &[f32], segments: usize) -> Paa {
+    let mut out = Vec::with_capacity(segments);
+    paa_into(values, segments, &mut out);
+    out
+}
+
+/// Appends the PAA signature of `values` to `out` — the allocation-free
+/// variant of [`paa`], used where signatures are computed in bulk into a
+/// reused arena (e.g. the batched query engine's per-cluster prefilter).
+///
+/// # Panics
+/// If `segments == 0` or `segments > values.len()`.
+pub fn paa_into(values: &[f32], segments: usize, out: &mut Vec<f64>) {
     assert!(segments > 0, "segment count must be positive");
     assert!(
         segments <= values.len(),
@@ -25,7 +37,6 @@ pub fn paa(values: &[f32], segments: usize) -> Paa {
     let n = values.len();
     let base = n / segments;
     let extra = n % segments; // first `extra` segments take base+1 readings
-    let mut out = Vec::with_capacity(segments);
     let mut start = 0usize;
     for s in 0..segments {
         let len = base + usize::from(s < extra);
@@ -35,7 +46,6 @@ pub fn paa(values: &[f32], segments: usize) -> Paa {
         start += len;
     }
     debug_assert_eq!(start, n);
-    out
 }
 
 /// Lower-bounding distance between two PAA signatures of series of original
@@ -152,6 +162,17 @@ mod tests {
         let a = vec![0.0, 0.0];
         let b = vec![3.0, 4.0];
         assert!((paa_point_dist(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paa_into_appends_to_arena() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let y = [10.0f32, 10.0, 20.0, 20.0];
+        let mut arena = Vec::new();
+        paa_into(&x, 2, &mut arena);
+        paa_into(&y, 2, &mut arena);
+        assert_eq!(arena, vec![1.5, 3.5, 10.0, 20.0]);
+        assert_eq!(&arena[0..2], paa(&x, 2).as_slice());
     }
 
     #[test]

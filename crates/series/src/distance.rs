@@ -11,14 +11,39 @@
 ///
 /// # Panics
 /// If the slices differ in length.
+/// Reduces the 8 lane accumulators in a fixed pairwise order, so every
+/// kernel built on the lanes produces bit-identical sums.
+#[inline]
+fn combine_lanes(l: &[f64; 8]) -> f64 {
+    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+/// Accumulates one 8-wide chunk of squared differences into the lanes.
+#[inline]
+fn accumulate_lanes(cx: &[f32], cy: &[f32], lanes: &mut [f64; 8]) {
+    for i in 0..8 {
+        let d = f64::from(cx[i]) - f64::from(cy[i]);
+        lanes[i] += d * d;
+    }
+}
+
 #[inline]
 pub fn sq_ed(x: &[f32], y: &[f32]) -> f64 {
     assert_eq!(x.len(), y.len(), "ED requires equal-length series");
-    let mut acc = 0.0f64;
-    // chunks of 8 let LLVM vectorise while keeping f64 accumulation exact
-    // enough for ordering decisions.
-    for (a, b) in x.iter().zip(y.iter()) {
-        let d = (*a as f64) - (*b as f64);
+    // Chunks of 8 with one independent accumulator per lane break the
+    // loop-carried dependence on a single sum, letting LLVM vectorise and
+    // pipeline the adds; f64 accumulation stays exact enough for ordering
+    // decisions. Lanes are combined in a fixed order and the same layout is
+    // used by `ed_early_abandon`, so the two kernels agree bit-for-bit.
+    let mut lanes = [0.0f64; 8];
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        accumulate_lanes(cx, cy, &mut lanes);
+    }
+    let mut acc = combine_lanes(&lanes);
+    for (a, b) in xc.remainder().iter().zip(yc.remainder().iter()) {
+        let d = f64::from(*a) - f64::from(*b);
         acc += d * d;
     }
     acc
@@ -33,20 +58,31 @@ pub fn ed(x: &[f32], y: &[f32]) -> f64 {
 /// Squared Euclidean distance with early abandoning.
 ///
 /// Returns `None` as soon as the partial sum exceeds `sq_bound` (a squared
-/// distance), otherwise `Some(squared distance)`. Checking every 16 readings
-/// keeps the branch cost negligible on series of a few hundred points.
+/// distance), otherwise `Some(squared distance)`. The bound is checked
+/// every 16 readings, keeping the branch cost negligible on series of a few
+/// hundred points. Accumulation uses the same 8-lane layout as [`sq_ed`],
+/// so a non-abandoned result is bit-identical to `sq_ed(x, y)`.
 #[inline]
 pub fn ed_early_abandon(x: &[f32], y: &[f32], sq_bound: f64) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "ED requires equal-length series");
-    let mut acc = 0.0f64;
-    for (cx, cy) in x.chunks(16).zip(y.chunks(16)) {
-        for (a, b) in cx.iter().zip(cy.iter()) {
-            let d = (*a as f64) - (*b as f64);
-            acc += d * d;
-        }
-        if acc > sq_bound {
+    let mut lanes = [0.0f64; 8];
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (i, (cx, cy)) in (&mut xc).zip(&mut yc).enumerate() {
+        accumulate_lanes(cx, cy, &mut lanes);
+        // Check after every second 8-chunk (16 readings). Combining the
+        // lanes for the check does not disturb their running values.
+        if i % 2 == 1 && combine_lanes(&lanes) > sq_bound {
             return None;
         }
+    }
+    let mut acc = combine_lanes(&lanes);
+    for (a, b) in xc.remainder().iter().zip(yc.remainder().iter()) {
+        let d = f64::from(*a) - f64::from(*b);
+        acc += d * d;
+    }
+    if acc > sq_bound {
+        return None;
     }
     Some(acc)
 }
@@ -105,6 +141,28 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn mismatched_lengths_panic() {
         sq_ed(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn chunked_kernel_matches_naive_sum() {
+        // Lengths around the 8-lane boundary, including a pure remainder.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 100, 256] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32).sin() * 3.0).collect();
+            let y: Vec<f32> = (0..len).map(|i| (i as f32).cos() - 0.5).collect();
+            let naive: f64 = x
+                .iter()
+                .zip(y.iter())
+                .map(|(a, b)| {
+                    let d = f64::from(*a) - f64::from(*b);
+                    d * d
+                })
+                .sum();
+            let got = sq_ed(&x, &y);
+            assert!(
+                (got - naive).abs() <= naive.abs() * 1e-12 + 1e-12,
+                "len {len}: chunked {got} vs naive {naive}"
+            );
+        }
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! corpora are available offline at terabyte scale, so each generator below
 //! synthesises series with the same *geometry* that drives index behaviour:
 //!
-//! * [`randomwalk`] — the exact benchmark process (cumulative N(0,1) steps);
-//! * [`sift`] — clustered, non-negative, heavy-tailed gradient-histogram-like
+//! * `randomwalk` — the exact benchmark process (cumulative N(0,1) steps);
+//! * `sift` — clustered, non-negative, heavy-tailed gradient-histogram-like
 //!   vectors (SIFT features are strongly clustered, which is why pivots work
 //!   well on TexMex);
-//! * [`dna`] — 4-letter-alphabet walks smoothed into numeric series, giving
+//! * `dna` — 4-letter-alphabet walks smoothed into numeric series, giving
 //!   the step-plateau structure of genome subsequence encodings;
-//! * [`eeg`] — oscillatory background with injected high-amplitude "seizure"
+//! * `eeg` — oscillatory background with injected high-amplitude "seizure"
 //!   regimes, mimicking epileptic EEG morphology.
 //!
 //! All generators are fully deterministic given a seed, and all emit

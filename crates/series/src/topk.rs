@@ -7,6 +7,7 @@
 use crate::series::SeriesId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Heap entry ordered by (distance desc, id desc) so that `peek()` is the
 /// *worst* of the current top-k and pops first.
@@ -121,6 +122,69 @@ impl TopK {
             self.offer(e.id, e.dist);
         }
     }
+
+    /// Publishes this collector's bound into `shared` — but only once the
+    /// collector is full, because a partial heap's worst distance is not
+    /// yet an upper bound on the final k-th distance.
+    #[inline]
+    pub fn publish_bound(&self, shared: &SharedBound) {
+        if self.heap.len() >= self.k {
+            shared.tighten(self.bound());
+        }
+    }
+
+    /// The effective pruning bound when cooperating with other workers on
+    /// the *same* query: the tighter of this collector's own bound and the
+    /// shared bound published by the others.
+    #[inline]
+    pub fn bound_with(&self, shared: &SharedBound) -> f64 {
+        self.bound().min(shared.get())
+    }
+}
+
+/// A pruning bound shared between workers refining the *same* query over
+/// different partitions (lock-free; an atomic min over `f64` bits).
+///
+/// Safety of sharing: any *full* [`TopK`]'s bound is the k-th best distance
+/// over a subset of the candidates, which is always `>=` the final k-th
+/// best distance over all candidates. Pruning candidates strictly worse
+/// than such a bound can therefore never evict a true top-k member, so
+/// results stay bit-identical to a sequential scan regardless of thread
+/// timing — only the amount of early-abandoned work varies.
+///
+/// Distances are non-negative (squared ED), so the IEEE-754 bit patterns
+/// order identically to the values and a `fetch_min` on the raw bits
+/// implements an atomic numeric min.
+#[derive(Debug)]
+pub struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    /// A fresh bound: `f64::INFINITY` (nothing can be pruned yet).
+    pub fn new() -> Self {
+        Self(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current shared bound.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(AtomicOrdering::Relaxed))
+    }
+
+    /// Lowers the bound to `bound` if it is tighter than the current value.
+    ///
+    /// # Panics
+    /// If `bound` is negative or NaN (squared distances never are).
+    #[inline]
+    pub fn tighten(&self, bound: f64) {
+        assert!(bound >= 0.0, "shared bound must be a non-negative distance");
+        self.0.fetch_min(bound.to_bits(), AtomicOrdering::Relaxed);
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +289,58 @@ mod tests {
         t.offer(7, 3.0);
         let out = t.into_sorted();
         assert_eq!(out, vec![(7, 3.0)]);
+    }
+
+    #[test]
+    fn shared_bound_is_an_atomic_min() {
+        let s = SharedBound::new();
+        assert_eq!(s.get(), f64::INFINITY);
+        s.tighten(5.0);
+        assert_eq!(s.get(), 5.0);
+        s.tighten(9.0); // looser: ignored
+        assert_eq!(s.get(), 5.0);
+        s.tighten(1.5);
+        assert_eq!(s.get(), 1.5);
+        s.tighten(0.0);
+        assert_eq!(s.get(), 0.0);
+    }
+
+    #[test]
+    fn partial_heap_never_publishes() {
+        let s = SharedBound::new();
+        let mut t = TopK::new(3);
+        t.offer(0, 1.0);
+        t.offer(1, 2.0);
+        t.publish_bound(&s); // only 2 of 3 held: not a valid upper bound
+        assert_eq!(s.get(), f64::INFINITY);
+        t.offer(2, 3.0);
+        t.publish_bound(&s);
+        assert_eq!(s.get(), 3.0);
+    }
+
+    #[test]
+    fn bound_with_takes_the_tighter_side() {
+        let s = SharedBound::new();
+        s.tighten(2.0);
+        let mut t = TopK::new(1);
+        assert_eq!(t.bound_with(&s), 2.0); // own bound is INF
+        t.offer(0, 0.5);
+        assert_eq!(t.bound_with(&s), 0.5); // own bound now tighter
+    }
+
+    #[test]
+    fn shared_bound_concurrent_tighten() {
+        let s = SharedBound::new();
+        std::thread::scope(|scope| {
+            for i in 0..8u32 {
+                let s = &s;
+                scope.spawn(move || {
+                    for j in 0..1000u32 {
+                        s.tighten(f64::from(i * 1000 + j) + 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.get(), 1.0);
     }
 }

@@ -1,0 +1,68 @@
+//! Batched query execution: serve a burst of queries partition-major and
+//! compare its throughput (QPS) against the sequential per-query engine.
+//!
+//! ```sh
+//! cargo run --release --example batch_search
+//! ```
+
+use climber_core::series::gen::{query_workload, Domain};
+use climber_core::{BatchRequest, Climber, ClimberConfig};
+use std::time::Instant;
+
+fn main() {
+    let n = 10_000;
+    println!("generating {n} RandomWalk series ...");
+    let data = Domain::RandomWalk.generate(n, 42);
+
+    let config = ClimberConfig::default()
+        .with_paa_segments(16)
+        .with_pivots(200)
+        .with_prefix_len(10)
+        .with_capacity(500)
+        .with_alpha(0.1)
+        .with_max_centroids(10)
+        .with_seed(7);
+    let climber = Climber::build_in_memory(&data, config);
+
+    // A burst of 128 queries, as a throughput-oriented service sees them.
+    let (k, factor) = (100, 4);
+    let qids = query_workload(&data, 128, 1);
+    let queries: Vec<Vec<f32>> = qids.iter().map(|&q| data.get(q).to_vec()).collect();
+
+    // Sequential: one query at a time, each decoding its own partitions.
+    let t = Instant::now();
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| climber.knn_adaptive(q, k, factor))
+        .collect();
+    let seq_secs = t.elapsed().as_secs_f64();
+
+    // Batched: the union of all plans, partition-major across threads.
+    let t = Instant::now();
+    let batch = climber.batch(&BatchRequest::adaptive(&queries, k, factor));
+    let batch_secs = t.elapsed().as_secs_f64();
+
+    // Same answers, down to the last bit and counter.
+    assert_eq!(batch.outcomes, sequential, "batch must equal sequential");
+
+    println!(
+        "sequential: {:7.1} QPS  ({} queries in {:.3}s)",
+        queries.len() as f64 / seq_secs,
+        queries.len(),
+        seq_secs
+    );
+    println!(
+        "batched:    {:7.1} QPS  ({} queries in {:.3}s)  -> {:.2}x",
+        queries.len() as f64 / batch_secs,
+        queries.len(),
+        batch_secs,
+        seq_secs / batch_secs
+    );
+    println!(
+        "sharing: {} records decoded once served {} per-query scans ({:.1}x reuse) across {} partition opens",
+        batch.records_decoded,
+        batch.records_scanned,
+        batch.sharing_factor(),
+        batch.partitions_opened
+    );
+}

@@ -2,8 +2,9 @@
 //! crate, providing the parallel-iterator surface the CLIMBER workspace
 //! uses: `par_iter().map().collect()`, `par_iter().for_each()`,
 //! `into_par_iter()` over vectors and ranges, `chunks`, `par_chunks`,
-//! [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`, and
-//! [`current_num_threads`].
+//! [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`,
+//! [`current_num_threads`], and the fork-join [`scope`] / [`Scope::spawn`]
+//! work-queue used by the batched query executor.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the handful of external APIs it needs. Unlike a toy sequential
@@ -11,9 +12,18 @@
 //! (`std::thread::scope`), splitting inputs into contiguous blocks — one
 //! per worker — and reassembling results in input order, so the
 //! determinism guarantees the callers rely on hold for any worker count.
+//!
+//! One uniform divergence from real rayon: live workers are capped at
+//! the hardware thread count everywhere (parallel
+//! iterators and [`scope`] alike). Real rayon spawns exactly the
+//! requested thread count; this shim spawns a fresh set of scoped OS
+//! threads per operation instead of keeping a pool, so over-subscription
+//! would pay spawn cost for threads that cannot run concurrently.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::Mutex;
 
 thread_local! {
     /// Worker count installed by the innermost active [`ThreadPool::install`].
@@ -28,6 +38,16 @@ pub fn current_num_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Worker threads an operation will actually spawn: the ambient
+/// [`current_num_threads`], capped at the hardware thread count (see the
+/// module docs for why the shim caps over-subscribed requests).
+fn max_workers() -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    current_num_threads().min(hardware).max(1)
 }
 
 /// Error building a [`ThreadPool`] (never produced by this shim; kept for
@@ -101,10 +121,124 @@ impl ThreadPoolBuilder {
     }
 }
 
+/// A task spawned into a [`Scope`]: it receives the scope again so it can
+/// spawn further tasks (fork-join), exactly like `rayon::Scope::spawn`.
+type ScopeTask<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+/// Queue + in-flight accounting behind the scope's mutex.
+struct ScopeState<'env> {
+    queue: VecDeque<ScopeTask<'env>>,
+    /// Tasks spawned but not yet completed (queued + running).
+    pending: usize,
+}
+
+/// A fork-join scope distributing spawned tasks over a shared work queue
+/// (the `rayon::scope` API).
+///
+/// Unlike the block-splitting parallel iterators below, tasks are pulled
+/// from one queue by all workers, so skewed task costs balance naturally —
+/// the right shape for fanning *partitions* of very different sizes out
+/// across threads. Idle workers sleep on a condvar rather than spinning,
+/// so over-subscribing threads beyond the core count stays cheap.
+pub struct Scope<'env> {
+    state: Mutex<ScopeState<'env>>,
+    idle: std::sync::Condvar,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pending = self.state.lock().map(|s| s.pending).unwrap_or(0);
+        f.debug_struct("Scope").field("pending", &pending).finish()
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a task into the scope. The task may borrow anything that
+    /// outlives the [`scope`] call and may itself spawn further tasks.
+    pub fn spawn(&self, body: impl FnOnce(&Scope<'env>) + Send + 'env) {
+        let mut state = self.state.lock().unwrap();
+        state.pending += 1;
+        state.queue.push_back(Box::new(body));
+        drop(state);
+        self.idle.notify_one();
+    }
+
+    /// Marks one task complete, waking sleepers when the scope drains.
+    /// Runs from a drop guard so a panicking task cannot strand workers.
+    fn complete_one(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.pending -= 1;
+        if state.pending == 0 {
+            drop(state);
+            self.idle.notify_all();
+        }
+    }
+
+    /// Worker loop: pop and run tasks until none are queued *and* none are
+    /// still running (a running task may spawn more).
+    fn work(&self) {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(task) = state.queue.pop_front() {
+                drop(state);
+                struct Done<'s, 'env>(&'s Scope<'env>);
+                impl Drop for Done<'_, '_> {
+                    fn drop(&mut self) {
+                        self.0.complete_one();
+                    }
+                }
+                let _done = Done(self);
+                task(self);
+                drop(_done);
+                state = self.state.lock().unwrap();
+            } else if state.pending == 0 {
+                break;
+            } else {
+                state = self.idle.wait(state).unwrap();
+            }
+        }
+    }
+}
+
+/// Creates a fork-join scope: `op` spawns tasks via [`Scope::spawn`], and
+/// `scope` returns only after every spawned task (including nested spawns)
+/// has completed. Tasks run on up to [`current_num_threads`] scoped OS
+/// threads (never more threads than initially queued tasks).
+///
+/// Divergence from real rayon: spawned tasks start only after `op`
+/// returns, instead of concurrently with it — callers in this workspace
+/// use `op` purely to enqueue work, so the observable behaviour matches.
+pub fn scope<'env, R>(op: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let s = Scope {
+        state: Mutex::new(ScopeState {
+            queue: VecDeque::new(),
+            pending: 0,
+        }),
+        idle: std::sync::Condvar::new(),
+    };
+    let result = op(&s);
+    let queued = s.state.lock().unwrap().pending;
+    // Never more workers than queued tasks or hardware threads (see
+    // max_workers): an over-subscribed request (install(8) on a 1-core
+    // box) would only pay spawn cost for threads that can never run
+    // concurrently.
+    let workers = max_workers().clamp(1, queued.max(1));
+    if workers <= 1 || queued <= 1 {
+        s.work();
+    } else {
+        std::thread::scope(|ts| {
+            for _ in 0..workers {
+                ts.spawn(|| s.work());
+            }
+        });
+    }
+    result
+}
+
 /// Runs `task` over `threads` contiguous index blocks of `0..len` on scoped
 /// OS threads, returning per-block outputs in block order.
 fn run_blocks<R: Send>(len: usize, task: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
-    let threads = current_num_threads().clamp(1, len.max(1));
+    let threads = max_workers().clamp(1, len.max(1));
     let per = len.div_ceil(threads.max(1)).max(1);
     let blocks: Vec<Range<usize>> = (0..threads)
         .map(|t| (t * per).min(len)..((t + 1) * per).min(len))
@@ -298,7 +432,7 @@ pub mod iter {
             // vector is converted into per-block sub-vectors first.
             let mut blocks: Vec<Vec<T>> = Vec::new();
             {
-                let threads = super::current_num_threads().clamp(1, len.max(1));
+                let threads = super::max_workers().clamp(1, len.max(1));
                 let per = len.div_ceil(threads.max(1)).max(1);
                 let mut rest = self.data;
                 while rest.len() > per {
@@ -517,6 +651,56 @@ mod tests {
         let par: Vec<i64> = data.par_chunks(50).map(|c| c.iter().sum()).collect();
         let ser: Vec<i64> = data.chunks(50).map(|c| c.iter().sum()).collect();
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        crate::scope(|s| {
+            for i in 1..=100u64 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                let count = &count;
+                s.spawn(move |inner| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    for _ in 0..3 {
+                        inner.spawn(move |_| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 8 + 8 * 3);
+    }
+
+    #[test]
+    fn scope_respects_installed_pool_and_returns_op_result() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let out = pool.install(|| {
+            crate::scope(|s| {
+                s.spawn(|_| {});
+                21 * 2
+            })
+        });
+        assert_eq!(out, 42);
     }
 
     #[test]
