@@ -1,32 +1,52 @@
 //! Figure 8(a)+(b): index construction time and global index size across
-//! the four datasets for CLIMBER, DPiSAX and TARDIS (Dss builds nothing).
+//! the four datasets for CLIMBER, DPiSAX and TARDIS (Dss builds nothing) —
+//! plus, for CLIMBER, the cost of the persistence path the paper's
+//! build-once/query-many deployment depends on: `save` (partition copy +
+//! checksums + manifest) and cold `open` (manifest + checksum validation +
+//! skeleton decode).
 //!
 //! Shape to reproduce: DPiSAX's construction is by far the slowest (its
 //! split tree updates per record); CLIMBER is slightly slower than TARDIS
 //! (pivot conversions cost more than iSAX words); every global index is
 //! tiny (KBs here, MBs in the paper) and TARDIS's sigTree is the largest
-//! of the three.
+//! of the three. Cold open must be orders of magnitude cheaper than the
+//! build — that gap *is* the value of persistence.
+//!
+//! Emits a `BENCH_fig8_index.json` record (build vs cold-open seconds per
+//! dataset) next to the printed table.
 
 use climber_bench::paper::{FIG8A_BUILD_MIN, FIG8B_INDEX_MB};
-use climber_bench::runner::{build_climber, build_dpisax, build_tardis, dataset};
+use climber_bench::runner::{build_climber, build_dpisax, build_tardis, cold_open, dataset};
 use climber_bench::table::{f2, kib, Table};
 use climber_bench::{banner, default_n, experiment_config};
+use std::fmt::Write as _;
+
+struct ClimberRow {
+    domain: &'static str,
+    build_secs: f64,
+    save_secs: f64,
+    open_secs: f64,
+    index_bytes: usize,
+}
 
 fn main() {
     let n = default_n();
     banner(
-        "Figure 8(a)+(b) — construction time & global index size per dataset",
-        "paper: 200GB; shape: DPiSAX slowest build; global indexes tiny; sigTree largest",
+        "Figure 8(a)+(b) — construction time, global index size & cold-open per dataset",
+        "paper: 200GB; shape: DPiSAX slowest build; global indexes tiny; cold open << build",
     );
 
     let mut table = Table::new(vec![
         "dataset",
         "system",
         "build(s)",
+        "save(s)",
+        "cold-open(s)",
         "paper-build(min)",
         "index(KiB)",
         "paper-index(MB)",
     ]);
+    let mut climber_rows: Vec<ClimberRow> = Vec::new();
     for ((domain, pa), pb) in climber_bench::FIGURE_DOMAINS
         .iter()
         .zip(FIG8A_BUILD_MIN.iter())
@@ -36,20 +56,41 @@ fn main() {
         let cap = experiment_config(n).capacity;
 
         let c = build_climber(&ds, experiment_config(n));
+        let co = cold_open(&c.climber, &format!("fig8-{}", domain.name()));
+        // The reopened index must answer like the built one.
+        let probe = ds.get(0);
+        assert_eq!(
+            co.climber.knn(probe, 10).results,
+            c.climber.knn(probe, 10).results,
+            "reopened index diverged on {}",
+            domain.name()
+        );
+        std::fs::remove_dir_all(&co.dir).ok();
         table.row(vec![
             domain.name().to_string(),
             "CLIMBER".into(),
             f2(c.build_secs),
+            f2(co.save_secs),
+            f2(co.open_secs),
             f2(pa.1),
             kib(c.index_bytes),
             f2(pb.1),
         ]);
+        climber_rows.push(ClimberRow {
+            domain: domain.name(),
+            build_secs: c.build_secs,
+            save_secs: co.save_secs,
+            open_secs: co.open_secs,
+            index_bytes: c.index_bytes,
+        });
 
         let dp = build_dpisax(&ds, cap, 5);
         table.row(vec![
             domain.name().to_string(),
             "DPiSAX".into(),
             f2(dp.build_secs),
+            "-".into(),
+            "-".into(),
             f2(pa.2),
             kib(dp.index_bytes),
             f2(pb.2),
@@ -60,15 +101,45 @@ fn main() {
             domain.name().to_string(),
             "TARDIS".into(),
             f2(td.build_secs),
+            "-".into(),
+            "-".into(),
             f2(pa.3),
             kib(td.index_bytes),
             f2(pb.3),
         ]);
     }
     table.print();
+
+    // BENCH_*.json record (consumed by tooling; schema kept flat).
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"fig8_index\",\n  \"n\": {n},\n  \"rows\": ["
+    );
+    for (i, r) in climber_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"dataset\": \"{}\", \"build_secs\": {:.4}, \"save_secs\": {:.4}, \"cold_open_secs\": {:.4}, \"index_bytes\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.domain,
+            r.build_secs,
+            r.save_secs,
+            r.open_secs,
+            r.index_bytes
+        );
+    }
+    let _ = write!(json, "\n  ]\n}}\n");
+    let path =
+        std::env::var("CLIMBER_BENCH_JSON").unwrap_or_else(|_| "BENCH_fig8_index.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
     println!(
         "\nnote: the DPiSAX-like build here routes every record through the split tree\n\
          (the paper attributes DPiSAX's slowness to per-record structure updates);\n\
-         absolute times are not comparable across 4 orders of magnitude of scale."
+         absolute times are not comparable across 4 orders of magnitude of scale.\n\
+         save/cold-open apply to CLIMBER's persisted deployment mode only."
     );
 }

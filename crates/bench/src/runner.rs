@@ -3,12 +3,13 @@
 
 use climber_core::baselines::dpisax::{DpisaxConfig, DpisaxIndex};
 use climber_core::baselines::tardis::{TardisConfig, TardisIndex};
-use climber_core::dfs::store::MemStore;
+use climber_core::dfs::store::{DiskStore, MemStore, PartitionStore};
 use climber_core::series::dataset::Dataset;
 use climber_core::series::gen::{query_workload, Domain};
 use climber_core::series::ground_truth::exact_knn;
 use climber_core::series::recall::recall_of_results;
 use climber_core::{Climber, ClimberConfig};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// One measured query sweep: mean recall, mean wall time, mean records
@@ -75,6 +76,38 @@ pub fn build_climber(ds: &Dataset, config: ClimberConfig) -> BuiltClimber {
         climber,
         build_secs,
         index_bytes,
+    }
+}
+
+/// A persisted-and-reopened CLIMBER index with its cold-start cost.
+pub struct ColdOpen {
+    /// The reopened, manifest-validated, read-only index.
+    pub climber: Climber<DiskStore>,
+    /// Wall time of `Climber::save` (partition copy + checksums + manifest).
+    pub save_secs: f64,
+    /// Wall time of `Climber::open` (manifest + checksum validation +
+    /// skeleton decode) — the serve process's cold-start latency.
+    pub open_secs: f64,
+    /// The index directory (caller removes it when done).
+    pub dir: PathBuf,
+}
+
+/// Saves `climber` into a scratch directory and times a cold
+/// [`Climber::open`] — the build/serve process-separation path.
+pub fn cold_open<S: PartitionStore>(climber: &Climber<S>, tag: &str) -> ColdOpen {
+    let dir = std::env::temp_dir().join(format!("climber-bench-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let t = Instant::now();
+    climber.save(&dir).expect("save index");
+    let save_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let reopened = Climber::open(&dir).expect("reopen index");
+    let open_secs = t.elapsed().as_secs_f64();
+    ColdOpen {
+        climber: reopened,
+        save_secs,
+        open_secs,
+        dir,
     }
 }
 

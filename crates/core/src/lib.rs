@@ -55,14 +55,17 @@ pub use climber_query as query;
 pub use climber_repr as repr;
 pub use climber_series as series;
 
+pub use climber_dfs::manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
 pub use climber_index::builder::BuildReport;
 pub use climber_index::config::IndexConfig as ClimberConfig;
 pub use climber_index::skeleton::IndexSkeleton;
 pub use climber_query::batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use climber_query::plan::QueryOutcome;
 
-use climber_dfs::format::PartitionWriter;
-use climber_dfs::store::{DiskStore, MemStore, PartitionStore};
+use climber_dfs::format::{Decode, Encode, PartitionWriter};
+use climber_dfs::manifest::{self, xxh64, FileEntry, PartitionEntry};
+use climber_dfs::stats::IoSnapshot;
+use climber_dfs::store::{partition_file_name, DiskStore, MemStore, PartitionStore};
 use climber_index::builder::IndexBuilder;
 use climber_query::engine::KnnEngine;
 use climber_series::dataset::Dataset;
@@ -70,6 +73,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Name of the skeleton file inside a disk-backed index directory.
 pub const SKELETON_FILE: &str = "skeleton.clsk";
@@ -79,29 +83,35 @@ pub const SKELETON_FILE: &str = "skeleton.clsk";
 pub struct Climber<S: PartitionStore = MemStore> {
     skeleton: IndexSkeleton,
     store: S,
+    config: ClimberConfig,
     report: Option<BuildReport>,
     /// Next series id for appends (1 + the largest stored id).
     next_id: AtomicU64,
+    /// Store I/O at the moment the index became servable; the zero point
+    /// for [`serve_io`](Self::serve_io). Behind a mutex because
+    /// [`save`](Self::save) (which takes `&self`) advances it past its
+    /// own checksum reads.
+    ready_io: Mutex<IoSnapshot>,
 }
 
 impl Climber<MemStore> {
-    /// Builds an index with in-memory partitions (fastest; no persistence).
+    /// Builds an index with in-memory partitions (fastest; combine with
+    /// [`save`](Self::save) for build/serve process separation).
     pub fn build_in_memory(ds: &Dataset, config: ClimberConfig) -> Self {
         let store = MemStore::new();
         let (skeleton, report) = IndexBuilder::new(config).build(ds, &store);
-        Self {
-            skeleton,
-            store,
-            report: Some(report),
-            next_id: AtomicU64::new(0),
-        }
-        .with_fresh_next_id()
+        let mut c = Self::assemble(skeleton, store, config, Some(report));
+        c.seed_next_id_by_scan();
+        c.mark_ready();
+        c
     }
 }
 
 impl Climber<DiskStore> {
-    /// Builds a disk-backed index under `dir` (partition files + the
-    /// serialised skeleton), the paper's deployment mode.
+    /// Builds a disk-backed index under `dir` — partition files, the
+    /// serialised skeleton, and the checksummed [`Manifest`] — the
+    /// paper's deployment mode. The directory can be reopened cold with
+    /// [`Climber::open`], in this or any later process.
     pub fn build_on_disk(
         ds: &Dataset,
         dir: impl AsRef<Path>,
@@ -109,49 +119,168 @@ impl Climber<DiskStore> {
     ) -> io::Result<Self> {
         let store = DiskStore::new(dir.as_ref())?;
         let (skeleton, report) = IndexBuilder::new(config).build(ds, &store);
-        std::fs::write(dir.as_ref().join(SKELETON_FILE), skeleton.to_bytes())?;
-        Ok(Self {
-            skeleton,
-            store,
-            report: Some(report),
-            next_id: AtomicU64::new(0),
-        }
-        .with_fresh_next_id())
+        let mut c = Self::assemble(skeleton, store, config, Some(report));
+        c.seed_next_id_by_scan();
+        c.save(dir)?;
+        c.mark_ready();
+        Ok(c)
     }
 
-    /// Re-opens a previously built disk index.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
-        let bytes = std::fs::read(dir.as_ref().join(SKELETON_FILE))?;
-        let skeleton = IndexSkeleton::from_bytes(&bytes)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let store = DiskStore::new(dir.as_ref())?;
-        if store.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                "index directory holds no partitions",
-            ));
+    /// Cold-starts a previously saved index: validates the manifest
+    /// (magic, format version, self-checksum), every partition file's
+    /// byte range and checksum, the skeleton's checksum, and the
+    /// manifest/skeleton partition-set agreement — then serves queries
+    /// with no access to the original raw dataset.
+    ///
+    /// The store is **read-only**: [`append`](Self::append) fails with
+    /// `PermissionDenied`. Every failure mode is a typed [`OpenError`];
+    /// opening never panics and never yields a silently wrong index.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, OpenError> {
+        let dir = dir.as_ref();
+        let (store, manifest) = DiskStore::open_read_only(dir)?;
+        let skel_bytes = std::fs::read(dir.join(SKELETON_FILE)).map_err(OpenError::Io)?;
+        let found = xxh64(&skel_bytes, 0);
+        if found != manifest.skeleton.checksum || skel_bytes.len() as u64 != manifest.skeleton.bytes
+        {
+            return Err(OpenError::ChecksumMismatch {
+                what: "skeleton".into(),
+                expected: manifest.skeleton.checksum,
+                found,
+            });
         }
-        Ok(Self {
-            skeleton,
-            store,
-            report: None,
-            next_id: AtomicU64::new(0),
+        let skeleton =
+            IndexSkeleton::from_bytes(&skel_bytes).map_err(OpenError::CorruptSkeleton)?;
+        if skeleton.partition_ids() != manifest.partition_ids() {
+            return Err(OpenError::StoreMismatch(format!(
+                "skeleton references {} partitions, manifest lists {}",
+                skeleton.num_partitions(),
+                manifest.partitions.len()
+            )));
         }
-        .with_fresh_next_id())
+        let config = ClimberConfig::decode_vec(&manifest.config)
+            .map_err(|e| OpenError::CorruptManifest(format!("config: {e}")))?;
+        let mut c = Self::assemble(skeleton, store, config, None);
+        // The manifest records the largest stored id, so cold start needs
+        // no full scan to seed the append counter.
+        c.next_id = AtomicU64::new(manifest.max_series_id.map_or(0, |m| m + 1));
+        c.mark_ready();
+        Ok(c)
     }
 }
 
 impl<S: PartitionStore> Climber<S> {
     /// Wraps an existing skeleton + store (advanced; used by the bench
-    /// harness to share stores between algorithms).
+    /// harness to share stores between algorithms). The configuration is
+    /// reconstructed from the skeleton's persisted parameters; build-only
+    /// knobs (α, capacity, workers) take their defaults.
     pub fn from_parts(skeleton: IndexSkeleton, store: S) -> Self {
+        let config = ClimberConfig::default()
+            .with_paa_segments(skeleton.paa_segments)
+            .with_pivots(skeleton.pivots.len())
+            .with_prefix_len(skeleton.prefix_len)
+            .with_decay(skeleton.decay)
+            .with_seed(skeleton.seed);
+        let mut c = Self::assemble(skeleton, store, config, None);
+        c.seed_next_id_by_scan();
+        c.mark_ready();
+        c
+    }
+
+    fn assemble(
+        skeleton: IndexSkeleton,
+        store: S,
+        config: ClimberConfig,
+        report: Option<BuildReport>,
+    ) -> Self {
         Self {
             skeleton,
             store,
-            report: None,
+            config,
+            report,
             next_id: AtomicU64::new(0),
+            ready_io: Mutex::new(IoSnapshot::default()),
         }
-        .with_fresh_next_id()
+    }
+
+    /// Snapshots store I/O as the serve-phase zero point. Called at the
+    /// end of every constructor so build reads/writes (and save's reads)
+    /// are never double-counted into serve-phase measurements.
+    fn mark_ready(&mut self) {
+        *self.ready_io.lock().unwrap() = self.store.stats().snapshot();
+    }
+
+    /// Persists the index into `dir` as a self-validating directory:
+    /// every partition file, the serialised skeleton, and — written last,
+    /// via temp file + atomic rename — the [`Manifest`] holding the
+    /// format version, the build [`ClimberConfig`], a dataset
+    /// fingerprint, and per-file byte ranges + xxHash64 checksums.
+    ///
+    /// Works for any store backend, so an index built in memory can be
+    /// handed to a separate serve process. A crash before the final
+    /// rename leaves no valid manifest, so [`Climber::open`] can never
+    /// observe a half-written index. Returns the written manifest.
+    ///
+    /// The partition reads save performs for checksumming are excluded
+    /// from [`serve_io`](Self::serve_io): the phase zero point advances
+    /// past them when save completes.
+    pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<Manifest> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let ids = self.store.ids();
+        if ids.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot save an index with no partitions",
+            ));
+        }
+        let io_before = self.store.stats().snapshot();
+        let mut partitions = Vec::with_capacity(ids.len());
+        let mut num_records = 0u64;
+        let mut series_len = 0u32;
+        for pid in ids {
+            let reader = self.store.open(pid)?;
+            let bytes = reader.raw_bytes();
+            manifest::write_file_atomic(&dir.join(partition_file_name(pid)), bytes)?;
+            series_len = reader.series_len() as u32;
+            num_records += reader.record_count();
+            partitions.push(PartitionEntry {
+                id: pid,
+                bytes: bytes.len() as u64,
+                checksum: xxh64(bytes, 0),
+                records: reader.record_count(),
+            });
+        }
+        let skel = self.skeleton.to_bytes();
+        manifest::write_file_atomic(&dir.join(SKELETON_FILE), &skel)?;
+        let m = Manifest {
+            format_version: FORMAT_VERSION,
+            config: self.config.encode_vec(),
+            fingerprint: Manifest::fingerprint_of(series_len, num_records, &partitions),
+            num_records,
+            max_series_id: self.next_id.load(Ordering::Relaxed).checked_sub(1),
+            series_len,
+            skeleton: FileEntry {
+                bytes: skel.len() as u64,
+                checksum: xxh64(&skel, 0),
+            },
+            partitions,
+        };
+        m.write_atomic(dir)?;
+        // Advance the serve-phase zero point past save's own checksum
+        // reads so they never show up as query traffic. (Queries racing a
+        // concurrent save may be partially absorbed too; save while
+        // measuring serve I/O is not a meaningful combination.)
+        let save_io = self.store.stats().snapshot().since(&io_before);
+        let mut ready = self.ready_io.lock().unwrap();
+        *ready = IoSnapshot {
+            partitions_written: ready.partitions_written + save_io.partitions_written,
+            partitions_opened: ready.partitions_opened + save_io.partitions_opened,
+            bytes_written: ready.bytes_written + save_io.bytes_written,
+            bytes_read: ready.bytes_read + save_io.bytes_read,
+            records_shuffled: ready.records_shuffled + save_io.records_shuffled,
+            records_read: ready.records_read + save_io.records_read,
+        };
+        Ok(m)
     }
 
     /// CLIMBER-kNN (Algorithm 3): approximate `k` nearest neighbours.
@@ -223,8 +352,9 @@ impl<S: PartitionStore> Climber<S> {
         self.store.open(pid).ok().map(|r| r.series_len())
     }
 
-    /// Scans the store once to seed the append id counter.
-    fn with_fresh_next_id(self) -> Self {
+    /// Scans the store once to seed the append id counter (reopened
+    /// indexes skip this — the manifest records the largest id).
+    fn seed_next_id_by_scan(&mut self) {
         let mut max_id: Option<u64> = None;
         for pid in self.store.ids() {
             if let Ok(reader) = self.store.open(pid) {
@@ -235,7 +365,6 @@ impl<S: PartitionStore> Climber<S> {
         }
         self.next_id
             .store(max_id.map_or(0, |m| m + 1), Ordering::Relaxed);
-        self
     }
 
     /// Appends a new series to the built index, returning its assigned id.
@@ -299,6 +428,24 @@ impl<S: PartitionStore> Climber<S> {
     /// The build report (absent for re-opened indexes).
     pub fn report(&self) -> Option<&BuildReport> {
         self.report.as_ref()
+    }
+
+    /// The index configuration: the exact build parameters for built
+    /// indexes, restored from the manifest for reopened ones.
+    pub fn config(&self) -> &ClimberConfig {
+        &self.config
+    }
+
+    /// Store I/O performed since the index became servable — partitions
+    /// opened, bytes and records read by queries alone. Build-phase I/O
+    /// (and the reads [`save`](Self::save) performs) is excluded by a
+    /// snapshot taken at the build/serve phase boundary, so benchmarks on
+    /// a shared store never double-count construction traffic.
+    pub fn serve_io(&self) -> IoSnapshot {
+        self.store
+            .stats()
+            .snapshot()
+            .since(&self.ready_io.lock().unwrap())
     }
 
     /// Serialised global index size in bytes (Figure 8(b)'s metric).
@@ -442,6 +589,63 @@ mod tests {
         let ds = Domain::Dna.generate(100, 9);
         let climber = Climber::build_in_memory(&ds, small_cfg());
         let _ = climber.append(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn serve_io_excludes_build_phase() {
+        let ds = Domain::RandomWalk.generate(300, 10);
+        let climber = Climber::build_in_memory(&ds, small_cfg());
+        let build_io = climber.report().unwrap().io;
+        assert!(build_io.partitions_written > 0, "build wrote partitions");
+        // Phase boundary: before any query, serve-phase I/O is zero even
+        // though the shared store's counters still hold the build traffic.
+        assert_eq!(
+            climber.serve_io(),
+            climber_dfs::stats::IoSnapshot::default()
+        );
+
+        climber.knn(ds.get(1), 5);
+        let serve = climber.serve_io();
+        assert!(serve.partitions_opened > 0, "query opened partitions");
+        assert_eq!(serve.partitions_written, 0, "serving writes nothing");
+        assert!(
+            serve.bytes_read < build_io.bytes_read + build_io.bytes_written,
+            "serve I/O must not re-count build traffic"
+        );
+        // The build report is a snapshot: serving does not mutate it.
+        assert_eq!(climber.report().unwrap().io, build_io);
+
+        // An explicit save() advances the phase boundary past its own
+        // checksum reads: serve-phase I/O stays query-only.
+        let dir = std::env::temp_dir().join(format!("climber-core-save-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        climber.save(&dir).unwrap();
+        assert_eq!(
+            climber.serve_io(),
+            serve,
+            "save's reads leaked into serve-phase I/O"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saved_and_reopened_serve_io_starts_clean() {
+        let dir = std::env::temp_dir().join(format!("climber-core-io-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ds = Domain::Eeg.generate(200, 12);
+        let built = Climber::build_on_disk(&ds, &dir, small_cfg()).unwrap();
+        // build_on_disk's save() re-reads partitions for checksumming;
+        // none of that leaks into the serve phase.
+        assert_eq!(built.serve_io(), climber_dfs::stats::IoSnapshot::default());
+
+        let reopened = Climber::open(&dir).unwrap();
+        assert_eq!(
+            reopened.serve_io(),
+            climber_dfs::stats::IoSnapshot::default()
+        );
+        reopened.knn(ds.get(3), 5);
+        assert!(reopened.serve_io().partitions_opened > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

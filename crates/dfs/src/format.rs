@@ -22,6 +22,176 @@ use bytes::{BufMut, Bytes, BytesMut};
 /// builder; unique within an index).
 pub type TrieNodeId = u64;
 
+// ---------------------------------------------------------------------------
+// Hand-rolled binary codec
+// ---------------------------------------------------------------------------
+//
+// The persistent index format (manifest, skeleton, trie, pivot table) is
+// read and written through this tiny layer rather than a serde stack: the
+// build environment has no registry access, and a fixed little-endian
+// layout keeps the on-disk format inspectable and versionable by hand.
+
+/// Types that serialise themselves onto a byte vector (little-endian).
+pub trait Encode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh vector.
+    fn encode_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that deserialise themselves from a [`ByteReader`].
+pub trait Decode: Sized {
+    /// Reads one value, advancing the reader. Errors name what truncated
+    /// or mismatched; they never panic on malformed input.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String>;
+
+    /// Convenience: decodes a value that must span `bytes` exactly.
+    fn decode_vec(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+/// Cursor over a byte slice with bounds-checked little-endian reads.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current read position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let s = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end))
+            .ok_or_else(|| format!("truncated: wanted {n} bytes, {} left", self.remaining()))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` length prefix followed by that many raw bytes.
+    pub fn blob(&mut self) -> Result<&'a [u8], String> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+
+    /// Fails unless every byte has been consumed (trailing bytes are a
+    /// corruption signal, never silently ignored).
+    pub fn expect_end(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing bytes", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_codec_primitive {
+    ($ty:ty, $read:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+                r.$read()
+            }
+        }
+    };
+}
+
+impl_codec_primitive!(u16, u16);
+impl_codec_primitive!(u32, u32);
+impl_codec_primitive!(u64, u64);
+impl_codec_primitive!(f32, f32);
+impl_codec_primitive!(f64, f64);
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        r.u8()
+    }
+}
+
+impl Encode for [u8] {
+    /// Length-prefixed (`u64`) raw bytes.
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self);
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        Ok(r.blob()?.to_vec())
+    }
+}
+
 const MAGIC: [u8; 4] = *b"CLBP";
 const VERSION: u32 = 1;
 const HEADER_FIXED: usize = 4 + 4 + 8 + 4 + 4;
@@ -271,6 +441,13 @@ impl PartitionReader {
     /// The owning group id.
     pub fn group_id(&self) -> u64 {
         self.group_id
+    }
+
+    /// The raw encoded partition, exactly as stored. Used by the
+    /// persistence layer to copy and checksum partitions without
+    /// re-encoding records.
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.bytes
     }
 
     /// Length of every stored series.
@@ -539,5 +716,61 @@ mod tests {
         // record = 8 id bytes + 4 × 4 value bytes = 24
         assert_eq!(r.cluster_bytes(100), Some(48));
         assert_eq!(r.cluster_bytes(200), Some(24));
+    }
+
+    #[test]
+    fn raw_bytes_are_the_stored_encoding() {
+        let encoded = sample_partition();
+        let r = PartitionReader::open(encoded.clone()).unwrap();
+        assert_eq!(r.raw_bytes(), &encoded[..]);
+    }
+
+    #[test]
+    fn codec_primitives_roundtrip() {
+        let mut out = Vec::new();
+        7u8.encode(&mut out);
+        513u16.encode(&mut out);
+        0xDEAD_BEEFu32.encode(&mut out);
+        u64::MAX.encode(&mut out);
+        1.5f32.encode(&mut out);
+        (-2.25f64).encode(&mut out);
+        vec![9u8, 8, 7].encode(&mut out);
+
+        let mut r = ByteReader::new(&out);
+        assert_eq!(u8::decode(&mut r).unwrap(), 7);
+        assert_eq!(u16::decode(&mut r).unwrap(), 513);
+        assert_eq!(u32::decode(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(u64::decode(&mut r).unwrap(), u64::MAX);
+        assert_eq!(f32::decode(&mut r).unwrap(), 1.5);
+        assert_eq!(f64::decode(&mut r).unwrap(), -2.25);
+        assert_eq!(Vec::<u8>::decode(&mut r).unwrap(), vec![9, 8, 7]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_trailers() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u32().is_err(), "short read must fail");
+        assert_eq!(r.pos(), 0, "failed read does not advance");
+
+        let bytes = 42u32.encode_vec();
+        assert!(u32::decode_vec(&bytes).is_ok());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(u32::decode_vec(&trailing).is_err(), "trailing byte");
+        assert!(u32::decode_vec(&bytes[..3]).is_err(), "truncated");
+    }
+
+    #[test]
+    fn codec_blob_is_length_prefixed() {
+        let blob: Vec<u8> = (0..9).collect();
+        let enc = blob.encode_vec();
+        assert_eq!(enc.len(), 8 + 9);
+        let mut r = ByteReader::new(&enc);
+        assert_eq!(r.blob().unwrap(), &blob[..]);
+        // a length prefix pointing past the end must fail, not panic
+        let mut bad = enc.clone();
+        bad[0] = 200;
+        assert!(ByteReader::new(&bad).blob().is_err());
     }
 }

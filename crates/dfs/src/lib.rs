@@ -15,6 +15,10 @@
 //!   node with a header directory of offsets, exactly the layout §VI
 //!   describes for localized record-level access;
 //! * [`store`] — in-memory and on-disk partition stores behind one trait;
+//! * [`manifest`] — the versioned on-disk index manifest: checksummed
+//!   byte ranges for every partition, atomic-rename commit protocol, and
+//!   the typed [`OpenError`] cold-start validation
+//!   reports;
 //! * [`cluster`] — a deterministic worker pool with the Spark-ish verbs the
 //!   index build pipeline needs (parallel map, shuffle-by-key, broadcast);
 //! * [`sample`] — partition-level sampling (§V Step 1 reads a random subset
@@ -22,11 +26,13 @@
 
 pub mod cluster;
 pub mod format;
+pub mod manifest;
 pub mod sample;
 pub mod stats;
 pub mod store;
 
 pub use cluster::{Broadcast, Cluster};
-pub use format::{PartitionReader, PartitionWriter, TrieNodeId};
+pub use format::{ByteReader, Decode, Encode, PartitionReader, PartitionWriter, TrieNodeId};
+pub use manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
 pub use stats::IoStats;
 pub use store::{DiskStore, MemStore, PartitionId, PartitionStore};

@@ -1,0 +1,656 @@
+//! The versioned on-disk index manifest.
+//!
+//! A persisted CLIMBER index directory holds one file per partition
+//! (`part_XXXXXXXX.clbp`), the serialised skeleton (`skeleton.clsk`), and
+//! this module's `MANIFEST.clmf` — the commit record that makes the
+//! directory a *valid index* rather than a pile of files:
+//!
+//! ```text
+//! magic "CLMF" | format_version u32 | flags u32 (reserved)
+//! fingerprint u64             — dataset fingerprint (see [`Manifest::fingerprint_of`])
+//! num_records u64 | max_series_id u64 (u64::MAX = none) | series_len u32
+//! config blob  (u64 len + bytes)   — opaque encoded IndexConfig
+//! skeleton: bytes u64, xxh64 u64
+//! partition count u32
+//!   per partition: id u32, bytes u64, xxh64 u64, records u64
+//! manifest xxh64 u64          — checksum of every preceding byte
+//! ```
+//!
+//! All integers little-endian. Writers go through [`write_file_atomic`]
+//! (temp file + `sync_all` + atomic rename) with the manifest written
+//! *last*, so a crash mid-save leaves either the previous valid index or
+//! no manifest — never a torn one. Readers validate magic, version,
+//! the manifest's own trailing checksum, and (via
+//! [`crate::store::DiskStore::open_read_only`]) every partition file's
+//! size and checksum, reporting failures as typed [`OpenError`]s.
+//!
+//! Version/compat policy: `format_version` is bumped on any layout change;
+//! readers accept only versions `<= FORMAT_VERSION` they know how to parse
+//! and reject the future with [`OpenError::UnsupportedVersion`] rather
+//! than guessing.
+
+use crate::format::{ByteReader, Decode, Encode};
+use crate::store::PartitionId;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside an index directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.clmf";
+
+/// Magic prefix of a manifest file.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"CLMF";
+
+/// Newest on-disk index format this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// xxHash64
+// ---------------------------------------------------------------------------
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn xxh_merge(h: u64, v: u64) -> u64 {
+    (h ^ xxh_round(0, v)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+#[inline]
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+/// xxHash64 of `data` under `seed` — the integrity checksum of every file
+/// a persisted index references. Hand-rolled from the XXH64 specification
+/// (no registry access for the `xxhash-rust` crate); it is a *corruption
+/// detector*, not a cryptographic commitment.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let mut rest = data;
+    let mut h: u64;
+    if rest.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while rest.len() >= 32 {
+            v1 = xxh_round(v1, le_u64(&rest[0..8]));
+            v2 = xxh_round(v2, le_u64(&rest[8..16]));
+            v3 = xxh_round(v3, le_u64(&rest[16..24]));
+            v4 = xxh_round(v4, le_u64(&rest[24..32]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        for v in [v1, v2, v3, v4] {
+            h = xxh_merge(h, v);
+        }
+    } else {
+        h = seed.wrapping_add(P5);
+    }
+    h = h.wrapping_add(data.len() as u64);
+    while rest.len() >= 8 {
+        h ^= xxh_round(0, le_u64(rest));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h ^= (u32::from_le_bytes(rest[..4].try_into().unwrap()) as u64).wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h ^= (b as u64).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Typed open errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong opening a persisted index. Every
+/// corruption and incompatibility mode is a distinct variant so callers
+/// (and the corruption test suite) can tell *what* is broken; opening
+/// never panics and never yields a silently wrong index.
+#[derive(Debug)]
+pub enum OpenError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The directory has no manifest (not a persisted index, or a save
+    /// that never reached its commit point).
+    MissingManifest(PathBuf),
+    /// The manifest does not start with `CLMF`.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The manifest was written by a newer format than this build reads.
+    UnsupportedVersion {
+        /// Version recorded in the manifest.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// The manifest is structurally damaged (truncated, trailing bytes,
+    /// or its own checksum does not match).
+    CorruptManifest(String),
+    /// A partition file listed in the manifest does not exist.
+    MissingPartition {
+        /// The missing partition.
+        id: PartitionId,
+        /// Where it was expected.
+        path: PathBuf,
+    },
+    /// A partition file's size differs from the manifest's byte range.
+    PartitionSizeMismatch {
+        /// The damaged partition.
+        id: PartitionId,
+        /// Bytes the manifest promises.
+        expected: u64,
+        /// Bytes actually on disk.
+        found: u64,
+    },
+    /// A file's content hash differs from the manifest (bit rot, torn
+    /// write, or tampering).
+    ChecksumMismatch {
+        /// Which file ("partition 3", "skeleton", ...).
+        what: String,
+        /// Checksum the manifest promises.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        found: u64,
+    },
+    /// The skeleton file failed to decode.
+    CorruptSkeleton(String),
+    /// The manifest and the skeleton disagree about the index shape
+    /// (e.g. different partition sets).
+    StoreMismatch(String),
+}
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error opening index: {e}"),
+            Self::MissingManifest(p) => write!(f, "no index manifest at {}", p.display()),
+            Self::BadMagic { found } => write!(f, "bad manifest magic {found:?}"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "index format version {found} is newer than supported {supported}"
+            ),
+            Self::CorruptManifest(m) => write!(f, "corrupt manifest: {m}"),
+            Self::MissingPartition { id, path } => {
+                write!(f, "partition {id} missing at {}", path.display())
+            }
+            Self::PartitionSizeMismatch {
+                id,
+                expected,
+                found,
+            } => write!(
+                f,
+                "partition {id} is {found} bytes, manifest says {expected}"
+            ),
+            Self::ChecksumMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what} checksum {found:#018x} != manifest {expected:#018x}"
+            ),
+            Self::CorruptSkeleton(m) => write!(f, "corrupt skeleton: {m}"),
+            Self::StoreMismatch(m) => write!(f, "manifest/skeleton mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for OpenError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// Size and checksum of one referenced file (the skeleton).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File size in bytes.
+    pub bytes: u64,
+    /// xxHash64 of the file's content (seed 0).
+    pub checksum: u64,
+}
+
+/// One partition file's byte range and integrity data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionEntry {
+    /// The partition id (`part_{id:08}.clbp`).
+    pub id: PartitionId,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// xxHash64 of the encoded partition (seed 0).
+    pub checksum: u64,
+    /// Records stored inside.
+    pub records: u64,
+}
+
+/// The index directory's commit record: format version, build
+/// configuration, dataset fingerprint, and the byte range + checksum of
+/// every file the index is made of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// On-disk format version this directory was written with.
+    pub format_version: u32,
+    /// Opaque encoded `IndexConfig` (decoded by `climber-index`; this
+    /// crate sits below the config type in the dependency graph).
+    pub config: Vec<u8>,
+    /// Fingerprint of the indexed dataset (see [`Manifest::fingerprint_of`]).
+    pub fingerprint: u64,
+    /// Total records across partitions.
+    pub num_records: u64,
+    /// Largest stored series id, `None` for an empty index; reopening
+    /// seeds the append id counter from this without scanning.
+    pub max_series_id: Option<u64>,
+    /// Length of every indexed series.
+    pub series_len: u32,
+    /// The serialised skeleton file.
+    pub skeleton: FileEntry,
+    /// Every partition file, ascending by id.
+    pub partitions: Vec<PartitionEntry>,
+}
+
+impl Manifest {
+    /// Path of the manifest inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// The entry for partition `id`, if listed.
+    pub fn partition(&self, id: PartitionId) -> Option<&PartitionEntry> {
+        self.partitions.iter().find(|e| e.id == id)
+    }
+
+    /// All listed partition ids, in manifest order.
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
+        self.partitions.iter().map(|e| e.id).collect()
+    }
+
+    /// Deterministic dataset fingerprint: xxHash64 over the series length,
+    /// record count and every partition's `(id, records, checksum)`. Two
+    /// saves of the same built index agree; any change to the stored data
+    /// changes it.
+    pub fn fingerprint_of(series_len: u32, num_records: u64, partitions: &[PartitionEntry]) -> u64 {
+        let mut buf = Vec::with_capacity(16 + partitions.len() * 20);
+        (series_len).encode(&mut buf);
+        num_records.encode(&mut buf);
+        for e in partitions {
+            e.id.encode(&mut buf);
+            e.records.encode(&mut buf);
+            e.checksum.encode(&mut buf);
+        }
+        xxh64(&buf, 0x0C11_B3E5)
+    }
+
+    /// Serialises the manifest, including its trailing self-checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        self.format_version.encode(&mut out);
+        0u32.encode(&mut out); // flags, reserved
+        self.fingerprint.encode(&mut out);
+        self.num_records.encode(&mut out);
+        self.max_series_id.unwrap_or(u64::MAX).encode(&mut out);
+        self.series_len.encode(&mut out);
+        self.config.encode(&mut out);
+        self.skeleton.bytes.encode(&mut out);
+        self.skeleton.checksum.encode(&mut out);
+        (self.partitions.len() as u32).encode(&mut out);
+        for e in &self.partitions {
+            e.id.encode(&mut out);
+            e.bytes.encode(&mut out);
+            e.checksum.encode(&mut out);
+            e.records.encode(&mut out);
+        }
+        let sum = xxh64(&out, 0);
+        sum.encode(&mut out);
+        out
+    }
+
+    /// Parses and validates a manifest: magic, version, self-checksum,
+    /// field structure. Inverse of [`Manifest::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, OpenError> {
+        if bytes.len() < 4 {
+            return Err(OpenError::CorruptManifest(format!(
+                "{} bytes is shorter than the magic",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != MANIFEST_MAGIC {
+            return Err(OpenError::BadMagic {
+                found: bytes[0..4].try_into().unwrap(),
+            });
+        }
+        if bytes.len() < 8 {
+            return Err(OpenError::CorruptManifest("truncated at version".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version > FORMAT_VERSION {
+            return Err(OpenError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        // Trailing self-checksum: catches truncation and bit flips in one
+        // check, before any field is trusted.
+        if bytes.len() < 8 + 8 {
+            return Err(OpenError::CorruptManifest(
+                "truncated before checksum".into(),
+            ));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let actual = xxh64(body, 0);
+        if stored != actual {
+            return Err(OpenError::CorruptManifest(format!(
+                "self-checksum {actual:#018x} != stored {stored:#018x}"
+            )));
+        }
+
+        let mut r = ByteReader::new(&body[8..]);
+        let parse = |e: String| OpenError::CorruptManifest(e);
+        let flags = r.u32().map_err(parse)?;
+        if flags != 0 {
+            return Err(OpenError::CorruptManifest(format!(
+                "unknown flags {flags:#x}"
+            )));
+        }
+        let fingerprint = r.u64().map_err(parse)?;
+        let num_records = r.u64().map_err(parse)?;
+        let max_raw = r.u64().map_err(parse)?;
+        let series_len = r.u32().map_err(parse)?;
+        let config = Vec::<u8>::decode(&mut r).map_err(parse)?;
+        let skeleton = FileEntry {
+            bytes: r.u64().map_err(parse)?,
+            checksum: r.u64().map_err(parse)?,
+        };
+        let n = r.u32().map_err(parse)? as usize;
+        let mut partitions = Vec::with_capacity(n);
+        for _ in 0..n {
+            partitions.push(PartitionEntry {
+                id: r.u32().map_err(parse)?,
+                bytes: r.u64().map_err(parse)?,
+                checksum: r.u64().map_err(parse)?,
+                records: r.u64().map_err(parse)?,
+            });
+        }
+        r.expect_end().map_err(parse)?;
+        Ok(Self {
+            format_version: version,
+            config,
+            fingerprint,
+            num_records,
+            max_series_id: (max_raw != u64::MAX).then_some(max_raw),
+            series_len,
+            skeleton,
+            partitions,
+        })
+    }
+
+    /// Writes the manifest to `dir` via temp file + atomic rename. This is
+    /// the save protocol's commit point: call it only after every file the
+    /// manifest references is durably in place.
+    pub fn write_atomic(&self, dir: &Path) -> io::Result<()> {
+        write_file_atomic(&Self::path(dir), &self.encode())
+    }
+
+    /// Reads and validates the manifest of `dir`.
+    pub fn load(dir: &Path) -> Result<Self, OpenError> {
+        let path = Self::path(dir);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(OpenError::MissingManifest(path))
+            }
+            Err(e) => return Err(OpenError::Io(e)),
+        };
+        Self::decode(&bytes)
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely: a sibling temp file is written,
+/// fsynced, then renamed over the target (atomic on POSIX within one
+/// directory), and the parent directory is fsynced so the rename itself
+/// is durable before the call returns. The temp name carries the process
+/// id *and* a process-wide counter, so concurrent savers of the same
+/// path never share a temp file — the last full rename wins.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!(
+        "{}.tmp.{}.{seq}",
+        path.extension().and_then(|e| e.to_str()).unwrap_or("dat"),
+        std::process::id()
+    ));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        fs::remove_file(&tmp).ok();
+    })?;
+    // A rename is directory metadata: without fsyncing the parent, a
+    // power cut can durably keep the file data yet lose the rename,
+    // breaking the "manifest visible => partitions visible" ordering.
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        let partitions = vec![
+            PartitionEntry {
+                id: 0,
+                bytes: 120,
+                checksum: 0xABCD,
+                records: 4,
+            },
+            PartitionEntry {
+                id: 3,
+                bytes: 64,
+                checksum: 0x1234,
+                records: 1,
+            },
+        ];
+        Manifest {
+            format_version: FORMAT_VERSION,
+            config: vec![1, 2, 3, 4],
+            fingerprint: Manifest::fingerprint_of(16, 5, &partitions),
+            num_records: 5,
+            max_series_id: Some(4),
+            series_len: 16,
+            skeleton: FileEntry {
+                bytes: 99,
+                checksum: 0x77,
+            },
+            partitions,
+        }
+    }
+
+    #[test]
+    fn xxh64_known_vector_and_structure() {
+        // The published XXH64 test vector for empty input, seed 0.
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        // Long inputs take the 4-lane path; permutations must differ.
+        let a: Vec<u8> = (0u8..100).collect();
+        let mut b = a.clone();
+        b[57] ^= 1;
+        assert_ne!(xxh64(&a, 0), xxh64(&b, 0));
+        assert_ne!(xxh64(&a, 0), xxh64(&a, 1), "seed changes the hash");
+        assert_eq!(xxh64(&a, 9), xxh64(&a, 9), "deterministic");
+        // Tail handling: every length around the 32/8/4-byte boundaries
+        // hashes distinctly (prefix extension always changes the hash).
+        let mut hashes: Vec<u64> = (0..40).map(|len| xxh64(&a[..len], 3)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 40);
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = sample_manifest();
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_empty_index_roundtrip() {
+        let mut m = sample_manifest();
+        m.max_series_id = None;
+        m.partitions.clear();
+        m.num_records = 0;
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back.max_series_id, None);
+        assert!(back.partitions.is_empty());
+    }
+
+    #[test]
+    fn manifest_rejects_bad_magic() {
+        let mut b = sample_manifest().encode();
+        b[0] = b'X';
+        assert!(matches!(
+            Manifest::decode(&b),
+            Err(OpenError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_future_version() {
+        let mut b = sample_manifest().encode();
+        b[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        // Re-seal so the version check (not the checksum) fires.
+        let body_len = b.len() - 8;
+        let sum = xxh64(&b[..body_len], 0);
+        b[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Manifest::decode(&b),
+            Err(OpenError::UnsupportedVersion {
+                found,
+                supported: FORMAT_VERSION,
+            }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_truncation_and_flips() {
+        let b = sample_manifest().encode();
+        for cut in [0, 3, 7, 12, b.len() / 2, b.len() - 1] {
+            assert!(
+                matches!(
+                    Manifest::decode(&b[..cut]),
+                    Err(OpenError::CorruptManifest(_) | OpenError::BadMagic { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+        // A flipped byte anywhere past the version field trips the
+        // self-checksum.
+        for i in 8..b.len() {
+            let mut bad = b.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(Manifest::decode(&bad), Err(OpenError::CorruptManifest(_))),
+                "flip at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let m = sample_manifest();
+        let base = Manifest::fingerprint_of(16, 5, &m.partitions);
+        assert_eq!(base, m.fingerprint);
+        let mut other = m.partitions.clone();
+        other[1].checksum ^= 1;
+        assert_ne!(base, Manifest::fingerprint_of(16, 5, &other));
+        assert_ne!(base, Manifest::fingerprint_of(17, 5, &m.partitions));
+    }
+
+    #[test]
+    fn write_atomic_then_load() {
+        let dir = std::env::temp_dir().join(format!("climber-manifest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let m = sample_manifest();
+        m.write_atomic(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        // No temp droppings left behind.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left: {stray:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_is_typed() {
+        let dir = std::env::temp_dir().join("climber-manifest-definitely-absent");
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(OpenError::MissingManifest(_))
+        ));
+    }
+
+    #[test]
+    fn open_error_display_is_informative() {
+        let e = OpenError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = OpenError::ChecksumMismatch {
+            what: "partition 3".into(),
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("partition 3"));
+    }
+}

@@ -11,6 +11,7 @@
 //! observe "partitions touched" and bytes moved.
 
 use crate::format::PartitionReader;
+use crate::manifest::{xxh64, Manifest, OpenError};
 use crate::stats::IoStats;
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -18,6 +19,11 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
+
+/// File name of partition `id` inside an index directory.
+pub fn partition_file_name(id: PartitionId) -> String {
+    format!("part_{id:08}.clbp")
+}
 
 /// Identifier of a physical partition (the paper's `β` ids).
 pub type PartitionId = u32;
@@ -154,28 +160,88 @@ impl PartitionStore for MemStore {
 pub struct DiskStore {
     dir: PathBuf,
     stats: IoStats,
+    /// `Some` in read-only mode: the manifest-listed partition ids, used
+    /// instead of a directory scan so stray files are never served.
+    manifest_ids: Option<Vec<PartitionId>>,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a writable store rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
             stats: IoStats::new(),
+            manifest_ids: None,
         })
     }
 
-    /// Opens a store reporting to existing stats.
+    /// Opens a writable store reporting to existing stats.
     pub fn with_stats(dir: impl Into<PathBuf>, stats: IoStats) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir, stats })
+        Ok(Self {
+            dir,
+            stats,
+            manifest_ids: None,
+        })
+    }
+
+    /// Opens a persisted index directory **read-only**, validating every
+    /// partition file against the manifest: existence, byte range, and
+    /// content checksum. Returns the store plus the validated manifest.
+    ///
+    /// This is the serve-side cold-start path: any corruption or
+    /// incompleteness surfaces here as a typed [`OpenError`] instead of a
+    /// wrong answer later. [`put`](PartitionStore::put) on the returned
+    /// store fails with `PermissionDenied`.
+    pub fn open_read_only(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
+        let dir = dir.into();
+        let manifest = Manifest::load(&dir)?;
+        for e in &manifest.partitions {
+            let path = dir.join(partition_file_name(e.id));
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                    return Err(OpenError::MissingPartition { id: e.id, path })
+                }
+                Err(err) => return Err(OpenError::Io(err)),
+            };
+            if bytes.len() as u64 != e.bytes {
+                return Err(OpenError::PartitionSizeMismatch {
+                    id: e.id,
+                    expected: e.bytes,
+                    found: bytes.len() as u64,
+                });
+            }
+            let found = xxh64(&bytes, 0);
+            if found != e.checksum {
+                return Err(OpenError::ChecksumMismatch {
+                    what: format!("partition {}", e.id),
+                    expected: e.checksum,
+                    found,
+                });
+            }
+        }
+        let ids = manifest.partition_ids();
+        Ok((
+            Self {
+                dir,
+                stats: IoStats::new(),
+                manifest_ids: Some(ids),
+            },
+            manifest,
+        ))
+    }
+
+    /// True when the store was opened read-only from a manifest.
+    pub fn is_read_only(&self) -> bool {
+        self.manifest_ids.is_some()
     }
 
     fn path_of(&self, id: PartitionId) -> PathBuf {
-        self.dir.join(format!("part_{id:08}.clbp"))
+        self.dir.join(partition_file_name(id))
     }
 
     /// Root directory of the store.
@@ -186,6 +252,12 @@ impl DiskStore {
 
 impl PartitionStore for DiskStore {
     fn put(&self, id: PartitionId, bytes: Bytes) -> io::Result<()> {
+        if self.is_read_only() {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "store was opened read-only from a manifest",
+            ));
+        }
         self.stats.on_partition_write(bytes.len() as u64);
         fs::write(self.path_of(id), &bytes)
     }
@@ -200,6 +272,9 @@ impl PartitionStore for DiskStore {
     }
 
     fn ids(&self) -> Vec<PartitionId> {
+        if let Some(ids) = &self.manifest_ids {
+            return ids.clone();
+        }
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return Vec::new();
         };

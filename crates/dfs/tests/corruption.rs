@@ -1,0 +1,207 @@
+//! Corruption test suite for the persisted index directory, exercised at
+//! the storage layer: every damage mode must surface from
+//! [`DiskStore::open_read_only`] / [`Manifest::load`] as a distinct typed
+//! [`OpenError`] — never a panic, never a silently served index. The same
+//! five scenarios are asserted end-to-end through `Climber::open` in the
+//! workspace-level `tests/persistence.rs`.
+
+use climber_dfs::format::PartitionWriter;
+use climber_dfs::manifest::{
+    write_file_atomic, xxh64, FileEntry, Manifest, OpenError, PartitionEntry, FORMAT_VERSION,
+    MANIFEST_FILE,
+};
+use climber_dfs::store::{partition_file_name, DiskStore, PartitionStore};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Writes a small but realistic index directory: two partition files, an
+/// opaque skeleton blob, and a sealed manifest. Returns the directory.
+fn persisted_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("climber-corrupt-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+
+    let mut partitions = Vec::new();
+    let mut num_records = 0u64;
+    for (pid, node, n) in [(0u32, 5u64, 7usize), (1, 9, 3)] {
+        let mut w = PartitionWriter::new(pid as u64, 4);
+        let recs: Vec<(u64, Vec<f32>)> = (0..n)
+            .map(|i| {
+                let v = (pid as usize * 100 + i) as f32;
+                (num_records + i as u64, vec![v, -v, v * 0.5, 1.0])
+            })
+            .collect();
+        w.push_cluster(node, recs.iter().map(|(id, v)| (*id, v.as_slice())));
+        let bytes = w.finish();
+        write_file_atomic(&dir.join(partition_file_name(pid)), &bytes).unwrap();
+        partitions.push(PartitionEntry {
+            id: pid,
+            bytes: bytes.len() as u64,
+            checksum: xxh64(&bytes, 0),
+            records: n as u64,
+        });
+        num_records += n as u64;
+    }
+
+    let skeleton_blob: Vec<u8> = (0u8..48).collect();
+    write_file_atomic(&dir.join("skeleton.clsk"), &skeleton_blob).unwrap();
+
+    Manifest {
+        format_version: FORMAT_VERSION,
+        config: vec![0xAA; 8],
+        fingerprint: Manifest::fingerprint_of(4, num_records, &partitions),
+        num_records,
+        max_series_id: Some(num_records - 1),
+        series_len: 4,
+        skeleton: FileEntry {
+            bytes: skeleton_blob.len() as u64,
+            checksum: xxh64(&skeleton_blob, 0),
+        },
+        partitions,
+    }
+    .write_atomic(&dir)
+    .unwrap();
+    dir
+}
+
+fn open(dir: &Path) -> Result<(DiskStore, Manifest), OpenError> {
+    DiskStore::open_read_only(dir)
+}
+
+#[test]
+fn pristine_directory_opens_and_serves() {
+    let dir = persisted_dir("pristine");
+    let (store, manifest) = open(&dir).unwrap();
+    assert!(store.is_read_only());
+    assert_eq!(store.ids(), vec![0, 1]);
+    assert_eq!(manifest.num_records, 10);
+    assert_eq!(manifest.partition(1).unwrap().records, 3);
+    // records are readable through the validated store
+    let mut out = Vec::new();
+    store.read_cluster(0, 5, &mut out).unwrap();
+    assert_eq!(out.len(), 7);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_1_truncated_manifest() {
+    let dir = persisted_dir("trunc");
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = fs::read(&path).unwrap();
+    for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+        fs::write(&path, &bytes[..cut]).unwrap();
+        assert!(
+            matches!(open(&dir), Err(OpenError::CorruptManifest(_))),
+            "cut at {cut} not typed"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_2_flipped_byte_in_cluster_block() {
+    let dir = persisted_dir("flip");
+    let path = dir.join(partition_file_name(1));
+    let mut bytes = fs::read(&path).unwrap();
+    // deep inside the record payload of the single cluster
+    let at = bytes.len() - 6;
+    bytes[at] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+    match open(&dir) {
+        Err(OpenError::ChecksumMismatch { what, .. }) => assert_eq!(what, "partition 1"),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_3_wrong_magic() {
+    let dir = persisted_dir("magic");
+    let path = dir.join(MANIFEST_FILE);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0..4].copy_from_slice(b"NOPE");
+    fs::write(&path, &bytes).unwrap();
+    match open(&dir) {
+        Err(OpenError::BadMagic { found }) => assert_eq!(&found, b"NOPE"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_4_future_format_version() {
+    let dir = persisted_dir("future");
+    let path = dir.join(MANIFEST_FILE);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    // re-seal the self-checksum so the version check is what fires
+    let body = bytes.len() - 8;
+    let sum = xxh64(&bytes[..body], 0);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    match open(&dir) {
+        Err(OpenError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_5_missing_partition_file() {
+    let dir = persisted_dir("missing");
+    fs::remove_file(dir.join(partition_file_name(0))).unwrap();
+    match open(&dir) {
+        Err(OpenError::MissingPartition { id, path }) => {
+            assert_eq!(id, 0);
+            assert!(path.ends_with(partition_file_name(0)));
+        }
+        other => panic!("expected MissingPartition, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn grown_partition_file_is_a_size_mismatch() {
+    let dir = persisted_dir("grown");
+    let path = dir.join(partition_file_name(1));
+    let mut bytes = fs::read(&path).unwrap();
+    bytes.push(0);
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        open(&dir),
+        Err(OpenError::PartitionSizeMismatch { id: 1, .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn read_only_store_rejects_writes_and_ignores_strays() {
+    let dir = persisted_dir("ro");
+    // a stray partition file not listed in the manifest
+    let mut w = PartitionWriter::new(7, 4);
+    w.push_cluster(1, vec![(99u64, &[0.0f32, 0.0, 0.0, 0.0][..])]);
+    fs::write(dir.join(partition_file_name(7)), w.finish()).unwrap();
+
+    let (store, _) = open(&dir).unwrap();
+    assert_eq!(
+        store.ids(),
+        vec![0, 1],
+        "stray partition must not be served"
+    );
+    let mut w = PartitionWriter::new(0, 4);
+    w.push_cluster(2, vec![(1u64, &[0.0f32, 0.0, 0.0, 0.0][..])]);
+    let err = store.put(0, w.finish()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_manifest_is_typed() {
+    let dir = persisted_dir("nomanifest");
+    fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+    assert!(matches!(open(&dir), Err(OpenError::MissingManifest(_))));
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,5 +1,6 @@
 //! Index configuration: the paper's tunables with its §VII-A defaults.
 
+use climber_dfs::format::{ByteReader, Decode, Encode};
 use climber_pivot::decay::DecayFunction;
 
 /// Configuration of a CLIMBER index build.
@@ -7,7 +8,7 @@ use climber_pivot::decay::DecayFunction;
 /// Paper defaults (§VII-A): 200 pivots, prefix length 10; capacity maps the
 /// 64 MB HDFS block to a record count (2 000 by default at repo scale);
 /// sampling fraction α defaults to 10%.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexConfig {
     /// PAA segment count `w` (dimensionality of the pivot space).
     pub paa_segments: usize,
@@ -151,6 +152,77 @@ impl IndexConfig {
     }
 }
 
+impl Encode for IndexConfig {
+    /// Persisted inside the index manifest so a reopened index knows the
+    /// exact build parameters (little-endian, field order fixed by the
+    /// manifest's `format_version`).
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.paa_segments as u64).encode(out);
+        (self.num_pivots as u64).encode(out);
+        (self.prefix_len as u64).encode(out);
+        self.capacity.encode(out);
+        self.alpha.encode(out);
+        (self.epsilon as u64).encode(out);
+        match self.max_centroids {
+            Some(c) => {
+                1u8.encode(out);
+                (c as u64).encode(out);
+            }
+            None => {
+                0u8.encode(out);
+                0u64.encode(out);
+            }
+        }
+        match self.decay {
+            DecayFunction::Exponential { lambda } => {
+                0u8.encode(out);
+                lambda.encode(out);
+            }
+            DecayFunction::Linear => {
+                1u8.encode(out);
+                0f64.encode(out);
+            }
+        }
+        self.seed.encode(out);
+        (self.workers as u64).encode(out);
+    }
+}
+
+impl Decode for IndexConfig {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let paa_segments = r.u64()? as usize;
+        let num_pivots = r.u64()? as usize;
+        let prefix_len = r.u64()? as usize;
+        let capacity = r.u64()?;
+        let alpha = r.f64()?;
+        let epsilon = r.u64()? as usize;
+        let has_cap = r.u8()?;
+        let cap = r.u64()? as usize;
+        let max_centroids = (has_cap == 1).then_some(cap);
+        let decay_tag = r.u8()?;
+        let lambda = r.f64()?;
+        let decay = match decay_tag {
+            0 => DecayFunction::Exponential { lambda },
+            1 => DecayFunction::Linear,
+            t => return Err(format!("unknown decay tag {t}")),
+        };
+        let seed = r.u64()?;
+        let workers = r.u64()? as usize;
+        Ok(Self {
+            paa_segments,
+            num_pivots,
+            prefix_len,
+            capacity,
+            alpha,
+            epsilon,
+            max_centroids,
+            decay,
+            seed,
+            workers,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +270,35 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn bad_alpha_rejected() {
         IndexConfig::default().with_alpha(0.0).validate(256);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for cfg in [
+            IndexConfig::default(),
+            IndexConfig::default()
+                .with_paa_segments(8)
+                .with_pivots(48)
+                .with_prefix_len(6)
+                .with_capacity(120)
+                .with_alpha(0.3)
+                .with_epsilon(1)
+                .with_max_centroids(12)
+                .with_decay(DecayFunction::Linear)
+                .with_seed(911)
+                .with_workers(2),
+        ] {
+            let back = IndexConfig::decode_vec(&cfg.encode_vec()).unwrap();
+            assert_eq!(cfg, back);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let bytes = IndexConfig::default().encode_vec();
+        assert!(IndexConfig::decode_vec(&bytes[..bytes.len() - 3]).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(IndexConfig::decode_vec(&trailing).is_err());
     }
 }

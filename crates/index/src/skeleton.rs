@@ -9,7 +9,7 @@
 //! unable to navigate a complete root-to-leaf path.
 
 use crate::trie::{NodeIdx, Trie};
-use climber_dfs::format::TrieNodeId;
+use climber_dfs::format::{ByteReader, TrieNodeId};
 use climber_dfs::store::PartitionId;
 use climber_pivot::assignment::{assign_group, splitmix64, Assignment};
 use climber_pivot::decay::DecayFunction;
@@ -172,8 +172,10 @@ impl IndexSkeleton {
         }
     }
 
-    /// Number of physical partitions referenced by the skeleton.
-    pub fn num_partitions(&self) -> usize {
+    /// The distinct physical partition ids referenced by the skeleton,
+    /// ascending. A persisted index must store exactly these (validated
+    /// against the manifest at open).
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
         let mut pids: Vec<PartitionId> = self
             .groups
             .iter()
@@ -187,7 +189,12 @@ impl IndexSkeleton {
             .collect();
         pids.sort_unstable();
         pids.dedup();
-        pids.len()
+        pids
+    }
+
+    /// Number of physical partitions referenced by the skeleton.
+    pub fn num_partitions(&self) -> usize {
+        self.partition_ids().len()
     }
 
     /// Total trie nodes across all groups.
@@ -244,52 +251,45 @@ impl IndexSkeleton {
 
     /// Deserialises a skeleton written by [`IndexSkeleton::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
-        let mut pos = 0usize;
-        let magic = bytes.get(0..4).ok_or("skeleton too short")?;
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(4).map_err(|_| "skeleton too short".to_string())?;
         if magic != b"CLSK" {
             return Err(format!("bad skeleton magic {magic:?}"));
         }
-        pos += 4;
-        let version = read_u32(bytes, &mut pos)?;
+        let version = r.u32()?;
         if version != 1 {
             return Err(format!("unsupported skeleton version {version}"));
         }
-        let paa_segments = read_u32(bytes, &mut pos)? as usize;
-        let prefix_len = read_u32(bytes, &mut pos)? as usize;
-        let decay_tag = *bytes.get(pos).ok_or("truncated decay tag")?;
-        pos += 1;
-        let lambda = read_f64(bytes, &mut pos)?;
+        let paa_segments = r.u32()? as usize;
+        let prefix_len = r.u32()? as usize;
+        let decay_tag = r.u8()?;
+        let lambda = r.f64()?;
         let decay = match decay_tag {
             0 => DecayFunction::Exponential { lambda },
             1 => DecayFunction::Linear,
             t => return Err(format!("unknown decay tag {t}")),
         };
-        let seed = read_u64(bytes, &mut pos)?;
-        let pivot_len = read_u64(bytes, &mut pos)? as usize;
-        let pivot_blob = bytes
-            .get(pos..pos + pivot_len)
-            .ok_or("truncated pivot blob")?;
-        pos += pivot_len;
+        let seed = r.u64()?;
+        let pivot_blob = r.blob().map_err(|e| format!("pivot blob: {e}"))?;
         let pivots = PivotSet::from_bytes(pivot_blob)?;
-        let n_groups = read_u32(bytes, &mut pos)? as usize;
+        let n_groups = r.u32()? as usize;
         let mut groups = Vec::with_capacity(n_groups);
         for _ in 0..n_groups {
-            let id = read_u32(bytes, &mut pos)?;
-            let has_centroid = *bytes.get(pos).ok_or("truncated centroid flag")?;
-            pos += 1;
+            let id = r.u32()?;
+            let has_centroid = r.u8()?;
             let centroid = if has_centroid == 1 {
-                let m = read_u16(bytes, &mut pos)? as usize;
+                let m = r.u16()? as usize;
                 let mut ids = Vec::with_capacity(m);
                 for _ in 0..m {
-                    ids.push(read_u16(bytes, &mut pos)?);
+                    ids.push(r.u16()?);
                 }
                 Some(RankInsensitive(ids))
             } else {
                 None
             };
-            let default_partition = read_u32(bytes, &mut pos)?;
-            let est_size = read_u64(bytes, &mut pos)?;
-            let trie = Trie::from_bytes(bytes, &mut pos)?;
+            let default_partition = r.u32()?;
+            let est_size = r.u64()?;
+            let trie = Trie::from_reader(&mut r)?;
             groups.push(GroupMeta {
                 id,
                 centroid,
@@ -298,9 +298,8 @@ impl IndexSkeleton {
                 est_size,
             });
         }
-        if pos != bytes.len() {
-            return Err("trailing bytes after skeleton".into());
-        }
+        r.expect_end()
+            .map_err(|_| "trailing bytes after skeleton".to_string())?;
         Ok(Self {
             paa_segments,
             prefix_len,
@@ -363,30 +362,6 @@ impl IndexSkeleton {
         }
         out
     }
-}
-
-fn read_u16(b: &[u8], pos: &mut usize) -> Result<u16, String> {
-    let s = b.get(*pos..*pos + 2).ok_or("truncated u16")?;
-    *pos += 2;
-    Ok(u16::from_le_bytes(s.try_into().unwrap()))
-}
-
-fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32, String> {
-    let s = b.get(*pos..*pos + 4).ok_or("truncated u32")?;
-    *pos += 4;
-    Ok(u32::from_le_bytes(s.try_into().unwrap()))
-}
-
-fn read_u64(b: &[u8], pos: &mut usize) -> Result<u64, String> {
-    let s = b.get(*pos..*pos + 8).ok_or("truncated u64")?;
-    *pos += 8;
-    Ok(u64::from_le_bytes(s.try_into().unwrap()))
-}
-
-fn read_f64(b: &[u8], pos: &mut usize) -> Result<f64, String> {
-    let s = b.get(*pos..*pos + 8).ok_or("truncated f64")?;
-    *pos += 8;
-    Ok(f64::from_le_bytes(s.try_into().unwrap()))
 }
 
 #[cfg(test)]

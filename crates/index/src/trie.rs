@@ -13,7 +13,7 @@
 //! trivial single-node trie, so record clustering and query traversal are
 //! uniform across group sizes.
 
-use climber_dfs::format::TrieNodeId;
+use climber_dfs::format::{ByteReader, TrieNodeId};
 use climber_dfs::store::PartitionId;
 use climber_pivot::pivots::PivotId;
 
@@ -269,34 +269,34 @@ impl Trie {
         }
     }
 
-    /// Deserialises a trie written by [`Trie::to_bytes`], advancing `pos`.
-    pub fn from_bytes(bytes: &[u8], pos: &mut usize) -> Result<Self, String> {
-        let n_nodes = read_u32(bytes, pos)? as usize;
+    /// Deserialises a trie written by [`Trie::to_bytes`], advancing the
+    /// reader (tries are self-delimiting inside a larger stream).
+    pub fn from_reader(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let n_nodes = r.u32()? as usize;
         if n_nodes == 0 {
             return Err("trie with zero nodes".into());
         }
         let mut nodes = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
-            let id = read_u64(bytes, pos)?;
-            let pivot_raw = read_u16(bytes, pos)?;
+            let id = r.u64()?;
+            let pivot_raw = r.u16()?;
             let pivot = (pivot_raw != u16::MAX).then_some(pivot_raw);
-            let depth = *bytes.get(*pos).ok_or("trie truncated at depth")?;
-            *pos += 1;
-            let est_size = read_u64(bytes, pos)?;
-            let n_children = read_u16(bytes, pos)? as usize;
+            let depth = r.u8()?;
+            let est_size = r.u64()?;
+            let n_children = r.u16()? as usize;
             let mut children = Vec::with_capacity(n_children);
             for _ in 0..n_children {
-                let p = read_u16(bytes, pos)?;
-                let c = read_u32(bytes, pos)?;
+                let p = r.u16()?;
+                let c = r.u32()?;
                 if c as usize >= n_nodes {
                     return Err(format!("child index {c} out of range"));
                 }
                 children.push((p, c));
             }
-            let n_parts = read_u32(bytes, pos)? as usize;
+            let n_parts = r.u32()? as usize;
             let mut partitions = Vec::with_capacity(n_parts);
             for _ in 0..n_parts {
-                partitions.push(read_u32(bytes, pos)?);
+                partitions.push(r.u32()?);
             }
             nodes.push(TrieNode {
                 id,
@@ -315,24 +315,6 @@ fn bump(next: &mut TrieNodeId) -> TrieNodeId {
     let id = *next;
     *next += 1;
     id
-}
-
-fn read_u16(b: &[u8], pos: &mut usize) -> Result<u16, String> {
-    let s = b.get(*pos..*pos + 2).ok_or("truncated u16")?;
-    *pos += 2;
-    Ok(u16::from_le_bytes(s.try_into().unwrap()))
-}
-
-fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32, String> {
-    let s = b.get(*pos..*pos + 4).ok_or("truncated u32")?;
-    *pos += 4;
-    Ok(u32::from_le_bytes(s.try_into().unwrap()))
-}
-
-fn read_u64(b: &[u8], pos: &mut usize) -> Result<u64, String> {
-    let s = b.get(*pos..*pos + 8).ok_or("truncated u64")?;
-    *pos += 8;
-    Ok(u64::from_le_bytes(s.try_into().unwrap()))
 }
 
 #[cfg(test)]
@@ -488,9 +470,9 @@ mod tests {
 
         let mut buf = Vec::new();
         t.to_bytes(&mut buf);
-        let mut pos = 0;
-        let back = Trie::from_bytes(&buf, &mut pos).unwrap();
-        assert_eq!(pos, buf.len());
+        let mut r = ByteReader::new(&buf);
+        let back = Trie::from_reader(&mut r).unwrap();
+        r.expect_end().unwrap();
         assert_eq!(t, back);
     }
 
@@ -499,8 +481,8 @@ mod tests {
         let t = build_fig5();
         let mut buf = Vec::new();
         t.to_bytes(&mut buf);
-        let mut pos = 0;
-        assert!(Trie::from_bytes(&buf[..buf.len() - 2], &mut pos).is_err());
+        let mut r = ByteReader::new(&buf[..buf.len() - 2]);
+        assert!(Trie::from_reader(&mut r).is_err());
     }
 
     #[test]

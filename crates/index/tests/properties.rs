@@ -156,9 +156,9 @@ proptest! {
 
         let mut buf = Vec::new();
         trie.to_bytes(&mut buf);
-        let mut pos = 0;
-        let back = Trie::from_bytes(&buf, &mut pos).unwrap();
-        prop_assert_eq!(pos, buf.len());
+        let mut r = climber_dfs::format::ByteReader::new(&buf);
+        let back = Trie::from_reader(&mut r).unwrap();
+        prop_assert!(r.expect_end().is_ok());
         prop_assert_eq!(trie, back);
     }
 

@@ -104,3 +104,72 @@ proptest! {
         prop_assert!(batch.records_decoded <= seq_total);
     }
 }
+
+/// A reopened (manifest-validated, read-only) disk index under concurrent
+/// readers: N threads each running the full mixed workload must agree
+/// bit-for-bit with the sequential answers of the freshly built index.
+/// The read-only `DiskStore` shares one `IoStats` across threads and has
+/// no interior mutability beyond it, but this pins the contract down.
+#[test]
+fn reopened_disk_index_concurrent_readers_agree() {
+    use climber_core::{Climber, ClimberConfig};
+    use climber_series::gen::Domain;
+
+    let dir = std::env::temp_dir().join(format!("climber-qconc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ds = Domain::RandomWalk.generate(600, 77);
+    let config = ClimberConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(32)
+        .with_prefix_len(5)
+        .with_capacity(80)
+        .with_alpha(0.4)
+        .with_epsilon(1)
+        .with_seed(0xC0C0)
+        .with_workers(2);
+    let built = Climber::build_on_disk(&ds, &dir, config).unwrap();
+
+    let queries: Vec<Vec<f32>> = (0..12u64)
+        .map(|i| {
+            let mut q = ds.get(i * 47).to_vec();
+            if i % 3 == 0 {
+                q[1] -= 0.5;
+            }
+            q
+        })
+        .collect();
+    let k = 15;
+    let want: Vec<QueryOutcome> = queries
+        .iter()
+        .map(|q| built.knn_adaptive(q, k, 4))
+        .collect();
+    drop(built);
+
+    let reopened = Climber::open(&dir).unwrap();
+    assert!(reopened.store().is_read_only());
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let (reopened, queries, want) = (&reopened, &queries, &want);
+            scope.spawn(move || {
+                // Interleave strategies across threads: sequential kNN,
+                // adaptive, and whole batches all race on the one store.
+                for round in 0..3 {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let got = reopened.knn_adaptive(q, k, 4);
+                        assert_eq!(
+                            got, want[qi],
+                            "thread {t} round {round} query {qi} diverged"
+                        );
+                    }
+                    let batch = reopened.batch(&BatchRequest::adaptive(queries, k, 4));
+                    assert_eq!(&batch.outcomes, want, "thread {t} round {round} batch");
+                }
+            });
+        }
+    });
+    // Serve-phase I/O accounting saw only reads, from all threads.
+    let io = reopened.serve_io();
+    assert_eq!(io.partitions_written, 0);
+    assert!(io.partitions_opened > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

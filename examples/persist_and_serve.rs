@@ -1,0 +1,143 @@
+//! Build-once, query-many: persist a CLIMBER index, drop every in-memory
+//! structure, and cold-start a serving path that never touches the
+//! original raw dataset.
+//!
+//! ```sh
+//! # full demo in one process (build → drop → reopen → serve):
+//! cargo run --release --example persist_and_serve
+//!
+//! # or split across processes (what the CI persistence lane does):
+//! cargo run --release --example persist_and_serve -- build /tmp/climber-index
+//! cargo run --release --example persist_and_serve -- serve /tmp/climber-index
+//! ```
+//!
+//! The serve phase derives its probe queries and its exact ground truth
+//! from the *stored partitions alone* — proof that a reopened index is
+//! self-contained.
+
+use climber_core::dfs::store::PartitionStore;
+use climber_core::series::gen::Domain;
+use climber_core::{BatchRequest, Climber, ClimberConfig};
+use std::path::Path;
+use std::time::Instant;
+
+fn build(dir: &Path) {
+    let n = 4_000;
+    println!("building: {n} RandomWalk series -> {}", dir.display());
+    let data = Domain::RandomWalk.generate(n, 42);
+    let config = ClimberConfig::default()
+        .with_paa_segments(16)
+        .with_pivots(100)
+        .with_prefix_len(8)
+        .with_capacity(250)
+        .with_alpha(0.25)
+        .with_max_centroids(8)
+        .with_seed(7);
+    let t = Instant::now();
+    let climber = Climber::build_on_disk(&data, dir, config).expect("build_on_disk");
+    let report = climber.report().expect("fresh build has a report");
+    println!(
+        "built in {:.2}s ({} partitions, {} trie nodes, skeleton {} B) and sealed the manifest",
+        t.elapsed().as_secs_f64(),
+        report.num_partitions,
+        report.num_trie_nodes,
+        report.skeleton_bytes,
+    );
+}
+
+fn serve(dir: &Path) {
+    // Cold start: manifest + checksum validation, skeleton decode, no
+    // dataset anywhere in scope.
+    let t = Instant::now();
+    let climber = Climber::open(dir).expect("open persisted index");
+    let open_secs = t.elapsed().as_secs_f64();
+    println!(
+        "cold-opened {} in {:.3}s (read-only: {})",
+        dir.display(),
+        open_secs,
+        climber.store().is_read_only()
+    );
+
+    // Recover every stored record from the partitions themselves — the
+    // serve process's only data source.
+    let mut records: Vec<(u64, Vec<f32>)> = Vec::new();
+    for pid in climber.store().ids() {
+        let reader = climber.store().open(pid).expect("partition readable");
+        reader.for_each(|id, vals| records.push((id, vals.to_vec())));
+    }
+    println!("index holds {} records", records.len());
+
+    // Probe with a sample of stored series (every 251st record).
+    let queries: Vec<Vec<f32>> = records
+        .iter()
+        .step_by(251)
+        .take(16)
+        .map(|(_, v)| v.clone())
+        .collect();
+    let k = 10;
+    let t = Instant::now();
+    let batch = climber.batch(&BatchRequest::adaptive(&queries, k, 4));
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(batch.outcomes.len(), queries.len());
+
+    // Exact ground truth by brute force over the stored records.
+    let mut recall_sum = 0.0f64;
+    for (q, out) in queries.iter().zip(batch.outcomes.iter()) {
+        let mut exact: Vec<(u64, f64)> = records
+            .iter()
+            .map(|(id, v)| {
+                let d: f64 = q
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(a, b)| ((a - b) as f64).powi(2))
+                    .sum();
+                (*id, d)
+            })
+            .collect();
+        exact.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        exact.truncate(k);
+        let hits = out
+            .results
+            .iter()
+            .filter(|(id, _)| exact.iter().any(|(eid, _)| eid == id))
+            .count();
+        recall_sum += hits as f64 / k as f64;
+    }
+    let recall = recall_sum / queries.len() as f64;
+    let io = climber.serve_io();
+    println!(
+        "served {} queries in {:.3}s ({:.1} QPS), recall@{k} = {:.3}",
+        queries.len(),
+        secs,
+        queries.len() as f64 / secs,
+        recall
+    );
+    println!(
+        "serve-phase I/O: {} partition opens, {} records decoded, {} bytes read",
+        io.partitions_opened, io.records_read, io.bytes_read
+    );
+    assert!(recall > 0.0, "reopened index must overlap the exact answer");
+    println!("OK: reopened index serves with recall@{k} > 0");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("build") => build(Path::new(args.get(2).expect("usage: build <dir>"))),
+        Some("serve") => serve(Path::new(args.get(2).expect("usage: serve <dir>"))),
+        Some(other) => {
+            eprintln!("unknown mode {other:?}; usage: persist_and_serve [build|serve <dir>]");
+            std::process::exit(2);
+        }
+        None => {
+            // Single-process demo: build in an inner scope, drop every
+            // in-memory structure, then cold-start the serve path.
+            let dir = std::env::temp_dir().join(format!("climber-persist-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            build(&dir);
+            // nothing of the build survives this point but the directory
+            serve(&dir);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

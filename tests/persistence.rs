@@ -1,9 +1,15 @@
 //! Persistence: disk-backed indexes survive restarts and reject corruption.
+//!
+//! Every corruption mode must surface as a typed [`OpenError`] from
+//! `Climber::open` — never a panic, never a silently wrong index.
 
+use climber_core::dfs::manifest::xxh64;
 use climber_core::series::gen::Domain;
-use climber_core::{Climber, ClimberConfig, SKELETON_FILE};
+use climber_core::{
+    Climber, ClimberConfig, OpenError, FORMAT_VERSION, MANIFEST_FILE, SKELETON_FILE,
+};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn cfg() -> ClimberConfig {
     ClimberConfig::default()
@@ -65,7 +71,10 @@ fn corrupted_skeleton_is_rejected() {
     let mut bytes = fs::read(&path).unwrap();
     bytes.truncate(bytes.len() / 2);
     fs::write(&path, &bytes).unwrap();
-    assert!(Climber::open(&dir).is_err(), "truncated skeleton accepted");
+    assert!(
+        matches!(Climber::open(&dir), Err(OpenError::ChecksumMismatch { .. })),
+        "truncated skeleton accepted"
+    );
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -74,25 +83,31 @@ fn missing_partitions_detected_on_open() {
     let dir = tmp_dir("noparts");
     let ds = Domain::TexMex.generate(400, 11);
     Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
-    // delete every partition file but keep the skeleton
+    // delete every partition file but keep the skeleton + manifest
     for entry in fs::read_dir(&dir).unwrap() {
         let p = entry.unwrap().path();
         if p.extension().is_some_and(|e| e == "clbp") {
             fs::remove_file(p).unwrap();
         }
     }
-    assert!(Climber::open(&dir).is_err(), "opened an index with no data");
+    assert!(
+        matches!(Climber::open(&dir), Err(OpenError::MissingPartition { .. })),
+        "opened an index with no data"
+    );
     fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn queries_tolerate_a_lost_partition() {
-    // Fault injection: losing one partition file degrades recall but must
-    // not panic or error — the distributed system keeps serving.
+fn queries_tolerate_a_partition_lost_while_serving() {
+    // Fault injection: a partition file vanishing *after* the validated
+    // open (disk pulled, file GC'd) degrades recall but must not panic —
+    // the serving process keeps answering.
     let dir = tmp_dir("lostpart");
     let ds = Domain::RandomWalk.generate(1_000, 13);
     let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
-    // remove one partition file
+    drop(built);
+
+    let reopened = Climber::open(&dir).unwrap();
     let victim = fs::read_dir(&dir)
         .unwrap()
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -100,13 +115,132 @@ fn queries_tolerate_a_lost_partition() {
         .expect("at least one partition");
     fs::remove_file(victim).unwrap();
 
-    let reopened = Climber::open(&dir).unwrap();
     for q in 0..10u64 {
         let out = reopened.knn(ds.get(q * 37), 10);
         // some queries may return fewer than k if their partition vanished,
         // but none may fail
         assert!(out.results.len() <= 10);
     }
-    drop(built);
     fs::remove_dir_all(&dir).ok();
+}
+
+// --- the five corruption scenarios, each a distinct typed error ---------
+
+fn built_dir(tag: &str) -> PathBuf {
+    let dir = tmp_dir(tag);
+    let ds = Domain::RandomWalk.generate(500, 23);
+    Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    dir
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+#[test]
+fn truncated_manifest_is_typed() {
+    let dir = built_dir("trunc-manifest");
+    let path = manifest_path(&dir);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes.truncate(bytes.len() * 2 / 3);
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::CorruptManifest(_))
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_byte_in_cluster_block_is_typed() {
+    let dir = built_dir("bitrot");
+    let victim = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "clbp"))
+        .unwrap();
+    let mut bytes = fs::read(&victim).unwrap();
+    // flip one bit deep inside the record area, past header + directory
+    let at = bytes.len() - 10;
+    bytes[at] ^= 0x20;
+    fs::write(&victim, &bytes).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::ChecksumMismatch { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_manifest_magic_is_typed() {
+    let dir = built_dir("magic");
+    let path = manifest_path(&dir);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] = b'Z';
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::BadMagic { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_format_version_is_typed() {
+    let dir = built_dir("future");
+    let path = manifest_path(&dir);
+    let mut bytes = fs::read(&path).unwrap();
+    // bump the version field and re-seal the manifest's self-checksum so
+    // only the version check can fire
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    let body = bytes.len() - 8;
+    let sum = xxh64(&bytes[..body], 0);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 7
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_partition_file_is_typed() {
+    let dir = built_dir("gone");
+    let victim = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "clbp"))
+        .unwrap();
+    fs::remove_file(&victim).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::MissingPartition { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopened_store_is_read_only() {
+    let dir = built_dir("readonly");
+    let reopened = Climber::open(&dir).unwrap();
+    let probe = vec![0.0f32; 256];
+    let err = reopened.append(&probe).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn config_and_fingerprint_survive_reopen() {
+    let dir = tmp_dir("config");
+    let ds = Domain::Eeg.generate(400, 29);
+    let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    let m1 = built.save(&dir).unwrap();
+    let reopened = Climber::open(&dir).unwrap();
+    assert_eq!(reopened.config(), built.config());
+    // a second save of the same index produces the same fingerprint
+    let m2 = reopened.save(tmp_dir("config-copy")).unwrap();
+    assert_eq!(m1.fingerprint, m2.fingerprint);
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(tmp_dir("config-copy")).ok();
 }
