@@ -1,0 +1,57 @@
+//! Criterion baseline for the per-record kernels the build and query hot
+//! loops are made of: `sq_ed`, `ed_early_abandon`, `paa_into` (the
+//! allocation-free PAA the conversion and prefilter paths use), and
+//! single-record signature extraction through a reused
+//! [`SignatureScratch`]. Every future kernel change — vectorisation,
+//! layout, early-abandon cadence — diffs against these numbers.
+//!
+//! Run with `cargo bench --bench kernels` (add `-- --quick` for the CI
+//! smoke cadence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use climber_core::pivot::pivots::PivotSet;
+use climber_core::pivot::signature::{DualSignature, SignatureScratch};
+use climber_core::repr::paa::paa_into;
+use climber_core::series::distance::{ed_early_abandon, sq_ed};
+use climber_core::series::gen::Domain;
+
+fn bench_kernels(c: &mut Criterion) {
+    let ds = Domain::RandomWalk.generate(300, 9);
+    let x = ds.get(0).to_vec();
+    let y = ds.get(1).to_vec();
+    // The paper's default scale: 200 pivots in 16-segment PAA space,
+    // prefix length 10 — the exact per-record cost of Step-4 conversion.
+    let pivots = PivotSet::select_random(&ds, 16, 200, 4);
+    let exact = sq_ed(&x, &y);
+
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("sq_ed_256", |b| {
+        b.iter(|| sq_ed(black_box(&x), black_box(&y)))
+    });
+    g.bench_function("ed_early_abandon_mid_bound", |b| {
+        // A bound around half the true distance abandons mid-series —
+        // the realistic refinement-stage mix of work and bail-out.
+        b.iter(|| ed_early_abandon(black_box(&x), black_box(&y), exact * 0.5))
+    });
+    g.bench_function("ed_early_abandon_loose_bound", |b| {
+        b.iter(|| ed_early_abandon(black_box(&x), black_box(&y), f64::INFINITY))
+    });
+    g.bench_function("paa_into_256_to_16", |b| {
+        let mut arena: Vec<f64> = Vec::with_capacity(16);
+        b.iter(|| {
+            arena.clear();
+            paa_into(black_box(&x), 16, &mut arena);
+            black_box(arena.last().copied())
+        })
+    });
+    g.bench_function("signature_extract_r200_m10", |b| {
+        let mut scratch = SignatureScratch::new();
+        b.iter(|| DualSignature::extract_with(black_box(&x), &pivots, 16, 10, &mut scratch))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

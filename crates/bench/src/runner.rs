@@ -8,7 +8,7 @@ use climber_core::series::dataset::Dataset;
 use climber_core::series::gen::{query_workload, Domain};
 use climber_core::series::ground_truth::exact_knn;
 use climber_core::series::recall::recall_of_results;
-use climber_core::{Climber, ClimberConfig};
+use climber_core::{BuildOptions, Climber, ClimberConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -68,8 +68,23 @@ pub struct BuiltClimber {
 
 /// Builds CLIMBER with the experiment configuration.
 pub fn build_climber(ds: &Dataset, config: ClimberConfig) -> BuiltClimber {
+    build_climber_with(
+        ds,
+        config,
+        BuildOptions::default().with_threads(config.workers),
+    )
+}
+
+/// Builds CLIMBER with explicit [`BuildOptions`] (thread count / block
+/// size) — the entry point of the sequential-vs-parallel build comparison
+/// in `fig8_index`.
+pub fn build_climber_with(
+    ds: &Dataset,
+    config: ClimberConfig,
+    options: BuildOptions,
+) -> BuiltClimber {
     let t = Instant::now();
-    let climber = Climber::build_in_memory(ds, config);
+    let climber = Climber::build_in_memory_with(ds, config, options);
     let build_secs = t.elapsed().as_secs_f64();
     let index_bytes = climber.global_index_bytes();
     BuiltClimber {

@@ -56,7 +56,7 @@ pub use climber_repr as repr;
 pub use climber_series as series;
 
 pub use climber_dfs::manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
-pub use climber_index::builder::BuildReport;
+pub use climber_index::builder::{BuildOptions, BuildReport};
 pub use climber_index::config::IndexConfig as ClimberConfig;
 pub use climber_index::skeleton::IndexSkeleton;
 pub use climber_query::batch::{BatchOutcome, BatchRequest, BatchStrategy};
@@ -84,6 +84,9 @@ pub struct Climber<S: PartitionStore = MemStore> {
     skeleton: IndexSkeleton,
     store: S,
     config: ClimberConfig,
+    /// Execution options the index was built with; [`save`](Self::save)
+    /// reuses the same thread count for its checksum/copy fan-out.
+    build_options: BuildOptions,
     report: Option<BuildReport>,
     /// Next series id for appends (1 + the largest stored id).
     next_id: AtomicU64,
@@ -96,11 +99,30 @@ pub struct Climber<S: PartitionStore = MemStore> {
 
 impl Climber<MemStore> {
     /// Builds an index with in-memory partitions (fastest; combine with
-    /// [`save`](Self::save) for build/serve process separation).
+    /// [`save`](Self::save) for build/serve process separation). Build
+    /// parallelism follows `config.workers`; use
+    /// [`build_in_memory_with`](Self::build_in_memory_with) for explicit
+    /// thread/block control.
     pub fn build_in_memory(ds: &Dataset, config: ClimberConfig) -> Self {
+        Self::build_in_memory_with(
+            ds,
+            config,
+            BuildOptions::default().with_threads(config.workers),
+        )
+    }
+
+    /// Builds an in-memory index with explicit [`BuildOptions`] — every
+    /// build phase fans out across `options` threads in record blocks,
+    /// producing output bit-identical to any other thread count.
+    pub fn build_in_memory_with(
+        ds: &Dataset,
+        config: ClimberConfig,
+        options: BuildOptions,
+    ) -> Self {
         let store = MemStore::new();
-        let (skeleton, report) = IndexBuilder::new(config).build(ds, &store);
+        let (skeleton, report) = IndexBuilder::with_options(config, options).build(ds, &store);
         let mut c = Self::assemble(skeleton, store, config, Some(report));
+        c.build_options = options;
         c.seed_next_id_by_scan();
         c.mark_ready();
         c
@@ -117,9 +139,28 @@ impl Climber<DiskStore> {
         dir: impl AsRef<Path>,
         config: ClimberConfig,
     ) -> io::Result<Self> {
+        Self::build_on_disk_with(
+            ds,
+            dir,
+            config,
+            BuildOptions::default().with_threads(config.workers),
+        )
+    }
+
+    /// [`build_on_disk`](Self::build_on_disk) with explicit
+    /// [`BuildOptions`]: build phases, partition writes, and the sealing
+    /// save's checksum pass all fan out across `options` threads. The
+    /// resulting directory is byte-identical for any thread count.
+    pub fn build_on_disk_with(
+        ds: &Dataset,
+        dir: impl AsRef<Path>,
+        config: ClimberConfig,
+        options: BuildOptions,
+    ) -> io::Result<Self> {
         let store = DiskStore::new(dir.as_ref())?;
-        let (skeleton, report) = IndexBuilder::new(config).build(ds, &store);
+        let (skeleton, report) = IndexBuilder::with_options(config, options).build(ds, &store);
         let mut c = Self::assemble(skeleton, store, config, Some(report));
+        c.build_options = options;
         c.seed_next_id_by_scan();
         c.save(dir)?;
         c.mark_ready();
@@ -196,6 +237,7 @@ impl<S: PartitionStore> Climber<S> {
             skeleton,
             store,
             config,
+            build_options: BuildOptions::default(),
             report,
             next_id: AtomicU64::new(0),
             ready_io: Mutex::new(IoSnapshot::default()),
@@ -234,21 +276,36 @@ impl<S: PartitionStore> Climber<S> {
             ));
         }
         let io_before = self.store.stats().snapshot();
-        let mut partitions = Vec::with_capacity(ids.len());
-        let mut num_records = 0u64;
-        let mut series_len = 0u32;
-        for pid in ids {
+        // Partition copy + checksum is per-partition independent; fan it
+        // out over the build's thread count with the cluster's
+        // order-preserving map, keeping the manifest's partition list in
+        // ascending-id order. The copy is deliberate even when the store
+        // already lives in `dir`: the builder's puts are plain writes,
+        // while a sealed manifest must only ever reference files that
+        // went through the temp-file + fsync + rename protocol.
+        let cluster = climber_dfs::cluster::Cluster::new(self.build_options.resolved_threads());
+        let copied: Vec<io::Result<(PartitionEntry, u32)>> = cluster.par_map(ids, |pid| {
             let reader = self.store.open(pid)?;
             let bytes = reader.raw_bytes();
             manifest::write_file_atomic(&dir.join(partition_file_name(pid)), bytes)?;
-            series_len = reader.series_len() as u32;
-            num_records += reader.record_count();
-            partitions.push(PartitionEntry {
-                id: pid,
-                bytes: bytes.len() as u64,
-                checksum: xxh64(bytes, 0),
-                records: reader.record_count(),
-            });
+            Ok((
+                PartitionEntry {
+                    id: pid,
+                    bytes: bytes.len() as u64,
+                    checksum: xxh64(bytes, 0),
+                    records: reader.record_count(),
+                },
+                reader.series_len() as u32,
+            ))
+        });
+        let mut partitions = Vec::with_capacity(copied.len());
+        let mut num_records = 0u64;
+        let mut series_len = 0u32;
+        for entry in copied {
+            let (p, sl) = entry?;
+            num_records += p.records;
+            series_len = sl;
+            partitions.push(p);
         }
         let skel = self.skeleton.to_bytes();
         manifest::write_file_atomic(&dir.join(SKELETON_FILE), &skel)?;
@@ -436,6 +493,13 @@ impl<S: PartitionStore> Climber<S> {
         &self.config
     }
 
+    /// The execution options the index was built with (defaults for
+    /// reopened or wrapped indexes). Options never affect index content —
+    /// only how fast it was produced.
+    pub fn build_options(&self) -> &BuildOptions {
+        &self.build_options
+    }
+
     /// Store I/O performed since the index became servable — partitions
     /// opened, bytes and records read by queries alone. Build-phase I/O
     /// (and the reads [`save`](Self::save) performs) is excluded by a
@@ -479,6 +543,26 @@ mod tests {
         assert_eq!(out.results.len(), 10);
         assert!(climber.report().is_some());
         assert!(climber.global_index_bytes() > 0);
+    }
+
+    #[test]
+    fn explicit_build_options_match_default_build() {
+        let ds = Domain::RandomWalk.generate(280, 21);
+        let a = Climber::build_in_memory(&ds, small_cfg());
+        let b = Climber::build_in_memory_with(
+            &ds,
+            small_cfg(),
+            BuildOptions::default().with_threads(8).with_block_size(17),
+        );
+        assert_eq!(
+            a.skeleton().to_bytes(),
+            b.skeleton().to_bytes(),
+            "thread/block options changed the skeleton"
+        );
+        assert_eq!(b.build_options().threads, 8);
+        assert_eq!(b.report().unwrap().threads, 8);
+        let q = ds.get(11);
+        assert_eq!(a.knn(q, 10), b.knn(q, 10));
     }
 
     #[test]

@@ -69,6 +69,14 @@ impl Cluster {
         &self.stats
     }
 
+    /// Runs `op` with this cluster's worker count installed as the ambient
+    /// parallelism, so `rayon::scope` fan-outs composed by the caller (the
+    /// index build's concurrent partition writes) use the same pool the
+    /// cluster's own verbs do.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        self.pool.install(op)
+    }
+
     /// Order-preserving parallel map (a narrow transformation: no data
     /// movement between workers).
     pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
@@ -233,6 +241,13 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn install_scopes_worker_count() {
+        let c = Cluster::new(3);
+        assert_eq!(c.install(rayon::current_num_threads), 3);
+        assert_eq!(c.install(|| 7), 7);
     }
 
     #[test]

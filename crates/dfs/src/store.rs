@@ -397,6 +397,40 @@ mod tests {
         assert_eq!(store.total_bytes(), len);
     }
 
+    /// The parallel build writes distinct partitions from many threads at
+    /// once through `&self` puts; both backends and the shared [`IoStats`]
+    /// must hold up under that fan-out.
+    fn exercise_concurrent_puts<S: PartitionStore>(store: &S) {
+        rayon::scope(|s| {
+            for pid in 0..16u32 {
+                s.spawn(move |_| {
+                    store
+                        .put(pid, encode_partition(pid as u64, 1, 1 + pid as usize % 4))
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(store.ids(), (0..16).collect::<Vec<_>>());
+        assert_eq!(store.stats().snapshot().partitions_written, 16);
+        for pid in store.ids() {
+            assert_eq!(store.open(pid).unwrap().group_id(), pid as u64);
+        }
+    }
+
+    #[test]
+    fn mem_store_concurrent_puts() {
+        exercise_concurrent_puts(&MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_concurrent_puts() {
+        let dir = std::env::temp_dir().join(format!("climber-dfs-conc-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        let store = DiskStore::new(&dir).unwrap();
+        exercise_concurrent_puts(&store);
+        fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn put_replaces_partition() {
         let store = MemStore::new();

@@ -17,22 +17,102 @@
 //!
 //! The report splits wall-clock time into the three phases of Figure 10(a):
 //! skeleton building, full-data conversion, and re-distribution.
+//!
+//! ## Parallel execution & determinism
+//!
+//! Every phase fans out across [`BuildOptions::threads`] workers, and the
+//! output is **bit-identical for any thread count and any block size**:
+//!
+//! * records are processed in contiguous id blocks
+//!   ([`climber_series::dataset::Dataset::blocks`]) that workers own
+//!   end-to-end, with per-worker [`SignatureScratch`] buffers so the hot
+//!   conversion loops allocate nothing per record;
+//! * per-block results (sample signature frequencies, step-4 routing
+//!   shards) merge either commutatively (frequency counts) or in fixed
+//!   block order (routing shards), so record ids stay ascending inside
+//!   every `(partition, trie node)` cluster exactly as a sequential scan
+//!   would leave them;
+//! * partitions are written concurrently — one [`PartitionWriter`] per
+//!   partition fanned over a work-queue [`rayon::scope`] — but each
+//!   partition's bytes depend only on its own (deterministic) cluster
+//!   contents, so write completion order is irrelevant.
+//!
+//! Peak memory stays bounded: the shuffle index holds record *ids* only
+//! (the values stream straight from the dataset into at most `threads`
+//! in-flight partition writers), never a second copy of the dataset.
 
 use crate::centroids::compute_centroids;
 use crate::config::IndexConfig;
-use crate::skeleton::{GroupId, GroupMeta, IndexSkeleton, Placement, FALLBACK_GROUP};
+use crate::skeleton::{GroupId, GroupMeta, IndexSkeleton, FALLBACK_GROUP};
 use crate::trie::Trie;
 use climber_dfs::cluster::{Broadcast, Cluster};
 use climber_dfs::format::{PartitionWriter, TrieNodeId};
 use climber_dfs::stats::IoSnapshot;
 use climber_dfs::store::{PartitionId, PartitionStore};
+use climber_pivot::permutation::pivot_permutation_prefix_with;
 use climber_pivot::pivots::{PivotId, PivotSet};
-use climber_pivot::signature::{DualSignature, RankInsensitive, RankSensitive};
-use climber_repr::paa::paa;
+use climber_pivot::signature::{DualSignature, RankInsensitive, RankSensitive, SignatureScratch};
+use climber_repr::paa::paa_into;
 use climber_series::dataset::Dataset;
 use climber_series::sampling::{partition_level_sample, partitions_for_alpha};
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 use std::time::Instant;
+
+/// Execution knobs of one index build — how the work is run, as opposed to
+/// [`IndexConfig`], which defines *what* is built. Two builds of the same
+/// dataset and config produce bit-identical output under any options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for every build phase; `0` means "use
+    /// [`std::thread::available_parallelism`]".
+    pub threads: usize,
+    /// Records per parallel work block. Bounds the transient per-worker
+    /// state (scratch buffers, routing shards); does not affect output.
+    pub block_size: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            block_size: Self::DEFAULT_BLOCK_SIZE,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Default records per work block.
+    pub const DEFAULT_BLOCK_SIZE: usize = 4_096;
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the records-per-block work granularity.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// The thread count a build actually uses.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The block size a build actually uses (never zero).
+    pub fn resolved_block_size(&self) -> usize {
+        self.block_size.max(1)
+    }
+}
 
 /// Timings and statistics of one index build.
 #[derive(Debug, Clone)]
@@ -63,6 +143,15 @@ pub struct BuildReport {
     pub skeleton_bytes: usize,
     /// I/O performed during the build.
     pub io: IoSnapshot,
+    /// Worker threads the build ran with (the resolved
+    /// [`BuildOptions::threads`]).
+    pub threads: usize,
+    /// Sample records processed per second in phases 1-3.
+    pub skeleton_records_per_sec: f64,
+    /// Full-dataset records converted per second in step 4a.
+    pub conversion_records_per_sec: f64,
+    /// Records shuffled and written per second in step 4b.
+    pub redistribution_records_per_sec: f64,
 }
 
 impl BuildReport {
@@ -72,23 +161,66 @@ impl BuildReport {
     }
 }
 
+/// Records-per-second with a zero-duration guard (tiny builds can finish a
+/// phase below timer resolution).
+fn per_sec(records: usize, secs: f64) -> f64 {
+    records as f64 / secs.max(1e-9)
+}
+
+/// Contiguous index ranges of `0..len` in runs of at most `block`.
+fn range_blocks(len: usize, block: usize) -> Vec<Range<usize>> {
+    (0..len)
+        .step_by(block.max(1))
+        .map(|s| s..(s + block).min(len))
+        .collect()
+}
+
+/// One worker's routing shard for a block of records: where each record of
+/// the block lands, grouped by partition, in the block's (ascending-id)
+/// scan order.
+struct BlockShard {
+    routed: HashMap<PartitionId, Vec<(TrieNodeId, u64)>>,
+    fallback: u64,
+    via_default: u64,
+}
+
 /// Drives index construction on a simulated cluster.
 #[derive(Debug)]
 pub struct IndexBuilder {
     config: IndexConfig,
+    options: BuildOptions,
     cluster: Cluster,
 }
 
 impl IndexBuilder {
-    /// Creates a builder with `config.workers` simulated workers.
+    /// Creates a builder with `config.workers` simulated workers (the
+    /// historical behaviour; see [`IndexBuilder::with_options`] for
+    /// explicit thread/block control).
     pub fn new(config: IndexConfig) -> Self {
-        let cluster = Cluster::new(config.workers);
-        Self { config, cluster }
+        Self::with_options(config, BuildOptions::default().with_threads(config.workers))
+    }
+
+    /// Creates a builder running every phase across
+    /// `options.resolved_threads()` workers in blocks of
+    /// `options.resolved_block_size()` records. The options affect wall
+    /// time and peak memory only — never the built index.
+    pub fn with_options(config: IndexConfig, options: BuildOptions) -> Self {
+        let cluster = Cluster::new(options.resolved_threads());
+        Self {
+            config,
+            options,
+            cluster,
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &IndexConfig {
         &self.config
+    }
+
+    /// The execution options in use.
+    pub fn options(&self) -> &BuildOptions {
+        &self.options
     }
 
     /// Builds the index over `ds`, writing partitions into `store`.
@@ -102,32 +234,62 @@ impl IndexBuilder {
         cfg.validate(ds.series_len());
         assert!(ds.num_series() > 0, "cannot index an empty dataset");
         let io_before = store.stats().snapshot();
+        let w = cfg.paa_segments;
+        let block_size = self.options.resolved_block_size();
 
         // ---- Steps 1-3: skeleton from a partition-level sample ----
         let t0 = Instant::now();
         let sample_ids = self.sample_ids(ds);
         let sampled_records = sample_ids.len();
         let achieved_alpha = sampled_records as f64 / ds.num_series() as f64;
+        let sample_blocks = range_blocks(sampled_records, block_size);
 
-        // Step 1: PAA + pivots + rank-sensitive signatures of the sample.
-        let sample_paa: Vec<Vec<f64>> = self
-            .cluster
-            .par_map(sample_ids.clone(), |id| paa(ds.get(id), cfg.paa_segments));
-        let pivots = select_pivots(&sample_paa, cfg.num_pivots, cfg.seed);
+        // Step 1a: PAA of the sample, block-parallel. Each worker appends
+        // into a per-block arena via `paa_into` (no per-record `Vec`);
+        // arenas concatenate in block order into one flat `w`-strided
+        // arena, so indexing is position-stable for any thread count.
+        let sample_paa: Vec<f64> = {
+            let ids = &sample_ids;
+            self.cluster
+                .par_map(sample_blocks.clone(), move |r| {
+                    let mut arena = Vec::with_capacity(r.len() * w);
+                    for i in r {
+                        paa_into(ds.get(ids[i]), w, &mut arena);
+                    }
+                    arena
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        let pivots = select_pivots(&sample_paa, w, cfg.num_pivots, cfg.seed);
         let bpivots = Broadcast::new(pivots);
-        let sensitive: Vec<Vec<PivotId>> = {
+
+        // Step 1b + 2 (aggregation): rank-sensitive signatures of the
+        // sample, extracted block-parallel with one selection buffer per
+        // block and pre-aggregated into per-block frequency maps. The
+        // merge is commutative counting, so the final map — and everything
+        // derived from it — is independent of block or thread schedule.
+        let freq_maps: Vec<HashMap<Vec<PivotId>, u64>> = {
             let bp = bpivots.clone();
-            self.cluster.par_map(sample_paa, move |p| {
-                DualSignature::extract_from_paa(&p, &bp, cfg.prefix_len)
-                    .sensitive
-                    .0
+            let arena = &sample_paa;
+            self.cluster.par_map(sample_blocks, move |r| {
+                let mut heap: Vec<(f64, PivotId)> = Vec::with_capacity(cfg.prefix_len + 1);
+                let mut freq: HashMap<Vec<PivotId>, u64> = HashMap::new();
+                for i in r {
+                    let point = &arena[i * w..(i + 1) * w];
+                    let prefix =
+                        pivot_permutation_prefix_with(&bp, point, cfg.prefix_len, &mut heap);
+                    *freq.entry(prefix).or_insert(0) += 1;
+                }
+                freq
             })
         };
-
-        // Step 2: aggregate signatures, then Algorithm 2.
         let mut sens_freq: HashMap<Vec<PivotId>, u64> = HashMap::new();
-        for s in sensitive {
-            *sens_freq.entry(s).or_insert(0) += 1;
+        for map in freq_maps {
+            for (sig, f) in map {
+                *sens_freq.entry(sig).or_insert(0) += f;
+            }
         }
         let distinct_sensitive = sens_freq.len();
         let mut insens_freq: HashMap<Vec<PivotId>, u64> = HashMap::new();
@@ -150,24 +312,40 @@ impl IndexBuilder {
         );
         let centroids = selection.centroids;
 
-        // Step 3: group the aggregated sensitive signatures, build tries,
-        // pack leaves, assign partition ids and defaults.
+        // Step 3: group the aggregated sensitive signatures (Algorithm 1,
+        // parallel over the distinct-signature list in its deterministic
+        // sorted order), build tries, pack leaves, assign partition ids
+        // and defaults.
         let scale = 1.0 / achieved_alpha.max(f64::MIN_POSITIVE);
         let mut group_members: Vec<Vec<(Vec<PivotId>, u64)>> =
             vec![Vec::new(); centroids.len() + 1]; // [0] = fall-back
         let mut sens_list: Vec<(Vec<PivotId>, u64)> = sens_freq.into_iter().collect();
         sens_list.sort_unstable(); // deterministic iteration order
-        for (sig_ids, freq) in sens_list {
-            let sig = DualSignature::from_sensitive(RankSensitive(sig_ids.clone()));
-            let tie_seed = sig_hash(&sig_ids) ^ cfg.seed;
-            let g = match climber_pivot::assignment::assign_group(
-                &centroids, &sig, cfg.decay, tie_seed,
-            ) {
-                climber_pivot::assignment::Assignment::Fallback => 0,
-                a => a.centroid().expect("non-fallback") + 1,
-            };
+        let assigned: Vec<usize> = {
+            let list = &sens_list;
+            let cents = &centroids;
+            self.cluster
+                .par_map(range_blocks(sens_list.len(), block_size), move |r| {
+                    r.map(|i| {
+                        let sig_ids = &list[i].0;
+                        let sig = DualSignature::from_sensitive(RankSensitive(sig_ids.clone()));
+                        let tie_seed = sig_hash(sig_ids) ^ cfg.seed;
+                        match climber_pivot::assignment::assign_group(
+                            cents, &sig, cfg.decay, tie_seed,
+                        ) {
+                            climber_pivot::assignment::Assignment::Fallback => 0,
+                            a => a.centroid().expect("non-fallback") + 1,
+                        }
+                    })
+                    .collect::<Vec<usize>>()
+                })
+        }
+        .into_iter()
+        .flatten()
+        .collect();
+        for (i, (sig_ids, freq)) in sens_list.into_iter().enumerate() {
             let est = ((freq as f64) * scale).round().max(1.0) as u64;
-            group_members[g].push((sig_ids, est));
+            group_members[assigned[i]].push((sig_ids, est));
         }
 
         let mut next_node: TrieNodeId = 0;
@@ -234,50 +412,84 @@ impl IndexBuilder {
         let skeleton_secs = t0.elapsed().as_secs_f64();
 
         // ---- Step 4a: convert the entire dataset (broadcast skeleton) ----
+        // Workers own contiguous record blocks; each routes its block into
+        // a thread-local partition shard with one reused signature scratch.
+        // Only ids flow into the shards — record values are re-read from
+        // the dataset when writing, so conversion holds no record copies.
         let t1 = Instant::now();
+        let n = ds.num_series();
         let bskel = Broadcast::new(skeleton);
-        let placements: Vec<Placement> = {
+        let shards: Vec<BlockShard> = {
             let bs = bskel.clone();
-            let ids: Vec<u64> = (0..ds.num_series() as u64).collect();
-            self.cluster
-                .par_map(ids, move |id| bs.place(ds.get(id), id))
+            self.cluster.par_map(ds.blocks(block_size), move |blk| {
+                let mut scratch = SignatureScratch::new();
+                let mut routed: HashMap<PartitionId, Vec<(TrieNodeId, u64)>> = HashMap::new();
+                let mut fallback = 0u64;
+                let mut via_default = 0u64;
+                for (id, vals) in blk.iter() {
+                    let p = bs.place_with(vals, id, &mut scratch);
+                    fallback += u64::from(p.group == FALLBACK_GROUP);
+                    via_default += u64::from(p.via_default);
+                    routed.entry(p.partition).or_default().push((p.node, id));
+                }
+                BlockShard {
+                    routed,
+                    fallback,
+                    via_default,
+                }
+            })
         };
         let conversion_secs = t1.elapsed().as_secs_f64();
 
         // ---- Step 4b: shuffle by partition and write clustered records ----
+        // Shards merge in fixed block order, so every (partition, node)
+        // cluster lists its record ids ascending — bit-identical to a
+        // sequential scan regardless of thread count or block size. (A
+        // shard's own partition iteration order is immaterial: distinct
+        // partitions land in disjoint entries.)
         let t2 = Instant::now();
-        let fallback_records = placements
-            .iter()
-            .filter(|p| p.group == FALLBACK_GROUP)
-            .count() as u64;
-        let default_routed_records = placements.iter().filter(|p| p.via_default).count() as u64;
-        let routed: Vec<(u64, Placement)> = placements
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| (i as u64, p))
-            .collect();
-        let by_partition = self.cluster.shuffle_by_key(routed, |&(_, p)| p.partition);
-
-        // Write every planned partition, including ones that received no
-        // records, so the store's id set matches the skeleton.
-        let final_skeleton = (*bskel).clone();
-        for (&pid, &gid) in &partition_group {
-            let records = by_partition.get(&pid);
-            let mut writer = PartitionWriter::new(gid as u64, ds.series_len());
-            // cluster records by trie node id, sorted for determinism
-            let mut clusters: BTreeMap<TrieNodeId, Vec<u64>> = BTreeMap::new();
-            if let Some(recs) = records {
-                for &(sid, p) in recs {
-                    clusters.entry(p.node).or_default().push(sid);
+        self.cluster.stats().on_shuffle(n as u64);
+        let mut fallback_records = 0u64;
+        let mut default_routed_records = 0u64;
+        let mut by_partition: BTreeMap<PartitionId, BTreeMap<TrieNodeId, Vec<u64>>> =
+            BTreeMap::new();
+        for shard in shards {
+            fallback_records += shard.fallback;
+            default_routed_records += shard.via_default;
+            for (pid, recs) in shard.routed {
+                let clusters = by_partition.entry(pid).or_default();
+                for (node, sid) in recs {
+                    clusters.entry(node).or_default().push(sid);
                 }
             }
-            for (node, sids) in clusters {
-                writer.push_cluster(node, sids.iter().map(|&sid| (sid, ds.get(sid))));
-            }
-            store
-                .put(pid, writer.finish())
-                .expect("partition write failed");
         }
+
+        // Write every planned partition, including ones that received no
+        // records, so the store's id set matches the skeleton. Partitions
+        // fan out over the work-queue scope (skewed partition sizes
+        // balance naturally); each worker streams records straight from
+        // the dataset into its own writer, so at most `threads` partition
+        // buffers are in flight at once.
+        let final_skeleton = (*bskel).clone();
+        self.cluster.install(|| {
+            rayon::scope(|s| {
+                for (&pid, &gid) in &partition_group {
+                    let clusters = by_partition.get(&pid);
+                    s.spawn(move |_| {
+                        let mut writer = PartitionWriter::new(gid as u64, ds.series_len());
+                        if let Some(clusters) = clusters {
+                            for (&node, sids) in clusters {
+                                writer
+                                    .push_cluster(node, sids.iter().map(|&sid| (sid, ds.get(sid))));
+                            }
+                        }
+                        store
+                            .put(pid, writer.finish())
+                            .expect("partition write failed");
+                    });
+                }
+            })
+        });
         let redistribution_secs = t2.elapsed().as_secs_f64();
 
         let report = BuildReport {
@@ -294,6 +506,10 @@ impl IndexBuilder {
             default_routed_records,
             skeleton_bytes: final_skeleton.size_bytes(),
             io: store.stats().snapshot().since(&io_before),
+            threads: self.cluster.workers(),
+            skeleton_records_per_sec: per_sec(sampled_records, skeleton_secs),
+            conversion_records_per_sec: per_sec(n, conversion_secs),
+            redistribution_records_per_sec: per_sec(n, redistribution_secs),
         };
         (final_skeleton, report)
     }
@@ -320,16 +536,21 @@ impl IndexBuilder {
     }
 }
 
-/// Draws `r` pivots from the sample PAA signatures (random selection, §V
-/// Step 1). Sampling is id-based and deterministic in `seed`.
-fn select_pivots(sample_paa: &[Vec<f64>], r: usize, seed: u64) -> PivotSet {
+/// Draws `r` pivots from the sample PAA signatures — a flat arena of `w`
+/// values per point (random selection, §V Step 1). Sampling is id-based
+/// and deterministic in `seed`.
+fn select_pivots(sample_paa: &[f64], w: usize, r: usize, seed: u64) -> PivotSet {
+    let n = sample_paa.len() / w;
     assert!(
-        sample_paa.len() >= r,
-        "sample of {} series cannot provide {r} pivots — lower num_pivots or raise alpha",
-        sample_paa.len()
+        n >= r,
+        "sample of {n} series cannot provide {r} pivots — lower num_pivots or raise alpha",
     );
-    let idx = climber_series::sampling::reservoir_sample(0..sample_paa.len(), r, seed ^ 0x71B0);
-    PivotSet::from_points(idx.into_iter().map(|i| sample_paa[i].clone()).collect())
+    let idx = climber_series::sampling::reservoir_sample(0..n, r, seed ^ 0x71B0);
+    PivotSet::from_points(
+        idx.into_iter()
+            .map(|i| sample_paa[i * w..(i + 1) * w].to_vec())
+            .collect(),
+    )
 }
 
 /// Order-independent 64-bit hash of a signature (tie-break seeding).
@@ -406,6 +627,61 @@ mod tests {
     }
 
     #[test]
+    fn build_bit_identical_across_threads_and_block_sizes() {
+        let ds = Domain::RandomWalk.generate(330, 19);
+        let reference = {
+            let store = MemStore::new();
+            let b = IndexBuilder::with_options(
+                small_config(),
+                BuildOptions::default()
+                    .with_threads(1)
+                    .with_block_size(1_000_000),
+            );
+            let (sk, _) = b.build(&ds, &store);
+            (sk.to_bytes(), partition_bytes(&store))
+        };
+        for (threads, block_size) in [(2usize, 7usize), (8, 64), (3, 1), (0, 33)] {
+            let store = MemStore::new();
+            let builder = IndexBuilder::with_options(
+                small_config(),
+                BuildOptions::default()
+                    .with_threads(threads)
+                    .with_block_size(block_size),
+            );
+            let (sk, report) = builder.build(&ds, &store);
+            assert_eq!(
+                sk.to_bytes(),
+                reference.0,
+                "skeleton diverged at threads={threads} block={block_size}"
+            );
+            assert_eq!(
+                partition_bytes(&store),
+                reference.1,
+                "partitions diverged at threads={threads} block={block_size}"
+            );
+            assert_eq!(report.threads, builder.options().resolved_threads());
+        }
+    }
+
+    fn partition_bytes(store: &MemStore) -> Vec<(u32, Vec<u8>)> {
+        store
+            .ids()
+            .into_iter()
+            .map(|pid| (pid, store.open(pid).unwrap().raw_bytes().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn build_options_resolve() {
+        let o = BuildOptions::default();
+        assert!(o.resolved_threads() >= 1);
+        assert_eq!(o.resolved_block_size(), BuildOptions::DEFAULT_BLOCK_SIZE);
+        let o = BuildOptions::default().with_threads(5).with_block_size(0);
+        assert_eq!(o.resolved_threads(), 5);
+        assert_eq!(o.resolved_block_size(), 1);
+    }
+
+    #[test]
     fn partitions_respect_soft_capacity() {
         let ds = Domain::RandomWalk.generate(600, 13);
         let store = MemStore::new();
@@ -454,6 +730,10 @@ mod tests {
         assert!(report.distinct_sensitive >= report.distinct_insensitive);
         assert!(report.skeleton_bytes > 0);
         assert!(report.io.partitions_written > 0);
+        assert!(report.threads >= 1);
+        assert!(report.skeleton_records_per_sec > 0.0);
+        assert!(report.conversion_records_per_sec > 0.0);
+        assert!(report.redistribution_records_per_sec > 0.0);
     }
 
     #[test]

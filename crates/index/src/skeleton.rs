@@ -14,7 +14,7 @@ use climber_dfs::store::PartitionId;
 use climber_pivot::assignment::{assign_group, splitmix64, Assignment};
 use climber_pivot::decay::DecayFunction;
 use climber_pivot::pivots::PivotSet;
-use climber_pivot::signature::{DualSignature, RankInsensitive};
+use climber_pivot::signature::{DualSignature, RankInsensitive, SignatureScratch};
 use climber_repr::paa::paa;
 
 /// Identifier of a data-series group. Group 0 is always the fall-back.
@@ -79,14 +79,27 @@ impl IndexSkeleton {
 
     /// Extracts the dual signatures of many queries at once, fanned out
     /// across threads (signature extraction is pure and per-query
-    /// independent). Output order matches input order; used by the batched
-    /// query engine's planning phase.
+    /// independent) with one [`SignatureScratch`] per worker chunk instead
+    /// of per-query allocations. Output order matches input order; used by
+    /// the batched query engine's planning phase.
     pub fn extract_signatures(&self, queries: &[Vec<f32>]) -> Vec<DualSignature> {
         use rayon::prelude::*;
-        queries
-            .par_iter()
-            .map(|q| self.extract_signature(q))
-            .collect()
+        let chunk = queries
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1))
+            .max(1);
+        let per_chunk: Vec<Vec<DualSignature>> = queries
+            .par_chunks(chunk)
+            .map(|c| {
+                DualSignature::extract_batch(
+                    c.iter().map(Vec::as_slice),
+                    &self.pivots,
+                    self.paa_segments,
+                    self.prefix_len,
+                )
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Centroids of the real (non-fall-back) groups, index-aligned with
@@ -124,7 +137,26 @@ impl IndexSkeleton {
     /// navigation; records without a complete root-to-leaf path go to the
     /// group's default partition clustered under the trie root.
     pub fn place(&self, values: &[f32], series_id: u64) -> Placement {
-        let sig = self.extract_signature(values);
+        self.place_with(values, series_id, &mut SignatureScratch::new())
+    }
+
+    /// [`place`](Self::place) with caller-provided scratch buffers — the
+    /// bulk-conversion form the parallel build's worker threads use, one
+    /// scratch per thread, so routing the full dataset allocates nothing
+    /// per record beyond the transient signature.
+    pub fn place_with(
+        &self,
+        values: &[f32],
+        series_id: u64,
+        scratch: &mut SignatureScratch,
+    ) -> Placement {
+        let sig = DualSignature::extract_with(
+            values,
+            &self.pivots,
+            self.paa_segments,
+            self.prefix_len,
+            scratch,
+        );
         let group = self.assign(&sig, series_id);
         let meta = &self.groups[group as usize];
         match meta.trie.leaf_for(&sig.sensitive.0) {
@@ -530,5 +562,15 @@ mod tests {
         let a = sk.place(&[12.0, 12.0], 99);
         let b = sk.place(&[12.0, 12.0], 99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn place_with_shared_scratch_matches_place() {
+        let sk = toy_skeleton();
+        let mut scratch = SignatureScratch::new();
+        for i in 0..30u64 {
+            let v = [i as f32, i as f32 + 0.5];
+            assert_eq!(sk.place_with(&v, i, &mut scratch), sk.place(&v, i));
+        }
     }
 }

@@ -32,6 +32,20 @@ pub fn pivot_permutation(pivots: &PivotSet, point: &[f64]) -> Vec<PivotId> {
 /// in the hundreds while `m` is ~10, and this function runs once per series
 /// per build plus once per query.
 pub fn pivot_permutation_prefix(pivots: &PivotSet, point: &[f64], m: usize) -> Vec<PivotId> {
+    pivot_permutation_prefix_with(pivots, point, m, &mut Vec::with_capacity(m + 1))
+}
+
+/// [`pivot_permutation_prefix`] with a caller-provided selection buffer, so
+/// bulk conversion (one call per record of the full dataset in Step 4 of
+/// the index build) pays no per-record heap allocation beyond the returned
+/// prefix itself. The buffer is cleared on entry; results are identical to
+/// the allocating variant.
+pub fn pivot_permutation_prefix_with(
+    pivots: &PivotSet,
+    point: &[f64],
+    m: usize,
+    heap: &mut Vec<(f64, PivotId)>,
+) -> Vec<PivotId> {
     assert!(m > 0, "prefix length must be positive");
     assert!(
         m <= pivots.len(),
@@ -46,7 +60,8 @@ pub fn pivot_permutation_prefix(pivots: &PivotSet, point: &[f64], m: usize) -> V
         pivots.dims()
     );
     // Bounded max-heap over (dist, id) keyed the same way as the full sort.
-    let mut heap: Vec<(f64, PivotId)> = Vec::with_capacity(m + 1);
+    heap.clear();
+    heap.reserve(m + 1);
     for (id, _) in pivots.iter() {
         let d = pivots.sq_dist_to(id, point);
         if heap.len() < m {
@@ -68,7 +83,7 @@ pub fn pivot_permutation_prefix(pivots: &PivotSet, point: &[f64], m: usize) -> V
     if heap.len() < m {
         heap.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     }
-    heap.into_iter().map(|(_, id)| id).collect()
+    heap.iter().map(|&(_, id)| id).collect()
 }
 
 #[cfg(test)]
@@ -122,6 +137,17 @@ mod tests {
                 let prefix = pivot_permutation_prefix(&ps, &q, m);
                 assert_eq!(prefix, full[..m], "m={m}");
             }
+        }
+    }
+
+    #[test]
+    fn prefix_with_reused_buffer_matches_allocating_variant() {
+        let ps = grid_pivots();
+        let mut heap = Vec::new();
+        for (i, m) in [(0usize, 1usize), (1, 3), (2, 7), (3, 2)] {
+            let point = [i as f64 * 13.0 + 1.0];
+            let with = pivot_permutation_prefix_with(&ps, &point, m, &mut heap);
+            assert_eq!(with, pivot_permutation_prefix(&ps, &point, m));
         }
     }
 

@@ -7,9 +7,9 @@
 //! insensitive form gives the coarse (group) granularity, the sensitive form
 //! the fine (partition) granularity.
 
-use crate::permutation::pivot_permutation_prefix;
+use crate::permutation::{pivot_permutation_prefix, pivot_permutation_prefix_with};
 use crate::pivots::{PivotId, PivotSet};
-use climber_repr::paa::paa;
+use climber_repr::paa::{paa, paa_into};
 
 /// Rank-sensitive signature `P4→`: pivot ids ascending by distance.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -58,6 +58,23 @@ impl RankInsensitive {
     }
 }
 
+/// Reusable scratch buffers for bulk signature extraction: the PAA arena
+/// and the bounded pivot-selection buffer that [`DualSignature::extract`]
+/// would otherwise allocate per call. One scratch per worker thread turns
+/// the per-record conversion cost of an index build into pure compute.
+#[derive(Debug, Default)]
+pub struct SignatureScratch {
+    paa: Vec<f64>,
+    heap: Vec<(f64, PivotId)>,
+}
+
+impl SignatureScratch {
+    /// Fresh, empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The P4 dual signature of one data series (Definition 6).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DualSignature {
@@ -89,6 +106,40 @@ impl DualSignature {
     pub fn extract_from_paa(paa_sig: &[f64], pivots: &PivotSet, m: usize) -> Self {
         let prefix = pivot_permutation_prefix(pivots, paa_sig, m);
         Self::from_sensitive(RankSensitive(prefix))
+    }
+
+    /// [`DualSignature::extract`] with caller-provided [`SignatureScratch`]
+    /// buffers, avoiding the per-call PAA and selection allocations. Bulk
+    /// conversion paths (the Step-4 full-dataset pass of the index build)
+    /// hold one scratch per worker thread and call this per record; the
+    /// result is identical to [`extract`](Self::extract).
+    pub fn extract_with(
+        values: &[f32],
+        pivots: &PivotSet,
+        w: usize,
+        m: usize,
+        scratch: &mut SignatureScratch,
+    ) -> Self {
+        scratch.paa.clear();
+        paa_into(values, w, &mut scratch.paa);
+        let prefix = pivot_permutation_prefix_with(pivots, &scratch.paa, m, &mut scratch.heap);
+        Self::from_sensitive(RankSensitive(prefix))
+    }
+
+    /// Extracts the dual signatures of a whole run of series, sharing one
+    /// [`SignatureScratch`] across every record — the batch conversion API
+    /// worker threads use over their record blocks. Output order matches
+    /// input order; each element equals [`extract`](Self::extract) of the
+    /// corresponding series.
+    pub fn extract_batch<'a, I>(series: I, pivots: &PivotSet, w: usize, m: usize) -> Vec<Self>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut scratch = SignatureScratch::new();
+        series
+            .into_iter()
+            .map(|s| Self::extract_with(s, pivots, w, m, &mut scratch))
+            .collect()
     }
 
     /// Prefix length `m`.
@@ -150,6 +201,24 @@ mod tests {
         let mut sorted = sig.sensitive.0.clone();
         sorted.sort_unstable();
         assert_eq!(sig.insensitive.0, sorted);
+    }
+
+    #[test]
+    fn scratch_extraction_matches_allocating_path() {
+        let pivots = PivotSet::from_points((0..30).map(|i| vec![i as f64, -(i as f64)]).collect());
+        let series: Vec<Vec<f32>> = (0..25)
+            .map(|i| (0..8).map(|j| ((i * 7 + j) % 11) as f32 - 5.0).collect())
+            .collect();
+        let mut scratch = SignatureScratch::new();
+        for s in &series {
+            let with = DualSignature::extract_with(s, &pivots, 2, 5, &mut scratch);
+            assert_eq!(with, DualSignature::extract(s, &pivots, 2, 5));
+        }
+        let batch = DualSignature::extract_batch(series.iter().map(Vec::as_slice), &pivots, 2, 5);
+        assert_eq!(batch.len(), series.len());
+        for (s, sig) in series.iter().zip(&batch) {
+            assert_eq!(sig, &DualSignature::extract(s, &pivots, 2, 5));
+        }
     }
 
     #[test]

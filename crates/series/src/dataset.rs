@@ -107,6 +107,31 @@ impl Dataset {
             .map(|(i, c)| (i as SeriesId, c))
     }
 
+    /// Splits the dataset into contiguous [`DatasetBlock`]s of at most
+    /// `block_size` series each, in id order (the last block may be
+    /// shorter). Blocks borrow the row-major buffer — no values are
+    /// copied — and records keep their global ids, so a parallel pass
+    /// over the blocks sees exactly the records a sequential scan would.
+    /// This is the unit of work the multi-core index build fans out.
+    ///
+    /// # Panics
+    /// If `block_size == 0`.
+    pub fn blocks(&self, block_size: usize) -> Vec<DatasetBlock<'_>> {
+        assert!(block_size > 0, "block size must be positive");
+        let n = self.num_series();
+        (0..n)
+            .step_by(block_size)
+            .map(|start| {
+                let end = (start + block_size).min(n);
+                DatasetBlock {
+                    start: start as SeriesId,
+                    series_len: self.len,
+                    values: &self.values[start * self.len..end * self.len],
+                }
+            })
+            .collect()
+    }
+
     /// The raw row-major buffer.
     #[inline]
     pub fn raw(&self) -> &[f32] {
@@ -116,6 +141,44 @@ impl Dataset {
     /// Total in-memory payload size in bytes (values only).
     pub fn payload_bytes(&self) -> usize {
         self.values.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A contiguous run of series borrowed from a [`Dataset`]: the work unit of
+/// block-parallel passes (see [`Dataset::blocks`]). Records keep their
+/// global ids and their original order.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetBlock<'a> {
+    start: SeriesId,
+    series_len: usize,
+    values: &'a [f32],
+}
+
+impl<'a> DatasetBlock<'a> {
+    /// Global id of the first series in the block.
+    #[inline]
+    pub fn start_id(&self) -> SeriesId {
+        self.start
+    }
+
+    /// Number of series in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len() / self.series_len
+    }
+
+    /// True when the block holds no series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over `(global id, values)` pairs, ascending by id.
+    pub fn iter(&self) -> impl Iterator<Item = (SeriesId, &'a [f32])> + '_ {
+        self.values
+            .chunks_exact(self.series_len)
+            .enumerate()
+            .map(|(i, c)| (self.start + i as SeriesId, c))
     }
 }
 
@@ -183,5 +246,38 @@ mod tests {
         let ds = Dataset::new(8);
         assert!(ds.is_empty());
         assert_eq!(ds.num_series(), 0);
+    }
+
+    #[test]
+    fn blocks_cover_every_record_in_order() {
+        let ds = Dataset::from_raw(2, (0..26).map(|i| i as f32).collect());
+        for block_size in [1usize, 3, 5, 13, 100] {
+            let blocks = ds.blocks(block_size);
+            assert_eq!(
+                blocks.len(),
+                ds.num_series().div_ceil(block_size),
+                "block_size={block_size}"
+            );
+            let seen: Vec<(SeriesId, &[f32])> = blocks.iter().flat_map(|b| b.iter()).collect();
+            let direct: Vec<(SeriesId, &[f32])> = ds.iter().collect();
+            assert_eq!(seen, direct, "block_size={block_size}");
+            for b in &blocks {
+                assert!(b.len() <= block_size);
+                assert!(!b.is_empty());
+                assert_eq!(b.iter().next().unwrap().0, b.start_id());
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_of_empty_dataset_are_none() {
+        let ds = Dataset::new(4);
+        assert!(ds.blocks(8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        Dataset::from_raw(1, vec![1.0]).blocks(0);
     }
 }

@@ -105,6 +105,17 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Self { cases }
         }
+
+        /// The case count a run actually uses: the `PROPTEST_CASES`
+        /// environment variable (the real crate's global override, which
+        /// CI lanes pin for reproducible wall time) when set and
+        /// parseable, otherwise this config's `cases`.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
     }
 
     /// A failed property case.
@@ -577,7 +588,8 @@ macro_rules! proptest {
                     module_path!(), "::", stringify!($name)
                 ));
                 let strategies = ($($strategy,)*);
-                for case in 0..config.cases {
+                let cases = config.resolved_cases();
+                for case in 0..cases {
                     let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
                     #[allow(unused_variables)]
                     let ($($arg,)*) = strategies.generate(&mut rng);
@@ -593,7 +605,7 @@ macro_rules! proptest {
                             "proptest property {} failed at case {}/{}: {}",
                             stringify!($name),
                             case + 1,
-                            config.cases,
+                            cases,
                             e
                         );
                     }
