@@ -56,20 +56,24 @@ pub use climber_repr as repr;
 pub use climber_series as series;
 
 pub use climber_dfs::manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
+pub use climber_dfs::segment::{DeltaSegment, TombstoneSet, JOURNAL_FILE};
 pub use climber_index::builder::{BuildOptions, BuildReport};
 pub use climber_index::config::IndexConfig as ClimberConfig;
 pub use climber_index::skeleton::IndexSkeleton;
 pub use climber_query::batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use climber_query::plan::QueryOutcome;
+pub use climber_query::updates::UpdateView;
 
-use climber_dfs::format::{Decode, Encode, PartitionWriter};
+use climber_dfs::format::{Decode, Encode, PartitionWriter, TrieNodeId};
 use climber_dfs::manifest::{self, xxh64, FileEntry, PartitionEntry};
+use climber_dfs::segment::{self, Journal};
 use climber_dfs::stats::IoSnapshot;
-use climber_dfs::store::{partition_file_name, DiskStore, MemStore, PartitionStore};
+use climber_dfs::store::{partition_file_name, DiskStore, MemStore, PartitionId, PartitionStore};
 use climber_index::builder::IndexBuilder;
+use climber_pivot::signature::SignatureScratch;
 use climber_query::engine::KnnEngine;
 use climber_series::dataset::Dataset;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,7 +82,33 @@ use std::sync::Mutex;
 /// Name of the skeleton file inside a disk-backed index directory.
 pub const SKELETON_FILE: &str = "skeleton.clsk";
 
+/// What one flush or compaction did to the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Sealed partitions rewritten by this fold.
+    pub partitions_rewritten: usize,
+    /// Delta records folded into sealed partitions.
+    pub records_folded: u64,
+    /// Tombstoned records physically removed (always 0 for a flush;
+    /// compaction purges them).
+    pub records_purged: u64,
+    /// Tombstones still pending after the fold (a flush keeps them; a
+    /// compaction clears every id it purged).
+    pub tombstones_remaining: u64,
+    /// Segment generation after the fold.
+    pub generation: u64,
+}
+
 /// A built CLIMBER index: skeleton + partition store + build report.
+///
+/// The sealed partitions are immutable; live updates accumulate in two
+/// mutable segments — a [`DeltaSegment`] of appended records (routed with
+/// the frozen skeleton, O(record) per append) and a [`TombstoneSet`] of
+/// deleted ids — which every query path merges into the sealed candidate
+/// stream. [`flush`](Self::flush) / [`compact`](Self::compact) fold the
+/// segments back into rewritten partitions, and [`save`](Self::save)
+/// persists unfolded segments as a journal next to the manifest so
+/// [`open_rw`](Self::open_rw) restores a fully writable index.
 #[derive(Debug)]
 pub struct Climber<S: PartitionStore = MemStore> {
     skeleton: IndexSkeleton,
@@ -90,6 +120,22 @@ pub struct Climber<S: PartitionStore = MemStore> {
     report: Option<BuildReport>,
     /// Next series id for appends (1 + the largest stored id).
     next_id: AtomicU64,
+    /// Appended-but-unflushed records, clustered by `(partition, node)`.
+    delta: DeltaSegment,
+    /// Logically deleted ids, filtered out of every query.
+    tombstones: TombstoneSet,
+    /// Segment generation: bumped whenever a flush/compaction rewrites
+    /// sealed partitions; persisted in the manifest and the journal.
+    generation: AtomicU64,
+    /// False only for indexes opened via [`Climber::open`]: updates are
+    /// rejected with `PermissionDenied` (use [`Climber::open_rw`]).
+    writable: bool,
+    /// True while a disk-backed fold has rewritten partition files that
+    /// the on-disk manifest does not yet describe (set before the
+    /// rewrites, cleared by a successful re-seal of the home directory).
+    /// A later flush or save repairs the directory even when the fold
+    /// itself has nothing left to do.
+    reseal_owed: std::sync::atomic::AtomicBool,
     /// Store I/O at the moment the index became servable; the zero point
     /// for [`serve_io`](Self::serve_io). Behind a mutex because
     /// [`save`](Self::save) (which takes `&self`) advances it past its
@@ -169,16 +215,37 @@ impl Climber<DiskStore> {
 
     /// Cold-starts a previously saved index: validates the manifest
     /// (magic, format version, self-checksum), every partition file's
-    /// byte range and checksum, the skeleton's checksum, and the
-    /// manifest/skeleton partition-set agreement — then serves queries
-    /// with no access to the original raw dataset.
+    /// byte range and checksum, the skeleton's checksum, the
+    /// manifest/skeleton partition-set agreement, and — when the manifest
+    /// references one — the update journal's checksum and segment
+    /// generation. Pending appends and deletes from the journal are
+    /// restored, so queries see exactly the state that was saved, with no
+    /// access to the original raw dataset.
     ///
-    /// The store is **read-only**: [`append`](Self::append) fails with
-    /// `PermissionDenied`. Every failure mode is a typed [`OpenError`];
+    /// The index is **read-only**: [`append`](Self::append),
+    /// [`delete`](Self::delete) and [`flush`](Self::flush) fail with
+    /// `PermissionDenied` — reopen with [`open_rw`](Self::open_rw) to
+    /// keep updating. Every failure mode is a typed [`OpenError`];
     /// opening never panics and never yields a silently wrong index.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, OpenError> {
-        let dir = dir.as_ref();
-        let (store, manifest) = DiskStore::open_read_only(dir)?;
+        Self::open_impl(dir.as_ref(), false)
+    }
+
+    /// [`open`](Self::open) with updates enabled: the exact same
+    /// validation, but the store accepts partition rewrites, so the
+    /// reopened index absorbs [`append`](Self::append) /
+    /// [`delete`](Self::delete) and can [`flush`](Self::flush) them into
+    /// its sealed partitions — the serve-and-ingest deployment mode.
+    pub fn open_rw(dir: impl AsRef<Path>) -> Result<Self, OpenError> {
+        Self::open_impl(dir.as_ref(), true)
+    }
+
+    fn open_impl(dir: &Path, writable: bool) -> Result<Self, OpenError> {
+        let (store, manifest) = if writable {
+            DiskStore::open_read_write(dir)?
+        } else {
+            DiskStore::open_read_only(dir)?
+        };
         let skel_bytes = std::fs::read(dir.join(SKELETON_FILE)).map_err(OpenError::Io)?;
         let found = xxh64(&skel_bytes, 0);
         if found != manifest.skeleton.checksum || skel_bytes.len() as u64 != manifest.skeleton.bytes
@@ -200,12 +267,56 @@ impl Climber<DiskStore> {
         }
         let config = ClimberConfig::decode_vec(&manifest.config)
             .map_err(|e| OpenError::CorruptManifest(format!("config: {e}")))?;
+        let journal = Self::load_journal(dir, &manifest)?;
         let mut c = Self::assemble(skeleton, store, config, None);
         // The manifest records the largest stored id, so cold start needs
         // no full scan to seed the append counter.
         c.next_id = AtomicU64::new(manifest.max_series_id.map_or(0, |m| m + 1));
+        c.delta = journal.delta;
+        c.tombstones = journal.tombstones;
+        c.generation = AtomicU64::new(manifest.generation);
+        c.writable = writable;
         c.mark_ready();
         Ok(c)
+    }
+
+    /// Reads, validates and decodes the update journal the manifest
+    /// references; an empty [`Journal`] when it references none.
+    fn load_journal(dir: &Path, m: &Manifest) -> Result<Journal, OpenError> {
+        let Some(entry) = &m.journal else {
+            return Ok(Journal::default());
+        };
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(OpenError::MissingJournal(path))
+            }
+            Err(e) => return Err(OpenError::Io(e)),
+        };
+        if bytes.len() as u64 != entry.bytes {
+            return Err(OpenError::CorruptJournal(format!(
+                "journal is {} bytes, manifest says {}",
+                bytes.len(),
+                entry.bytes
+            )));
+        }
+        let found = xxh64(&bytes, 0);
+        if found != entry.checksum {
+            return Err(OpenError::ChecksumMismatch {
+                what: "journal".into(),
+                expected: entry.checksum,
+                found,
+            });
+        }
+        let journal = segment::decode_journal(&bytes).map_err(OpenError::CorruptJournal)?;
+        if journal.generation != m.generation {
+            return Err(OpenError::StaleGeneration {
+                manifest: m.generation,
+                journal: journal.generation,
+            });
+        }
+        Ok(journal)
     }
 }
 
@@ -240,6 +351,11 @@ impl<S: PartitionStore> Climber<S> {
             build_options: BuildOptions::default(),
             report,
             next_id: AtomicU64::new(0),
+            delta: DeltaSegment::new(),
+            tombstones: TombstoneSet::new(),
+            generation: AtomicU64::new(0),
+            writable: true,
+            reseal_owed: std::sync::atomic::AtomicBool::new(false),
             ready_io: Mutex::new(IoSnapshot::default()),
         }
     }
@@ -266,7 +382,20 @@ impl<S: PartitionStore> Climber<S> {
     /// from [`serve_io`](Self::serve_io): the phase zero point advances
     /// past them when save completes.
     pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<Manifest> {
-        let dir = dir.as_ref();
+        self.seal(dir.as_ref(), None)
+    }
+
+    /// The save implementation. `refresh`, when given, is the previous
+    /// sealed manifest of `dir` plus the set of partitions rewritten
+    /// since: those (and any partition the old manifest misses) are
+    /// re-copied and re-checksummed, every other entry is reused verbatim
+    /// — the incremental re-seal a fold uses so flushing one partition
+    /// does not rewrite the whole directory.
+    fn seal(
+        &self,
+        dir: &Path,
+        refresh: Option<(&Manifest, &BTreeSet<PartitionId>)>,
+    ) -> io::Result<Manifest> {
         std::fs::create_dir_all(dir)?;
         let ids = self.store.ids();
         if ids.is_empty() {
@@ -283,11 +412,29 @@ impl<S: PartitionStore> Climber<S> {
         // already lives in `dir`: the builder's puts are plain writes,
         // while a sealed manifest must only ever reference files that
         // went through the temp-file + fsync + rename protocol.
+        // When the store's own puts already landed the files durably in
+        // this very directory (a manifest-opened DiskStore), the seal
+        // only needs to checksum them in place — re-copying identical
+        // bytes would double every fold's write I/O for nothing.
+        let in_place_durable =
+            self.store.persist_dir() == Some(dir) && self.store.puts_are_durable();
         let cluster = climber_dfs::cluster::Cluster::new(self.build_options.resolved_threads());
-        let copied: Vec<io::Result<(PartitionEntry, u32)>> = cluster.par_map(ids, |pid| {
+        let copied: Vec<io::Result<(PartitionEntry, Option<u32>)>> = cluster.par_map(ids, |pid| {
+            if let Some((prev, dirty)) = refresh {
+                if !dirty.contains(&pid) {
+                    if let Some(e) = prev.partition(pid) {
+                        // Untouched since the previous seal: the file in
+                        // `dir` already went through the atomic protocol
+                        // and its entry is still exact.
+                        return Ok((*e, None));
+                    }
+                }
+            }
             let reader = self.store.open(pid)?;
             let bytes = reader.raw_bytes();
-            manifest::write_file_atomic(&dir.join(partition_file_name(pid)), bytes)?;
+            if !in_place_durable {
+                manifest::write_file_atomic(&dir.join(partition_file_name(pid)), bytes)?;
+            }
             Ok((
                 PartitionEntry {
                     id: pid,
@@ -295,20 +442,41 @@ impl<S: PartitionStore> Climber<S> {
                     checksum: xxh64(bytes, 0),
                     records: reader.record_count(),
                 },
-                reader.series_len() as u32,
+                Some(reader.series_len() as u32),
             ))
         });
         let mut partitions = Vec::with_capacity(copied.len());
         let mut num_records = 0u64;
-        let mut series_len = 0u32;
+        let mut series_len = refresh.map_or(0, |(prev, _)| prev.series_len);
         for entry in copied {
             let (p, sl) = entry?;
             num_records += p.records;
-            series_len = sl;
+            if let Some(sl) = sl {
+                series_len = sl;
+            }
             partitions.push(p);
         }
         let skel = self.skeleton.to_bytes();
         manifest::write_file_atomic(&dir.join(SKELETON_FILE), &skel)?;
+        // Unfolded mutable segments persist as a journal next to the
+        // partitions; the manifest references it (size + checksum) under
+        // the current segment generation, so a reopen can never replay a
+        // journal against partitions from a different fold.
+        let generation = self.generation.load(Ordering::Relaxed);
+        let journal = if self.delta.is_empty() && self.tombstones.is_empty() {
+            // Nothing pending: drop any journal a previous save of this
+            // directory left behind, so no stale file shadows the sealed
+            // state.
+            std::fs::remove_file(dir.join(JOURNAL_FILE)).ok();
+            None
+        } else {
+            let bytes = segment::encode_journal(generation, &self.delta, &self.tombstones);
+            manifest::write_file_atomic(&dir.join(JOURNAL_FILE), &bytes)?;
+            Some(FileEntry {
+                bytes: bytes.len() as u64,
+                checksum: xxh64(&bytes, 0),
+            })
+        };
         let m = Manifest {
             format_version: FORMAT_VERSION,
             config: self.config.encode_vec(),
@@ -316,6 +484,8 @@ impl<S: PartitionStore> Climber<S> {
             num_records,
             max_series_id: self.next_id.load(Ordering::Relaxed).checked_sub(1),
             series_len,
+            generation,
+            journal,
             skeleton: FileEntry {
                 bytes: skel.len() as u64,
                 checksum: xxh64(&skel, 0),
@@ -323,6 +493,12 @@ impl<S: PartitionStore> Climber<S> {
             partitions,
         };
         m.write_atomic(dir)?;
+        // The home directory (if any) now describes the store exactly: no
+        // fold re-seal is outstanding.
+        if self.store.persist_dir() == Some(dir) {
+            self.reseal_owed
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+        }
         // Advance the serve-phase zero point past save's own checksum
         // reads so they never show up as query traffic. (Queries racing a
         // concurrent save may be partially absorbed too; save while
@@ -340,21 +516,37 @@ impl<S: PartitionStore> Climber<S> {
         Ok(m)
     }
 
+    /// The engine every facade query goes through. While no updates are
+    /// pending the sealed-only fast path runs untouched; as soon as the
+    /// delta segment or the tombstone set is non-empty, the engine merges
+    /// them into every candidate stream.
+    fn engine(&self) -> KnnEngine<'_, S> {
+        let engine = KnnEngine::new(&self.skeleton, &self.store);
+        if self.delta.is_empty() && self.tombstones.is_empty() {
+            engine
+        } else {
+            engine.with_updates(UpdateView {
+                delta: &self.delta,
+                tombstones: &self.tombstones,
+            })
+        }
+    }
+
     /// CLIMBER-kNN (Algorithm 3): approximate `k` nearest neighbours.
     /// Results are `(series id, squared ED)` ascending.
     pub fn knn(&self, query: &[f32], k: usize) -> QueryOutcome {
-        KnnEngine::new(&self.skeleton, &self.store).knn(query, k)
+        self.engine().knn(query, k)
     }
 
     /// CLIMBER-kNN-Adaptive with a partition budget of `factor ×` the plain
     /// plan (the paper evaluates 2X and 4X; 4X is its default variation).
     pub fn knn_adaptive(&self, query: &[f32], k: usize, factor: usize) -> QueryOutcome {
-        KnnEngine::new(&self.skeleton, &self.store).knn_adaptive(query, k, factor)
+        self.engine().knn_adaptive(query, k, factor)
     }
 
     /// The OD-Smallest full-group scan (ablation baseline, Figure 11(b)).
     pub fn od_smallest(&self, query: &[f32], k: usize) -> QueryOutcome {
-        KnnEngine::new(&self.skeleton, &self.store).od_smallest(query, k)
+        self.engine().od_smallest(query, k)
     }
 
     /// Executes a whole [`BatchRequest`] partition-major across threads:
@@ -378,7 +570,7 @@ impl<S: PartitionStore> Climber<S> {
     /// assert_eq!(batch.outcomes[0], climber.knn_adaptive(&queries[0], 10, 4));
     /// ```
     pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
-        KnnEngine::new(&self.skeleton, &self.store).batch(request)
+        self.engine().batch(request)
     }
 
     /// Batch evaluation of CLIMBER-kNN-Adaptive over many queries — the
@@ -424,18 +616,30 @@ impl<S: PartitionStore> Climber<S> {
             .store(max_id.map_or(0, |m| m + 1), Ordering::Relaxed);
     }
 
-    /// Appends a new series to the built index, returning its assigned id.
-    ///
-    /// The paper's prototype is batch-built; appends are the natural
-    /// maintenance extension: the record is routed with the frozen skeleton
-    /// (pivots and centroids never change, §V Step 1) and its target
-    /// partition is rewritten with the record added to the right trie-node
-    /// cluster. Capacity remains a soft constraint, exactly as for unseen
-    /// signatures during the initial build.
+    /// Fails with `PermissionDenied` on an index opened read-only.
+    fn ensure_writable(&self) -> io::Result<()> {
+        if self.writable {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "index was opened read-only; reopen with Climber::open_rw to accept updates",
+            ))
+        }
+    }
+
+    /// Appends a new series, returning its assigned id — O(record): the
+    /// record is routed with the frozen skeleton (pivots and centroids
+    /// never change, §V Step 1) into the matching `(partition, trie node)`
+    /// delta cluster. No sealed partition is touched; queries merge the
+    /// delta cluster into the same candidate stream, so the record is
+    /// findable through exactly the plans that would find it after a
+    /// rebuild. [`flush`](Self::flush) folds it into its sealed partition.
     ///
     /// # Panics
     /// If the series length differs from the indexed length.
     pub fn append(&self, values: &[f32]) -> io::Result<u64> {
+        self.ensure_writable()?;
         let expected = self.series_len_hint().unwrap_or(values.len());
         assert_eq!(
             values.len(),
@@ -444,32 +648,321 @@ impl<S: PartitionStore> Climber<S> {
             values.len()
         );
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let placement = self.skeleton.place(values, id);
-
-        // Rewrite the target partition with the record added to its
-        // cluster (clusters stay contiguous; directory is rebuilt).
-        let reader = self.store.open(placement.partition)?;
-        let mut clusters: BTreeMap<u64, Vec<(u64, Vec<f32>)>> = BTreeMap::new();
-        for node in reader.cluster_ids() {
-            let mut recs = Vec::new();
-            reader.for_each_in_cluster(node, |rid, vals| recs.push((rid, vals.to_vec())));
-            clusters.insert(node, recs);
-        }
-        clusters
-            .entry(placement.node)
-            .or_default()
-            .push((id, values.to_vec()));
-        let mut writer = PartitionWriter::new(reader.group_id(), expected);
-        for (node, recs) in &clusters {
-            writer.push_cluster(*node, recs.iter().map(|(rid, v)| (*rid, v.as_slice())));
-        }
-        self.store.put(placement.partition, writer.finish())?;
+        let p = self.skeleton.place(values, id);
+        self.delta.append(p.partition, p.node, id, values);
         Ok(id)
     }
 
-    /// Appends a batch of series, returning their assigned ids.
+    /// Appends a batch of series, returning their assigned ids: one
+    /// routing pass over the batch (shared signature scratch, no per-record
+    /// allocation) and a single grouped insertion into the delta segment —
+    /// never a partition rewrite, let alone one per record.
+    ///
+    /// # Panics
+    /// If any series length differs from the indexed length.
     pub fn append_batch(&self, series: &[Vec<f32>]) -> io::Result<Vec<u64>> {
-        series.iter().map(|v| self.append(v)).collect()
+        self.ensure_writable()?;
+        if series.is_empty() {
+            return Ok(Vec::new());
+        }
+        let expected = self.series_len_hint().unwrap_or(series[0].len());
+        for v in series {
+            assert_eq!(
+                v.len(),
+                expected,
+                "appended series length {} != indexed length {expected}",
+                v.len()
+            );
+        }
+        let first = self
+            .next_id
+            .fetch_add(series.len() as u64, Ordering::Relaxed);
+        let ids: Vec<u64> = (first..first + series.len() as u64).collect();
+        let mut scratch = SignatureScratch::new();
+        let routed: Vec<(PartitionId, TrieNodeId, u64, &[f32])> = series
+            .iter()
+            .zip(&ids)
+            .map(|(v, &id)| {
+                let p = self.skeleton.place_with(v, id, &mut scratch);
+                (p.partition, p.node, id, v.as_slice())
+            })
+            .collect();
+        self.delta.append_many(routed);
+        Ok(ids)
+    }
+
+    /// Deletes series `id` — O(log n) into the tombstone set. Returns
+    /// `false` when the id was never assigned or is already deleted. The
+    /// record's bytes stay in place until [`compact`](Self::compact)
+    /// purges them, but no query will ever return (or rank against) a
+    /// tombstoned id again.
+    pub fn delete(&self, id: u64) -> io::Result<bool> {
+        self.ensure_writable()?;
+        if id >= self.next_id.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        Ok(self.tombstones.delete(id))
+    }
+
+    /// Folds the delta segment into the sealed partitions: every partition
+    /// holding delta clusters is rewritten once — concurrently, one
+    /// [`PartitionWriter`] per partition over the build's worker fan-out —
+    /// with each delta cluster appended (in id order) to the sealed
+    /// cluster of the same trie node. Tombstones are kept (they keep
+    /// filtering queries); [`compact`](Self::compact) purges them too.
+    ///
+    /// On a disk-backed store the directory is re-sealed afterwards —
+    /// incrementally: only the folded partitions are re-copied and
+    /// re-checksummed, untouched manifest entries are reused, and the
+    /// manifest is rewritten at the bumped segment generation, so the
+    /// on-disk index stays openable at O(affected partitions) cost. If
+    /// any partition write fails, the drained records of unwritten
+    /// partitions are restored to the delta segment — no acknowledged
+    /// append is dropped — and a later `flush` or `save` finishes the
+    /// pending re-seal. Queries racing a fold never see duplicates or
+    /// deleted records; records mid-fold can be transiently invisible
+    /// between the drain and their partition's install.
+    pub fn flush(&self) -> io::Result<MaintenanceReport> {
+        self.maintain(false)
+    }
+
+    /// [`flush`](Self::flush) + purge: additionally rewrites every
+    /// partition holding tombstoned records, physically removing them,
+    /// and clears the purged ids from the tombstone set.
+    pub fn compact(&self) -> io::Result<MaintenanceReport> {
+        self.maintain(true)
+    }
+
+    fn maintain(&self, purge: bool) -> io::Result<MaintenanceReport> {
+        self.ensure_writable()?;
+        // Tombstones snapshot only for a purge — ids deleted *during* the
+        // fold stay pending either way. The purge scan (which partitions
+        // hold tombstoned records) runs BEFORE anything is drained, and
+        // every scan error aborts the fold: silently skipping an
+        // unreadable partition here would later clear tombstones whose
+        // records were never purged, resurrecting deleted ids.
+        let purged_ids: Vec<u64> = if purge {
+            self.tombstones.ids()
+        } else {
+            Vec::new()
+        };
+        let purge_set: BTreeSet<u64> = purged_ids.iter().copied().collect();
+        let mut tomb_affected: BTreeSet<PartitionId> = BTreeSet::new();
+        if !purge_set.is_empty() {
+            for pid in self.store.ids() {
+                let reader = self.store.open(pid)?;
+                // Id-only scan with early exit: no value decoding, stops
+                // at the first tombstoned record.
+                if reader.any_id(|id| purge_set.contains(&id)) {
+                    tomb_affected.insert(pid);
+                }
+            }
+        }
+
+        // Drain the delta: concurrent appends land in the emptied segment
+        // and simply wait for the next flush. Group the drained clusters
+        // by partition; the rewrite set is their partitions plus the
+        // purge scan's.
+        let drained = self.delta.drain();
+        #[allow(clippy::type_complexity)]
+        let mut delta_by_pid: BTreeMap<
+            PartitionId,
+            BTreeMap<TrieNodeId, (Vec<u64>, Vec<f32>)>,
+        > = BTreeMap::new();
+        for ((pid, node), recs) in drained {
+            delta_by_pid.entry(pid).or_default().insert(node, recs);
+        }
+        let mut affected: BTreeSet<PartitionId> = delta_by_pid.keys().copied().collect();
+        affected.extend(tomb_affected);
+        if affected.is_empty() && purge_set.is_empty() {
+            // Nothing to fold — but an earlier fold may have rewritten
+            // partitions and then failed its re-seal (e.g. out of disk):
+            // repair the directory before reporting the no-op, so a
+            // retried flush() always converges to an openable index.
+            if self.reseal_owed.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Some(dir) = self.store.persist_dir().map(Path::to_path_buf) {
+                    self.seal(&dir, None)?;
+                }
+            }
+            return Ok(MaintenanceReport {
+                partitions_rewritten: 0,
+                records_folded: 0,
+                records_purged: 0,
+                tombstones_remaining: self.tombstones.len(),
+                generation: self.generation.load(Ordering::Relaxed),
+            });
+        }
+
+        // Rewrite the affected partitions concurrently (the PR-4 style
+        // per-partition fan-out: each worker owns one writer end to end).
+        // From the first rewrite on, a disk directory's manifest is stale
+        // until the re-seal below lands; the flag makes any later flush
+        // or save finish the repair if this attempt errors out. If the
+        // flag was ALREADY set, a previous fold left partitions on disk
+        // that this fold's dirty set does not cover — the re-seal below
+        // must then be a full one, or it would reuse stale manifest
+        // entries for them.
+        let owed_before = self.store.persist_dir().is_some()
+            && self
+                .reseal_owed
+                .swap(true, std::sync::atomic::Ordering::Relaxed);
+        let series_len = self.series_len_hint().unwrap_or(0);
+        let cluster = climber_dfs::cluster::Cluster::new(self.build_options.resolved_threads());
+        let delta_by_pid = &delta_by_pid;
+        let purge_ref = &purge_set;
+        type FoldOutcome = (PartitionId, io::Result<(u64, u64)>);
+        let results: Vec<FoldOutcome> =
+            cluster.par_map(affected.iter().copied().collect::<Vec<_>>(), move |pid| {
+                let folds = delta_by_pid.get(&pid);
+                let r = self.rewrite_partition(pid, series_len, folds, purge_ref);
+                (pid, r)
+            });
+
+        let mut rewritten = 0usize;
+        let mut folded = 0u64;
+        let mut purged = 0u64;
+        let mut failed: Option<io::Error> = None;
+        let mut restore: BTreeMap<(PartitionId, TrieNodeId), (Vec<u64>, Vec<f32>)> =
+            BTreeMap::new();
+        for (pid, r) in results {
+            match r {
+                Ok((f, p)) => {
+                    rewritten += 1;
+                    folded += f;
+                    purged += p;
+                }
+                Err(e) => {
+                    // This partition was not rewritten: its drained delta
+                    // clusters go back so the records stay queryable.
+                    if let Some(clusters) = delta_by_pid.get(&pid) {
+                        for (&node, recs) in clusters {
+                            restore.insert((pid, node), recs.clone());
+                        }
+                    }
+                    failed = Some(e);
+                }
+            }
+        }
+        if let Some(e) = failed {
+            self.delta.restore(restore);
+            return Err(e);
+        }
+        if purge {
+            self.tombstones.remove_all(&purged_ids);
+        }
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Disk-backed stores get re-sealed immediately: checksums and the
+        // manifest must match the rewritten partitions for the directory
+        // to stay openable. The re-seal is incremental — only the folded
+        // partitions are re-copied and re-checksummed; every entry of the
+        // previous manifest for an untouched partition is reused — so a
+        // small fold costs O(affected partitions), not O(index).
+        if let Some(dir) = self.store.persist_dir().map(Path::to_path_buf) {
+            match Manifest::load(&dir) {
+                Ok(prev) if !owed_before && prev.partition_ids() == self.store.ids() => {
+                    self.seal(&dir, Some((&prev, &affected)))?;
+                }
+                _ => {
+                    // No usable previous seal: first save pending, the
+                    // partition set changed, or an earlier fold's re-seal
+                    // failed (its rewrites are outside this dirty set) —
+                    // full re-seal.
+                    self.seal(&dir, None)?;
+                }
+            }
+        }
+        Ok(MaintenanceReport {
+            partitions_rewritten: rewritten,
+            records_folded: folded,
+            records_purged: purged,
+            tombstones_remaining: self.tombstones.len(),
+            generation,
+        })
+    }
+
+    /// Rewrites one sealed partition, merging `folds` (delta clusters by
+    /// trie node, folded in ascending-id order after the sealed records)
+    /// and dropping every id in `purge`. Returns `(records folded,
+    /// records purged)`.
+    #[allow(clippy::type_complexity)]
+    fn rewrite_partition(
+        &self,
+        pid: PartitionId,
+        series_len: usize,
+        folds: Option<&BTreeMap<TrieNodeId, (Vec<u64>, Vec<f32>)>>,
+        purge: &BTreeSet<u64>,
+    ) -> io::Result<(u64, u64)> {
+        /// Appends the delta cluster of `node` (ascending ids, minus
+        /// purged) to `recs`, then seals the cluster when non-empty.
+        /// Returns `(folded, purged)` for the delta side.
+        fn seal_cluster(
+            writer: &mut PartitionWriter,
+            node: TrieNodeId,
+            recs: &mut Vec<(u64, Vec<f32>)>,
+            folds: Option<&BTreeMap<TrieNodeId, (Vec<u64>, Vec<f32>)>>,
+            purge: &BTreeSet<u64>,
+        ) -> (u64, u64) {
+            let (mut folded, mut purged) = (0u64, 0u64);
+            if let Some((ids, values)) = folds.and_then(|f| f.get(&node)) {
+                let w = values.len() / ids.len().max(1);
+                let mut order: Vec<usize> = (0..ids.len()).collect();
+                order.sort_unstable_by_key(|&i| ids[i]);
+                for i in order {
+                    if purge.contains(&ids[i]) {
+                        purged += 1;
+                    } else {
+                        folded += 1;
+                        recs.push((ids[i], values[i * w..(i + 1) * w].to_vec()));
+                    }
+                }
+            }
+            if !recs.is_empty() {
+                writer.push_cluster(node, recs.iter().map(|(id, v)| (*id, v.as_slice())));
+            }
+            (folded, purged)
+        }
+
+        let reader = self.store.open(pid)?;
+        let series_len = if series_len == 0 {
+            reader.series_len()
+        } else {
+            series_len
+        };
+        let mut writer = PartitionWriter::new(reader.group_id(), series_len);
+        let mut folded = 0u64;
+        let mut purged = 0u64;
+        let sealed_nodes = reader.cluster_ids();
+        let mut recs: Vec<(u64, Vec<f32>)> = Vec::new();
+        for &node in &sealed_nodes {
+            recs.clear();
+            let mut dropped = 0u64;
+            reader.for_each_in_cluster(node, |id, vals| {
+                if purge.contains(&id) {
+                    dropped += 1;
+                } else {
+                    recs.push((id, vals.to_vec()));
+                }
+            });
+            purged += dropped;
+            let (f, p) = seal_cluster(&mut writer, node, &mut recs, folds, purge);
+            folded += f;
+            purged += p;
+        }
+        // Delta clusters routed to trie nodes this partition has never
+        // sealed (e.g. a leaf that received no records at build time).
+        if let Some(f) = folds {
+            for &node in f.keys() {
+                if !sealed_nodes.contains(&node) {
+                    recs.clear();
+                    let (df, dp) = seal_cluster(&mut writer, node, &mut recs, folds, purge);
+                    folded += df;
+                    purged += dp;
+                }
+            }
+        }
+        self.store.put(pid, writer.finish())?;
+        Ok((folded, purged))
     }
 
     /// The global index skeleton.
@@ -485,6 +978,28 @@ impl<S: PartitionStore> Climber<S> {
     /// The build report (absent for re-opened indexes).
     pub fn report(&self) -> Option<&BuildReport> {
         self.report.as_ref()
+    }
+
+    /// The delta segment: appended records not yet folded into sealed
+    /// partitions.
+    pub fn delta(&self) -> &DeltaSegment {
+        &self.delta
+    }
+
+    /// The tombstone set: ids deleted but not yet purged by a compaction.
+    pub fn tombstones(&self) -> &TombstoneSet {
+        &self.tombstones
+    }
+
+    /// The current segment generation (how many folds the sealed
+    /// partitions have absorbed).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// False only for indexes opened read-only via [`Climber::open`].
+    pub fn is_writable(&self) -> bool {
+        self.writable
     }
 
     /// The index configuration: the exact build parameters for built
@@ -639,17 +1154,44 @@ mod tests {
             "appended record not retrieved: {:?}",
             out.results
         );
-        // and replaying placement agrees with where it physically is
+        // and it sits in the delta cluster placement replay points at
         let placement = climber.skeleton().place(&probe, new_id);
-        let mut found = false;
-        climber
-            .store()
-            .open(placement.partition)
-            .unwrap()
-            .for_each_in_cluster(placement.node, |id, _| {
-                found |= id == new_id;
-            });
-        assert!(found);
+        let mut buf = climber_dfs::format::ClusterBuf::new();
+        let n = climber.delta().read_cluster_into(
+            placement.partition,
+            placement.node,
+            &mut buf,
+            |_| true,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(buf.get(0).0, new_id);
+    }
+
+    /// The delta-segment regression the refactor exists for: appending
+    /// must never rewrite (nor even touch) a sealed partition — the old
+    /// path rewrote one whole partition per appended record.
+    #[test]
+    fn append_performs_no_partition_write() {
+        let ds = Domain::RandomWalk.generate(250, 14);
+        let climber = Climber::build_in_memory(&ds, small_cfg());
+        let before = climber.store().stats().snapshot();
+        let batch: Vec<Vec<f32>> = (0..40u64).map(|i| ds.get(i * 6).to_vec()).collect();
+        climber.append_batch(&batch).unwrap();
+        climber.append(ds.get(0)).unwrap();
+        let diff = climber.store().stats().snapshot().since(&before);
+        assert_eq!(diff.partitions_written, 0, "append rewrote a partition");
+        assert_eq!(diff.bytes_written, 0);
+        assert_eq!(climber.delta().record_count(), 41);
+        // ... and a flush is what folds them, with exactly one write per
+        // affected partition.
+        let report = climber.flush().unwrap();
+        assert_eq!(report.records_folded, 41);
+        assert!(climber.delta().is_empty());
+        let after = climber.store().stats().snapshot().since(&before);
+        assert_eq!(
+            after.partitions_written as usize,
+            report.partitions_rewritten
+        );
     }
 
     #[test]
@@ -659,12 +1201,103 @@ mod tests {
         let batch: Vec<Vec<f32>> = (0..5u64).map(|i| ds.get(i * 13).to_vec()).collect();
         let ids = climber.append_batch(&batch).unwrap();
         assert_eq!(ids, vec![200, 201, 202, 203, 204]);
-        // total records grew accordingly
+        // sealed partitions untouched: the records live in the delta
+        let mut sealed = 0u64;
+        for pid in climber.store().ids() {
+            sealed += climber.store().open(pid).unwrap().record_count();
+        }
+        assert_eq!(sealed, 200);
+        assert_eq!(climber.delta().record_count(), 5);
+        // a flush folds them into the sealed partitions
+        let report = climber.flush().unwrap();
+        assert_eq!(report.records_folded, 5);
+        assert_eq!(report.generation, 1);
         let mut total = 0u64;
         for pid in climber.store().ids() {
             total += climber.store().open(pid).unwrap().record_count();
         }
         assert_eq!(total, 205);
+        assert!(climber.delta().is_empty());
+    }
+
+    #[test]
+    fn delete_filters_results_and_compact_purges() {
+        let ds = Domain::RandomWalk.generate(300, 31);
+        let climber = Climber::build_in_memory(&ds, small_cfg());
+        let q = ds.get(42).to_vec();
+        let before = climber.knn(&q, 5);
+        assert_eq!(before.results[0], (42, 0.0));
+
+        assert!(climber.delete(42).unwrap());
+        assert!(!climber.delete(42).unwrap(), "double delete");
+        assert!(!climber.delete(99_999).unwrap(), "never-assigned id");
+
+        let after = climber.knn(&q, 5);
+        assert!(
+            after.results.iter().all(|&(id, _)| id != 42),
+            "deleted record served: {:?}",
+            after.results
+        );
+        assert_eq!(after.results.len(), 5, "survivors fill the answer");
+
+        // compaction physically removes it and clears the tombstone
+        let report = climber.compact().unwrap();
+        assert_eq!(report.records_purged, 1);
+        assert_eq!(report.tombstones_remaining, 0);
+        assert!(climber.tombstones().is_empty());
+        let mut total = 0u64;
+        for pid in climber.store().ids() {
+            climber.store().open(pid).unwrap().for_each(|id, _| {
+                assert_ne!(id, 42, "purged record still sealed");
+            });
+            total += climber.store().open(pid).unwrap().record_count();
+        }
+        assert_eq!(total, 299);
+        // results unchanged by the fold
+        assert_eq!(climber.knn(&q, 5).results, after.results);
+    }
+
+    #[test]
+    fn flush_keeps_tombstones_compact_clears_them() {
+        let ds = Domain::Eeg.generate(220, 33);
+        let climber = Climber::build_in_memory(&ds, small_cfg());
+        climber.append(ds.get(7)).unwrap();
+        climber.delete(3).unwrap();
+        let r1 = climber.flush().unwrap();
+        assert_eq!(r1.records_folded, 1);
+        assert_eq!(r1.records_purged, 0, "flush never purges");
+        assert_eq!(r1.tombstones_remaining, 1);
+        assert!(climber.tombstones().contains(3));
+        let r2 = climber.compact().unwrap();
+        assert_eq!(r2.records_purged, 1);
+        assert_eq!(r2.tombstones_remaining, 0);
+        assert_eq!(r2.generation, 2);
+        // idempotent once everything is folded
+        let r3 = climber.flush().unwrap();
+        assert_eq!(r3.partitions_rewritten, 0);
+        assert_eq!(r3.generation, 2, "no-op fold does not bump generation");
+    }
+
+    #[test]
+    fn queries_equal_rebuild_after_append_delete_flush() {
+        let ds = Domain::RandomWalk.generate(260, 35);
+        let climber = Climber::build_in_memory(&ds, small_cfg());
+        let probe: Vec<f32> = ds.get(10).iter().map(|v| v + 0.01).collect();
+        let appended = climber.append(&probe).unwrap();
+        climber.delete(10).unwrap();
+
+        let with_segments = climber.knn(&probe, 8);
+        climber.flush().unwrap();
+        let after_flush = climber.knn(&probe, 8);
+        assert_eq!(
+            with_segments, after_flush,
+            "folding must not change answers"
+        );
+        climber.compact().unwrap();
+        let after_compact = climber.knn(&probe, 8);
+        assert_eq!(with_segments.results, after_compact.results);
+        assert!(after_compact.results.iter().any(|&(id, _)| id == appended));
+        assert!(after_compact.results.iter().all(|&(id, _)| id != 10));
     }
 
     #[test]

@@ -358,6 +358,19 @@ impl ClusterBuf {
             .zip(self.values.chunks_exact(self.series_len.max(1)))
     }
 
+    /// Appends one already-decoded record — the merge primitive the query
+    /// layer uses to add delta-segment records to a sealed cluster's
+    /// candidate stream.
+    ///
+    /// # Panics
+    /// If the buffer is non-empty and `values` has a different length.
+    #[inline]
+    pub fn push(&mut self, id: u64, values: &[f32]) {
+        self.adopt_len(values.len());
+        self.ids.push(id);
+        self.values.extend_from_slice(values);
+    }
+
     /// Prepares for appends of `series_len`-point records: adopts the
     /// length when empty, asserts it matches otherwise.
     fn adopt_len(&mut self, series_len: usize) {
@@ -510,19 +523,38 @@ impl PartitionReader {
     /// # Panics
     /// If `buf` is non-empty and holds series of a different length.
     pub fn read_cluster_into(&self, node_id: TrieNodeId, buf: &mut ClusterBuf) -> u64 {
+        let Some(&(_, _, count)) = self.directory.iter().find(|&&(n, _, _)| n == node_id) else {
+            return 0;
+        };
+        buf.ids.reserve(count as usize);
+        buf.values.reserve(count as usize * self.series_len);
+        self.read_cluster_into_if(node_id, buf, |_| true)
+    }
+
+    /// Like [`read_cluster_into`](Self::read_cluster_into), but appends
+    /// only records whose id passes `keep` — the tombstone-filtering
+    /// decode of the update-aware query paths. Returns the number of
+    /// records *visited* (the physical cluster size), not the number
+    /// appended; the caller reads `buf.len()` for the logical count.
+    pub fn read_cluster_into_if(
+        &self,
+        node_id: TrieNodeId,
+        buf: &mut ClusterBuf,
+        mut keep: impl FnMut(u64) -> bool,
+    ) -> u64 {
         let Some(&(_, start, count)) = self.directory.iter().find(|&&(n, _, _)| n == node_id)
         else {
             return 0;
         };
         buf.adopt_len(self.series_len);
         let record_size = 8 + self.series_len * 4;
-        buf.ids.reserve(count as usize);
-        buf.values.reserve(count as usize * self.series_len);
         for r in 0..count as u64 {
             let off = self.records_at + ((start + r) as usize) * record_size;
-            buf.ids.push(u64::from_le_bytes(
-                self.bytes[off..off + 8].try_into().unwrap(),
-            ));
+            let id = u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap());
+            if !keep(id) {
+                continue;
+            }
+            buf.ids.push(id);
             let vals = &self.bytes[off + 8..off + record_size];
             buf.values.extend(
                 vals.chunks_exact(4)
@@ -530,6 +562,22 @@ impl PartitionReader {
             );
         }
         count as u64
+    }
+
+    /// True when any stored record's id satisfies `pred`. Reads only the
+    /// 8 id bytes of each record — no value decoding — and returns at the
+    /// first hit, so scanning a partition for (say) tombstoned ids costs
+    /// far less than a full decode.
+    pub fn any_id(&self, mut pred: impl FnMut(u64) -> bool) -> bool {
+        let record_size = 8 + self.series_len * 4;
+        for r in 0..self.record_count() {
+            let off = self.records_at + (r as usize) * record_size;
+            let id = u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap());
+            if pred(id) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Visits every record in the whole partition.
@@ -615,6 +663,19 @@ mod tests {
     }
 
     #[test]
+    fn any_id_scans_ids_with_early_exit() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        assert!(r.any_id(|id| id == 3));
+        assert!(!r.any_id(|id| id == 99));
+        let mut visited = 0;
+        assert!(r.any_id(|id| {
+            visited += 1;
+            id == 1
+        }));
+        assert_eq!(visited, 1, "stops at the first hit");
+    }
+
+    #[test]
     fn empty_cluster_allowed() {
         let mut w = PartitionWriter::new(0, 2);
         w.push_cluster(7, Vec::<(u64, &[f32])>::new());
@@ -696,6 +757,47 @@ mod tests {
         r.read_cluster_into(200, &mut buf);
         assert_eq!(buf.len(), 1);
         assert_eq!(buf.get(0).0, 3);
+    }
+
+    #[test]
+    fn read_cluster_into_if_filters_and_reports_physical_count() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let mut buf = ClusterBuf::new();
+        let visited = r.read_cluster_into_if(100, &mut buf, |id| id != 1);
+        assert_eq!(visited, 2, "physical cluster size");
+        assert_eq!(buf.len(), 1, "one record filtered out");
+        assert_eq!(buf.get(0), (2, &[5.0f32, 6.0, 7.0, 8.0][..]));
+        // keep-all matches the unfiltered decode
+        let mut a = ClusterBuf::new();
+        let mut b = ClusterBuf::new();
+        r.read_cluster_into(100, &mut a);
+        r.read_cluster_into_if(100, &mut b, |_| true);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.get(0), b.get(0));
+        // absent cluster: nothing visited
+        assert_eq!(r.read_cluster_into_if(999, &mut buf, |_| true), 0);
+    }
+
+    #[test]
+    fn cluster_buf_push_merges_decoded_records() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let mut buf = ClusterBuf::new();
+        r.read_cluster_into(200, &mut buf);
+        buf.push(77, &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.get(1), (77, &[0.5f32, 0.5, 0.5, 0.5][..]));
+        // a fresh buffer adopts the pushed length
+        let mut fresh = ClusterBuf::new();
+        fresh.push(1, &[9.0, 9.0]);
+        assert_eq!(fresh.series_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn cluster_buf_push_rejects_mixed_lengths() {
+        let mut buf = ClusterBuf::new();
+        buf.push(1, &[1.0, 2.0]);
+        buf.push(2, &[1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! magic "CLMF" | format_version u32 | flags u32 (reserved)
 //! fingerprint u64             — dataset fingerprint (see [`Manifest::fingerprint_of`])
 //! num_records u64 | max_series_id u64 (u64::MAX = none) | series_len u32
+//! generation u64              — segment generation (v2+; bumped per flush)
+//! journal flag u8 (+ bytes u64, xxh64 u64 when 1)   — update journal (v2+)
 //! config blob  (u64 len + bytes)   — opaque encoded IndexConfig
 //! skeleton: bytes u64, xxh64 u64
 //! partition count u32
@@ -42,8 +44,10 @@ pub const MANIFEST_FILE: &str = "MANIFEST.clmf";
 /// Magic prefix of a manifest file.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"CLMF";
 
-/// Newest on-disk index format this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Newest on-disk index format this build reads and writes. Version 2
+/// added the segment generation and the optional update-journal entry;
+/// version-1 directories are still read (generation 0, no journal).
+pub const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // xxHash64
@@ -186,6 +190,20 @@ pub enum OpenError {
     /// The manifest and the skeleton disagree about the index shape
     /// (e.g. different partition sets).
     StoreMismatch(String),
+    /// The manifest references an update journal that does not exist.
+    MissingJournal(PathBuf),
+    /// The update journal failed to decode.
+    CorruptJournal(String),
+    /// The update journal belongs to a different segment generation than
+    /// the manifest — files from two different saves were mixed, so the
+    /// journal's pending updates cannot be trusted against these
+    /// partitions.
+    StaleGeneration {
+        /// Generation the manifest was sealed at.
+        manifest: u64,
+        /// Generation embedded in the journal file.
+        journal: u64,
+    },
 }
 
 impl fmt::Display for OpenError {
@@ -220,6 +238,12 @@ impl fmt::Display for OpenError {
             ),
             Self::CorruptSkeleton(m) => write!(f, "corrupt skeleton: {m}"),
             Self::StoreMismatch(m) => write!(f, "manifest/skeleton mismatch: {m}"),
+            Self::MissingJournal(p) => write!(f, "update journal missing at {}", p.display()),
+            Self::CorruptJournal(m) => write!(f, "corrupt update journal: {m}"),
+            Self::StaleGeneration { manifest, journal } => write!(
+                f,
+                "update journal is from segment generation {journal}, manifest was sealed at {manifest}"
+            ),
         }
     }
 }
@@ -284,6 +308,15 @@ pub struct Manifest {
     pub max_series_id: Option<u64>,
     /// Length of every indexed series.
     pub series_len: u32,
+    /// Segment generation: how many flush/compaction folds the sealed
+    /// partitions have absorbed. A persisted update journal embeds the
+    /// generation it was written against; opening rejects a mismatch as
+    /// [`OpenError::StaleGeneration`]. Version-1 directories read as 0.
+    pub generation: u64,
+    /// The update journal (pending delta records + tombstones), when one
+    /// was persisted. `None` means the index was sealed with no pending
+    /// updates. Always `None` for version-1 directories.
+    pub journal: Option<FileEntry>,
     /// The serialised skeleton file.
     pub skeleton: FileEntry,
     /// Every partition file, ascending by id.
@@ -332,6 +365,15 @@ impl Manifest {
         self.num_records.encode(&mut out);
         self.max_series_id.unwrap_or(u64::MAX).encode(&mut out);
         self.series_len.encode(&mut out);
+        self.generation.encode(&mut out);
+        match &self.journal {
+            Some(j) => {
+                1u8.encode(&mut out);
+                j.bytes.encode(&mut out);
+                j.checksum.encode(&mut out);
+            }
+            None => 0u8.encode(&mut out),
+        }
         self.config.encode(&mut out);
         self.skeleton.bytes.encode(&mut out);
         self.skeleton.checksum.encode(&mut out);
@@ -399,6 +441,27 @@ impl Manifest {
         let num_records = r.u64().map_err(parse)?;
         let max_raw = r.u64().map_err(parse)?;
         let series_len = r.u32().map_err(parse)?;
+        // Version 1 predates mutable segments: no generation field and no
+        // journal entry, so such a directory reads as generation 0 with
+        // nothing pending.
+        let (generation, journal) = if version >= 2 {
+            let generation = r.u64().map_err(parse)?;
+            let journal = match r.u8().map_err(parse)? {
+                0 => None,
+                1 => Some(FileEntry {
+                    bytes: r.u64().map_err(parse)?,
+                    checksum: r.u64().map_err(parse)?,
+                }),
+                t => {
+                    return Err(OpenError::CorruptManifest(format!(
+                        "unknown journal flag {t}"
+                    )))
+                }
+            };
+            (generation, journal)
+        } else {
+            (0, None)
+        };
         let config = Vec::<u8>::decode(&mut r).map_err(parse)?;
         let skeleton = FileEntry {
             bytes: r.u64().map_err(parse)?,
@@ -422,6 +485,8 @@ impl Manifest {
             num_records,
             max_series_id: (max_raw != u64::MAX).then_some(max_raw),
             series_len,
+            generation,
+            journal,
             skeleton,
             partitions,
         })
@@ -506,6 +571,11 @@ mod tests {
             num_records: 5,
             max_series_id: Some(4),
             series_len: 16,
+            generation: 3,
+            journal: Some(FileEntry {
+                bytes: 48,
+                checksum: 0xFACE,
+            }),
             skeleton: FileEntry {
                 bytes: 99,
                 checksum: 0x77,
@@ -549,6 +619,53 @@ mod tests {
         let back = Manifest::decode(&m.encode()).unwrap();
         assert_eq!(back.max_series_id, None);
         assert!(back.partitions.is_empty());
+    }
+
+    #[test]
+    fn manifest_without_journal_roundtrips() {
+        let mut m = sample_manifest();
+        m.journal = None;
+        m.generation = 0;
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back.journal, None);
+        assert_eq!(back.generation, 0);
+        assert_eq!(m, back);
+    }
+
+    /// A version-1 manifest (pre-segments layout: no generation, no
+    /// journal entry) must still decode, reading as generation 0 with no
+    /// journal — old directories stay openable and upgrade on next save.
+    #[test]
+    fn version_1_manifest_still_decodes() {
+        let m = sample_manifest();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        1u32.encode(&mut out); // the historical version
+        0u32.encode(&mut out); // flags
+        m.fingerprint.encode(&mut out);
+        m.num_records.encode(&mut out);
+        m.max_series_id.unwrap_or(u64::MAX).encode(&mut out);
+        m.series_len.encode(&mut out);
+        // v1 continues straight into the config blob
+        m.config.encode(&mut out);
+        m.skeleton.bytes.encode(&mut out);
+        m.skeleton.checksum.encode(&mut out);
+        (m.partitions.len() as u32).encode(&mut out);
+        for e in &m.partitions {
+            e.id.encode(&mut out);
+            e.bytes.encode(&mut out);
+            e.checksum.encode(&mut out);
+            e.records.encode(&mut out);
+        }
+        let sum = xxh64(&out, 0);
+        sum.encode(&mut out);
+
+        let back = Manifest::decode(&out).unwrap();
+        assert_eq!(back.format_version, 1);
+        assert_eq!(back.generation, 0);
+        assert_eq!(back.journal, None);
+        assert_eq!(back.partitions, m.partitions);
+        assert_eq!(back.config, m.config);
     }
 
     #[test]

@@ -52,6 +52,22 @@ pub trait PartitionStore: Send + Sync {
     /// The stats sink this store reports to.
     fn stats(&self) -> &IoStats;
 
+    /// The directory this store persists partitions into, when it is
+    /// disk-backed. A flush re-seals the manifest there after rewriting
+    /// partitions so the on-disk directory stays openable; in-memory
+    /// stores return `None` and need no re-seal.
+    fn persist_dir(&self) -> Option<&std::path::Path> {
+        None
+    }
+
+    /// True when [`put`](Self::put) already lands partitions in
+    /// [`persist_dir`](Self::persist_dir) through the durable temp-file +
+    /// fsync + atomic-rename protocol — a seal of that directory can then
+    /// checksum the files in place instead of re-copying them.
+    fn puts_are_durable(&self) -> bool {
+        false
+    }
+
     /// Reads the records of one trie-node cluster, counting only the bytes
     /// of that cluster (plus the header) as read.
     fn read_cluster(
@@ -160,21 +176,19 @@ impl PartitionStore for MemStore {
 pub struct DiskStore {
     dir: PathBuf,
     stats: IoStats,
-    /// `Some` in read-only mode: the manifest-listed partition ids, used
-    /// instead of a directory scan so stray files are never served.
+    /// `Some` when opened from a manifest: the manifest-listed partition
+    /// ids, used instead of a directory scan so stray files are never
+    /// served.
     manifest_ids: Option<Vec<PartitionId>>,
+    /// True when opened via [`open_read_only`](Self::open_read_only):
+    /// every [`put`](PartitionStore::put) is rejected.
+    read_only: bool,
 }
 
 impl DiskStore {
     /// Opens (creating if needed) a writable store rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(Self {
-            dir,
-            stats: IoStats::new(),
-            manifest_ids: None,
-        })
+        Self::with_stats(dir, IoStats::new())
     }
 
     /// Opens a writable store reporting to existing stats.
@@ -185,6 +199,7 @@ impl DiskStore {
             dir,
             stats,
             manifest_ids: None,
+            read_only: false,
         })
     }
 
@@ -195,9 +210,24 @@ impl DiskStore {
     /// This is the serve-side cold-start path: any corruption or
     /// incompleteness surfaces here as a typed [`OpenError`] instead of a
     /// wrong answer later. [`put`](PartitionStore::put) on the returned
-    /// store fails with `PermissionDenied`.
+    /// store fails with `PermissionDenied`; an index that must keep
+    /// absorbing updates goes through
+    /// [`open_read_write`](Self::open_read_write) instead.
     pub fn open_read_only(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
-        let dir = dir.into();
+        Self::open_validated(dir.into(), true)
+    }
+
+    /// Opens a persisted index directory with the exact validation of
+    /// [`open_read_only`](Self::open_read_only), but with
+    /// [`put`](PartitionStore::put) enabled — the path a flush/compaction
+    /// needs to fold pending updates back into the sealed partitions.
+    /// Partition ids are still served from the manifest, so stray files
+    /// are never picked up.
+    pub fn open_read_write(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
+        Self::open_validated(dir.into(), false)
+    }
+
+    fn open_validated(dir: PathBuf, read_only: bool) -> Result<(Self, Manifest), OpenError> {
         let manifest = Manifest::load(&dir)?;
         for e in &manifest.partitions {
             let path = dir.join(partition_file_name(e.id));
@@ -230,6 +260,7 @@ impl DiskStore {
                 dir,
                 stats: IoStats::new(),
                 manifest_ids: Some(ids),
+                read_only,
             },
             manifest,
         ))
@@ -237,7 +268,7 @@ impl DiskStore {
 
     /// True when the store was opened read-only from a manifest.
     pub fn is_read_only(&self) -> bool {
-        self.manifest_ids.is_some()
+        self.read_only
     }
 
     fn path_of(&self, id: PartitionId) -> PathBuf {
@@ -259,7 +290,15 @@ impl PartitionStore for DiskStore {
             ));
         }
         self.stats.on_partition_write(bytes.len() as u64);
-        fs::write(self.path_of(id), &bytes)
+        if self.manifest_ids.is_some() {
+            // Opened from a sealed manifest (read-write mode): the file
+            // being replaced is referenced by a live manifest, so swap it
+            // atomically — a crash leaves either the old or the new bytes,
+            // never a torn file.
+            crate::manifest::write_file_atomic(&self.path_of(id), &bytes)
+        } else {
+            fs::write(self.path_of(id), &bytes)
+        }
     }
 
     fn open(&self, id: PartitionId) -> io::Result<PartitionReader> {
@@ -269,6 +308,17 @@ impl PartitionStore for DiskStore {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         self.stats.on_read(reader.header_bytes() as u64);
         Ok(reader)
+    }
+
+    fn persist_dir(&self) -> Option<&std::path::Path> {
+        Some(&self.dir)
+    }
+
+    fn puts_are_durable(&self) -> bool {
+        // Manifest-opened stores replace partition files atomically (see
+        // `put`); plain writable stores use bare writes and need the
+        // seal-time copy for durability.
+        self.manifest_ids.is_some()
     }
 
     fn ids(&self) -> Vec<PartitionId> {

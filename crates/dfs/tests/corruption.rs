@@ -53,6 +53,8 @@ fn persisted_dir(tag: &str) -> PathBuf {
         num_records,
         max_series_id: Some(num_records - 1),
         series_len: 4,
+        generation: 0,
+        journal: None,
         skeleton: FileEntry {
             bytes: skeleton_blob.len() as u64,
             checksum: xxh64(&skeleton_blob, 0),
@@ -195,6 +197,38 @@ fn read_only_store_rejects_writes_and_ignores_strays() {
     w.push_cluster(2, vec![(1u64, &[0.0f32, 0.0, 0.0, 0.0][..])]);
     let err = store.put(0, w.finish()).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The read-write open path: same validation as read-only (a damaged
+/// directory is rejected identically), but `put` works — and replaces the
+/// file atomically, since a live manifest references it.
+#[test]
+fn read_write_open_validates_then_accepts_puts() {
+    let dir = persisted_dir("rw");
+    let (store, manifest) = DiskStore::open_read_write(&dir).unwrap();
+    assert!(!store.is_read_only());
+    assert_eq!(store.ids(), manifest.partition_ids());
+
+    let mut w = PartitionWriter::new(0, 4);
+    w.push_cluster(2, vec![(1u64, &[9.0f32, 9.0, 9.0, 9.0][..])]);
+    store.put(0, w.finish()).unwrap();
+    assert_eq!(store.open(0).unwrap().record_count(), 1);
+    // no temp droppings from the atomic replace
+    let stray: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+        .collect();
+    assert!(stray.is_empty(), "temp files left: {stray:?}");
+
+    // The put changed partition 0 under the sealed manifest: until the
+    // caller re-seals the directory, reopening is rejected — exactly the
+    // validation that makes an unsealed rewrite detectable, not silent.
+    assert!(matches!(
+        DiskStore::open_read_write(&dir),
+        Err(OpenError::PartitionSizeMismatch { id: 0, .. } | OpenError::ChecksumMismatch { .. })
+    ));
     fs::remove_dir_all(&dir).ok();
 }
 

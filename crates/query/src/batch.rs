@@ -44,6 +44,7 @@ use crate::knn::plan_knn;
 use crate::od_smallest::plan_od_smallest;
 use crate::plan::{QueryOutcome, QueryPlan};
 use crate::refine::{expand_partition, scan_decoded_range};
+use crate::updates::UpdateView;
 use climber_dfs::format::{ClusterBuf, TrieNodeId};
 use climber_dfs::store::{PartitionId, PartitionStore};
 use climber_index::skeleton::IndexSkeleton;
@@ -301,12 +302,15 @@ fn scan_block_prefiltered(
     top.publish_bound(shared);
 }
 
-/// Executes a batch request against a skeleton + store. Called through
+/// Executes a batch request against a skeleton + store, merging the
+/// mutable segments of `updates` (delta clusters + tombstone filter) into
+/// every cluster scan when present. Called through
 /// [`KnnEngine::batch`](crate::engine::KnnEngine::batch).
 pub(crate) fn execute<S: PartitionStore>(
     skeleton: &IndexSkeleton,
     store: &S,
     req: &BatchRequest<'_>,
+    updates: Option<UpdateView<'_>>,
 ) -> BatchOutcome {
     let nq = req.queries.len();
     if nq == 0 {
@@ -321,13 +325,14 @@ pub(crate) fn execute<S: PartitionStore>(
         .num_threads(req.threads)
         .build()
         .expect("thread pool");
-    pool.install(|| execute_pooled(skeleton, store, req))
+    pool.install(|| execute_pooled(skeleton, store, req, updates))
 }
 
 fn execute_pooled<S: PartitionStore>(
     skeleton: &IndexSkeleton,
     store: &S,
     req: &BatchRequest<'_>,
+    updates: Option<UpdateView<'_>>,
 ) -> BatchOutcome {
     let nq = req.queries.len();
     let k = req.k;
@@ -404,9 +409,26 @@ fn execute_pooled<S: PartitionStore>(
                 for (&node, interested) in per_cluster {
                     buf.clear();
                     let bytes = reader.cluster_bytes(node).unwrap_or(0);
-                    let n = reader.read_cluster_into(node, &mut buf);
+                    // Physical decode; with updates active the sealed
+                    // records are tombstone-filtered at decode time and
+                    // the delta cluster under the same (partition, node)
+                    // key is appended, so everything downstream — the
+                    // shared prefilter, the block loop, the per-query
+                    // scans — sees one merged candidate stream.
+                    let physical = match updates {
+                        None => reader.read_cluster_into(node, &mut buf),
+                        Some(u) => {
+                            let tomb = u.tombstones.read();
+                            let p = reader
+                                .read_cluster_into_if(node, &mut buf, |id| !tomb.contains(id));
+                            u.delta
+                                .read_cluster_into(pid, node, &mut buf, |id| !tomb.contains(id));
+                            p
+                        }
+                    };
                     store.stats().on_read(bytes as u64);
-                    store.stats().on_records_read(n);
+                    store.stats().on_records_read(physical);
+                    let n = buf.len() as u64;
                     decoded.fetch_add(n, Ordering::Relaxed);
                     // PAA signatures for the prefilter: computed once per
                     // cluster, shared by every query scanning it — but
@@ -499,7 +521,15 @@ fn execute_pooled<S: PartitionStore>(
                         continue;
                     };
                     reopens.fetch_add(1, Ordering::Relaxed);
-                    let n = expand_partition(&reader, planned, query, &mut top, store.stats());
+                    let n = expand_partition(
+                        &reader,
+                        *pid,
+                        planned,
+                        query,
+                        &mut top,
+                        store.stats(),
+                        updates,
+                    );
                     records_scanned += n;
                     // Expansion decodes per query, so it counts as
                     // physical work too — like the re-opens above.

@@ -7,20 +7,40 @@ use crate::knn::plan_knn;
 use crate::od_smallest::plan_od_smallest;
 use crate::plan::QueryOutcome;
 use crate::refine::refine;
+use crate::updates::UpdateView;
 use climber_dfs::store::PartitionStore;
 use climber_index::skeleton::IndexSkeleton;
 
 /// Executes kNN queries against a built CLIMBER index.
+///
+/// By default the engine serves the sealed partitions alone. Attaching an
+/// [`UpdateView`] with [`with_updates`](Self::with_updates) makes every
+/// search strategy — sequential and batched — merge the delta segment's
+/// clusters into the candidate stream and filter tombstoned ids before
+/// the top-k heap.
 #[derive(Debug, Clone, Copy)]
 pub struct KnnEngine<'a, S: PartitionStore> {
     skeleton: &'a IndexSkeleton,
     store: &'a S,
+    updates: Option<UpdateView<'a>>,
 }
 
 impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     /// Creates an engine over a skeleton and its partition store.
     pub fn new(skeleton: &'a IndexSkeleton, store: &'a S) -> Self {
-        Self { skeleton, store }
+        Self {
+            skeleton,
+            store,
+            updates: None,
+        }
+    }
+
+    /// Attaches the index's mutable segments: every query merges delta
+    /// clusters and filters tombstones from here on.
+    #[must_use]
+    pub fn with_updates(mut self, updates: UpdateView<'a>) -> Self {
+        self.updates = Some(updates);
+        self
     }
 
     /// The skeleton in use.
@@ -28,12 +48,17 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
         self.skeleton
     }
 
+    /// The attached update view, if any.
+    pub fn updates(&self) -> Option<UpdateView<'a>> {
+        self.updates
+    }
+
     /// CLIMBER-kNN (Algorithm 3): single best trie node, within-partition
     /// expansion when short of `k`.
     pub fn knn(&self, query: &[f32], k: usize) -> QueryOutcome {
         let sig = self.skeleton.extract_signature(query);
         let plan = plan_knn(self.skeleton, &sig, query_seed(query));
-        refine(self.store, &plan, query, k, true)
+        refine(self.store, &plan, query, k, true, self.updates)
     }
 
     /// CLIMBER-kNN-Adaptive with partition cap `factor ×` the plain plan
@@ -41,7 +66,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     pub fn knn_adaptive(&self, query: &[f32], k: usize, factor: usize) -> QueryOutcome {
         let sig = self.skeleton.extract_signature(query);
         let plan = plan_adaptive(self.skeleton, &sig, k, factor, query_seed(query));
-        refine(self.store, &plan, query, k, true)
+        refine(self.store, &plan, query, k, true, self.updates)
     }
 
     /// OD-Smallest: scan every partition of every OD-tied group
@@ -49,7 +74,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     pub fn od_smallest(&self, query: &[f32], k: usize) -> QueryOutcome {
         let sig = self.skeleton.extract_signature(query);
         let plan = plan_od_smallest(self.skeleton, &sig);
-        refine(self.store, &plan, query, k, false)
+        refine(self.store, &plan, query, k, false, self.updates)
     }
 
     /// Executes a whole [`BatchRequest`] partition-major across threads:
@@ -61,7 +86,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     /// [`crate::batch`] for the execution model and the throughput
     /// characteristics.
     pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
-        crate::batch::execute(self.skeleton, self.store, request)
+        crate::batch::execute(self.skeleton, self.store, request, self.updates)
     }
 }
 

@@ -31,7 +31,9 @@ pub mod knn;
 pub mod od_smallest;
 pub mod plan;
 pub mod refine;
+pub mod updates;
 
 pub use batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use engine::KnnEngine;
 pub use plan::{QueryOutcome, QueryPlan};
+pub use updates::UpdateView;

@@ -22,11 +22,24 @@
 //!
 //! Both paths feed the same [`TopK`] with distances from the same kernel,
 //! so their results are bit-identical.
+//!
+//! ## Updates
+//!
+//! When the engine carries an [`UpdateView`], every cluster scan becomes a
+//! *merged* scan: the sealed cluster's records (minus tombstoned ids) and
+//! the delta-segment cluster under the same `(partition, node)` key are
+//! decoded into one [`ClusterBuf`] candidate stream, and only that stream
+//! is scored. Tombstones are filtered **before** any distance is offered
+//! to the [`TopK`], so a deleted record can neither appear in an answer
+//! nor displace a survivor; `records_scanned` counts the merged stream —
+//! exactly what a from-scratch conversion of the surviving records under
+//! the same skeleton would scan.
 
 use crate::plan::{QueryOutcome, QueryPlan};
+use crate::updates::UpdateView;
 use climber_dfs::format::{ClusterBuf, PartitionReader, TrieNodeId};
 use climber_dfs::stats::IoStats;
-use climber_dfs::store::PartitionStore;
+use climber_dfs::store::{PartitionId, PartitionStore};
 use climber_series::distance::ed_early_abandon;
 use climber_series::topk::{SharedBound, TopK};
 
@@ -35,17 +48,21 @@ use climber_series::topk::{SharedBound, TopK};
 ///
 /// `expand_within_partitions` enables the within-partition fallback
 /// described above (used by CLIMBER-kNN and the adaptive variants).
+/// `updates`, when present, merges delta clusters into every scan and
+/// filters tombstones out of the candidate stream.
 pub fn refine<S: PartitionStore>(
     store: &S,
     plan: &QueryPlan,
     query: &[f32],
     k: usize,
     expand_within_partitions: bool,
+    updates: Option<UpdateView<'_>>,
 ) -> QueryOutcome {
     assert!(k > 0, "k must be positive");
     let mut top = TopK::new(k);
     let mut records_scanned = 0u64;
     let mut partitions_opened = 0usize;
+    let mut buf = ClusterBuf::new();
 
     // First pass: the planned clusters.
     let mut openers: Vec<(u32, PartitionReader)> = Vec::new();
@@ -55,15 +72,16 @@ pub fn refine<S: PartitionStore>(
         };
         partitions_opened += 1;
         for &node in clusters {
-            let bytes = reader.cluster_bytes(node).unwrap_or(0);
-            let n = reader.for_each_in_cluster(node, |id, vals| {
-                if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
-                    top.offer(id, d);
-                }
-            });
-            store.stats().on_read(bytes as u64);
-            store.stats().on_records_read(n);
-            records_scanned += n;
+            records_scanned += scan_cluster(
+                &reader,
+                pid,
+                node,
+                query,
+                &mut top,
+                &mut buf,
+                store.stats(),
+                updates,
+            );
         }
         openers.push((pid, reader));
     }
@@ -73,7 +91,15 @@ pub fn refine<S: PartitionStore>(
     if expand_within_partitions && top.len() < k {
         for (pid, reader) in &openers {
             let planned = &plan.reads[pid];
-            records_scanned += expand_partition(reader, planned, query, &mut top, store.stats());
+            records_scanned += expand_partition(
+                reader,
+                *pid,
+                planned,
+                query,
+                &mut top,
+                store.stats(),
+                updates,
+            );
             if top.len() >= k {
                 break;
             }
@@ -88,25 +114,27 @@ pub fn refine<S: PartitionStore>(
     }
 }
 
-/// Scans every cluster of an already-opened partition that `planned` did
-/// not select, offering records into `top`. Returns the records scanned.
+/// Scans one `(partition, node)` cluster, offering candidates into `top`.
+/// Returns the logical records scanned (what `records_scanned` reports).
 ///
-/// This is the within-partition expansion of CLIMBER-kNN, factored out so
-/// the sequential path and the batched path execute the *identical* loop —
-/// the equivalence guarantee of `batch` depends on it.
-pub(crate) fn expand_partition(
+/// Without updates this is the original sealed visit. With updates, the
+/// sealed records that survive the tombstone filter and the delta cluster
+/// under the same key are merged into `buf` and scored from there — one
+/// candidate stream, identical visit order per record, so results match
+/// the sealed path bit for bit whenever the segments are empty.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_cluster(
     reader: &PartitionReader,
-    planned: &[TrieNodeId],
+    pid: PartitionId,
+    node: TrieNodeId,
     query: &[f32],
     top: &mut TopK,
+    buf: &mut ClusterBuf,
     stats: &IoStats,
+    updates: Option<UpdateView<'_>>,
 ) -> u64 {
-    let mut scanned = 0u64;
-    for node in reader.cluster_ids() {
-        if planned.contains(&node) {
-            continue;
-        }
-        let bytes = reader.cluster_bytes(node).unwrap_or(0);
+    let bytes = reader.cluster_bytes(node).unwrap_or(0);
+    let Some(u) = updates else {
         let n = reader.for_each_in_cluster(node, |id, vals| {
             if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
                 top.offer(id, d);
@@ -114,7 +142,60 @@ pub(crate) fn expand_partition(
         });
         stats.on_read(bytes as u64);
         stats.on_records_read(n);
-        scanned += n;
+        return n;
+    };
+    buf.clear();
+    let physical = {
+        let tomb = u.tombstones.read();
+        let n = reader.read_cluster_into_if(node, buf, |id| !tomb.contains(id));
+        u.delta
+            .read_cluster_into(pid, node, buf, |id| !tomb.contains(id));
+        n
+    };
+    stats.on_read(bytes as u64);
+    stats.on_records_read(physical);
+    for i in 0..buf.len() {
+        let (id, vals) = buf.get(i);
+        if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
+            top.offer(id, d);
+        }
+    }
+    buf.len() as u64
+}
+
+/// Scans every cluster of an already-opened partition that `planned` did
+/// not select — sealed clusters first, then delta-only clusters routed to
+/// this partition (nodes the sealed file has never seen) — offering
+/// records into `top`. Returns the records scanned.
+///
+/// This is the within-partition expansion of CLIMBER-kNN, factored out so
+/// the sequential path and the batched path execute the *identical* loop —
+/// the equivalence guarantee of `batch` depends on it.
+pub(crate) fn expand_partition(
+    reader: &PartitionReader,
+    pid: PartitionId,
+    planned: &[TrieNodeId],
+    query: &[f32],
+    top: &mut TopK,
+    stats: &IoStats,
+    updates: Option<UpdateView<'_>>,
+) -> u64 {
+    let mut scanned = 0u64;
+    let mut buf = ClusterBuf::new();
+    let sealed = reader.cluster_ids();
+    for &node in &sealed {
+        if planned.contains(&node) {
+            continue;
+        }
+        scanned += scan_cluster(reader, pid, node, query, top, &mut buf, stats, updates);
+    }
+    if let Some(u) = updates {
+        for node in u.delta.nodes_for(pid) {
+            if planned.contains(&node) || sealed.contains(&node) {
+                continue;
+            }
+            scanned += scan_cluster(reader, pid, node, query, top, &mut buf, stats, updates);
+        }
     }
     scanned
 }
@@ -178,7 +259,7 @@ mod tests {
     #[test]
     fn refine_ranks_by_distance() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, None);
         assert_eq!(out.results.len(), 2);
         assert_eq!(out.results[0].0, 0);
         assert_eq!(out.results[1].0, 1);
@@ -191,18 +272,18 @@ mod tests {
     fn expansion_fires_only_when_short_of_k() {
         let store = toy_store();
         // k=6 > 4 records in cluster 1 → expansion reads cluster 2 too.
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, true);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, true, None);
         assert_eq!(out.results.len(), 6);
         assert_eq!(out.records_scanned, 8);
         // without expansion we stop at 4
-        let out2 = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, false);
+        let out2 = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, false, None);
         assert_eq!(out2.results.len(), 4);
     }
 
     #[test]
     fn expansion_not_used_when_k_satisfied() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 3, true);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 3, true, None);
         assert_eq!(out.records_scanned, 4, "must not touch cluster 2");
     }
 
@@ -211,14 +292,14 @@ mod tests {
         let store = toy_store();
         let mut p = plan_for(&[1]);
         p.add_read(99, 1); // nonexistent partition
-        let out = refine(&store, &p, &[0.0, 0.0], 2, false);
+        let out = refine(&store, &p, &[0.0, 0.0], 2, false, None);
         assert_eq!(out.results.len(), 2);
     }
 
     #[test]
     fn missing_cluster_is_tolerated() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[42]), &[0.0, 0.0], 2, false);
+        let out = refine(&store, &plan_for(&[42]), &[0.0, 0.0], 2, false, None);
         assert!(out.results.is_empty());
         assert_eq!(out.records_scanned, 0);
     }
@@ -226,7 +307,7 @@ mod tests {
     #[test]
     fn results_are_squared_distances_sorted() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[1, 2]), &[0.0, 0.0], 8, false);
+        let out = refine(&store, &plan_for(&[1, 2]), &[0.0, 0.0], 8, false, None);
         for w in out.results.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
@@ -237,7 +318,77 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let store = toy_store();
-        refine(&store, &plan_for(&[1]), &[0.0, 0.0], 0, false);
+        refine(&store, &plan_for(&[1]), &[0.0, 0.0], 0, false, None);
+    }
+
+    #[test]
+    fn tombstoned_records_never_reach_topk() {
+        use climber_dfs::segment::{DeltaSegment, TombstoneSet};
+        let store = toy_store();
+        let delta = DeltaSegment::new();
+        let tombstones = TombstoneSet::new();
+        tombstones.delete(0); // the nearest record to the query
+        let view = UpdateView {
+            delta: &delta,
+            tombstones: &tombstones,
+        };
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, Some(view));
+        assert!(
+            out.results.iter().all(|&(id, _)| id != 0),
+            "deleted record served: {:?}",
+            out.results
+        );
+        assert_eq!(out.results[0].0, 1, "survivors fill the answer");
+        assert_eq!(out.records_scanned, 3, "scan counts survivors only");
+    }
+
+    #[test]
+    fn delta_records_merge_into_planned_clusters() {
+        use climber_dfs::segment::{DeltaSegment, TombstoneSet};
+        let store = toy_store();
+        let delta = DeltaSegment::new();
+        // route a new nearest record into (partition 0, cluster 1)
+        delta.append(0, 1, 500, &[0.01, 0.0]);
+        // ... and one into a cluster the sealed partition doesn't have
+        delta.append(0, 77, 501, &[0.02, 0.0]);
+        let tombstones = TombstoneSet::new();
+        let view = UpdateView {
+            delta: &delta,
+            tombstones: &tombstones,
+        };
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, Some(view));
+        assert_eq!(out.results[0].0, 0, "exact sealed match still first");
+        assert_eq!(out.results[1].0, 500, "delta record ranks second");
+        assert_eq!(out.records_scanned, 5, "4 sealed + 1 delta");
+
+        // the delta-only cluster 77 is reachable via expansion
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 10, true, Some(view));
+        assert!(out.results.iter().any(|&(id, _)| id == 501));
+        assert_eq!(out.records_scanned, 10, "8 sealed + 2 delta");
+
+        // a deleted delta record is filtered like any other
+        tombstones.delete(500);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, Some(view));
+        assert_eq!(out.results[0].0, 0);
+        assert_eq!(out.records_scanned, 4);
+    }
+
+    #[test]
+    fn empty_update_view_matches_sealed_path_exactly() {
+        use climber_dfs::segment::{DeltaSegment, TombstoneSet};
+        let store = toy_store();
+        let delta = DeltaSegment::new();
+        let tombstones = TombstoneSet::new();
+        let view = UpdateView {
+            delta: &delta,
+            tombstones: &tombstones,
+        };
+        assert!(view.is_noop());
+        for (k, expand) in [(2usize, false), (6, true), (8, false)] {
+            let a = refine(&store, &plan_for(&[1]), &[0.1, 0.0], k, expand, None);
+            let b = refine(&store, &plan_for(&[1]), &[0.1, 0.0], k, expand, Some(view));
+            assert_eq!(a, b, "k={k} expand={expand}");
+        }
     }
 
     #[test]

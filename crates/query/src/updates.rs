@@ -1,0 +1,37 @@
+//! The query layer's window onto the mutable segments.
+//!
+//! A static CLIMBER index answers queries from sealed partitions alone.
+//! Once the index absorbs live updates, every query path must also see:
+//!
+//! * the [`DeltaSegment`] — appended records, clustered under the same
+//!   `(partition, trie node)` keys the sealed clusters use, merged into
+//!   the candidate stream of every planned (or expanded) cluster;
+//! * the [`TombstoneSet`] — deleted ids, filtered out of both sealed and
+//!   delta candidates *before* any distance reaches the top-k heap, so a
+//!   deleted record can neither appear in an answer nor displace one.
+//!
+//! An [`UpdateView`] bundles borrowed references to both and is attached
+//! to a [`crate::engine::KnnEngine`] via
+//! [`with_updates`](crate::engine::KnnEngine::with_updates). Engines
+//! without a view run the original sealed-only code paths untouched.
+
+use climber_dfs::segment::{DeltaSegment, TombstoneSet};
+
+/// Borrowed view of an index's mutable segments, shared by every query
+/// of an engine. Copy-cheap: two references.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateView<'a> {
+    /// Pending appends, clustered by `(partition, trie node)`.
+    pub delta: &'a DeltaSegment,
+    /// Pending deletes.
+    pub tombstones: &'a TombstoneSet,
+}
+
+impl UpdateView<'_> {
+    /// True when the view currently changes nothing (no pending appends
+    /// or deletes) — callers may skip attaching it and keep the
+    /// sealed-only fast path.
+    pub fn is_noop(&self) -> bool {
+        self.delta.is_empty() && self.tombstones.is_empty()
+    }
+}

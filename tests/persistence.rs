@@ -4,6 +4,7 @@
 //! `Climber::open` — never a panic, never a silently wrong index.
 
 use climber_core::dfs::manifest::xxh64;
+use climber_core::dfs::store::PartitionStore;
 use climber_core::series::gen::Domain;
 use climber_core::{
     Climber, ClimberConfig, OpenError, FORMAT_VERSION, MANIFEST_FILE, SKELETON_FILE,
@@ -224,9 +225,180 @@ fn missing_partition_file_is_typed() {
 fn reopened_store_is_read_only() {
     let dir = built_dir("readonly");
     let reopened = Climber::open(&dir).unwrap();
+    assert!(!reopened.is_writable());
     let probe = vec![0.0f32; 256];
     let err = reopened.append(&probe).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    let err = reopened.append_batch(&[probe]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    let err = reopened.delete(0).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    let err = reopened.flush().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    fs::remove_dir_all(&dir).ok();
+}
+
+// --- the update journal: persistence and its corruption scenarios -------
+
+/// Builds a disk index with pending updates (appended + deleted records)
+/// and re-saves it, so the directory carries a journal.
+fn journaled_dir(tag: &str) -> (PathBuf, Vec<f32>) {
+    let dir = tmp_dir(tag);
+    fs::remove_dir_all(&dir).ok();
+    let ds = Domain::RandomWalk.generate(400, 41);
+    let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    let mut probe = ds.get(11).to_vec();
+    probe[0] += 0.002;
+    built.append(&probe).unwrap();
+    built.delete(11).unwrap();
+    built.save(&dir).unwrap();
+    assert!(dir.join(climber_core::JOURNAL_FILE).exists());
+    (dir, probe)
+}
+
+#[test]
+fn journal_survives_reopen_read_only_and_writable() {
+    let (dir, probe) = journaled_dir("journal");
+    // read-only: journal replayed, updates visible, mutations rejected
+    let ro = Climber::open(&dir).unwrap();
+    let out = ro.knn(&probe, 5);
+    assert_eq!(
+        out.results[0],
+        (400, 0.0),
+        "appended record lost: {:?}",
+        out.results
+    );
+    assert!(
+        out.results.iter().all(|&(id, _)| id != 11),
+        "deleted record served"
+    );
+    assert_eq!(
+        ro.delete(0).unwrap_err().kind(),
+        std::io::ErrorKind::PermissionDenied
+    );
+
+    // writable: same state, and the index keeps moving — flush folds the
+    // journal away and re-seals the directory at the next generation.
+    let rw = Climber::open_rw(&dir).unwrap();
+    assert_eq!(rw.knn(&probe, 5), out);
+    assert_eq!(rw.generation(), 0);
+    let report = rw.flush().unwrap();
+    assert_eq!(report.records_folded, 1);
+    assert_eq!(report.generation, 1);
+    // flush folds the delta but keeps the tombstone: the re-sealed
+    // journal still carries it
+    assert_eq!(report.tombstones_remaining, 1);
+    assert!(dir.join(climber_core::JOURNAL_FILE).exists());
+    // compaction purges the deleted record; nothing is pending, so the
+    // journal disappears with the next re-seal
+    let report = rw.compact().unwrap();
+    assert_eq!(report.records_purged, 1);
+    assert!(
+        !dir.join(climber_core::JOURNAL_FILE).exists(),
+        "journal folded away"
+    );
+
+    // the re-sealed directory cold-opens to identical answers
+    let cold = Climber::open(&dir).unwrap();
+    assert_eq!(cold.generation(), 2);
+    assert_eq!(cold.knn(&probe, 5), out);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn writable_reopen_keeps_ingesting_across_cycles() {
+    let (dir, probe) = journaled_dir("ingest-cycles");
+    let rw = Climber::open_rw(&dir).unwrap();
+    let mut probe2 = probe.clone();
+    probe2[1] += 0.5;
+    let id2 = rw.append(&probe2).unwrap();
+    assert_eq!(id2, 401, "id counter continues across reopen");
+    rw.compact().unwrap();
+    rw.save(&dir).unwrap();
+    let again = Climber::open_rw(&dir).unwrap();
+    let out = again.knn(&probe2, 3);
+    assert_eq!(out.results[0], (id2, 0.0));
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A disk fold re-seals incrementally: flushing one appended record must
+/// not re-read (or re-copy) the whole directory — only the affected
+/// partition plus the manifest machinery.
+#[test]
+fn disk_flush_reseal_is_incremental() {
+    let dir = tmp_dir("inc-reseal");
+    fs::remove_dir_all(&dir).ok();
+    let ds = Domain::RandomWalk.generate(2_000, 43);
+    let built = Climber::build_on_disk(&ds, &dir, cfg()).unwrap();
+    let total = built.store().ids().len();
+    assert!(total >= 8, "need many partitions, got {total}");
+
+    built.append(ds.get(5)).unwrap();
+    let before = built.store().stats().snapshot();
+    let report = built.flush().unwrap();
+    assert_eq!(report.partitions_rewritten, 1);
+    let diff = built.store().stats().snapshot().since(&before);
+    assert!(
+        (diff.partitions_opened as usize) < total / 2,
+        "flush re-read {} of {total} partitions — re-seal is not incremental",
+        diff.partitions_opened
+    );
+
+    // ... and the incrementally re-sealed directory validates end to end.
+    let cold = Climber::open(&dir).unwrap();
+    assert_eq!(cold.generation(), 1);
+    let out = cold.knn(ds.get(5), 2);
+    assert_eq!(out.results[0].1, 0.0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_journal_is_typed() {
+    let (dir, _) = journaled_dir("nojournal");
+    fs::remove_file(dir.join(climber_core::JOURNAL_FILE)).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::MissingJournal(_))
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_journal_is_typed() {
+    let (dir, _) = journaled_dir("badjournal");
+    let path = dir.join(climber_core::JOURNAL_FILE);
+    let mut bytes = fs::read(&path).unwrap();
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0x10;
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::ChecksumMismatch { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_generation_journal_is_typed() {
+    let (dir, _) = journaled_dir("stalegen");
+    // Patch the manifest's generation field (bytes 40..48: after magic,
+    // version, flags, fingerprint, num_records, max_series_id and
+    // series_len) and re-seal its self-checksum, simulating a manifest
+    // from a later fold paired with this older journal.
+    let path = manifest_path(&dir);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[40..48].copy_from_slice(&5u64.to_le_bytes());
+    let body = bytes.len() - 8;
+    let sum = xxh64(&bytes[..body], 0);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Climber::open(&dir),
+        Err(OpenError::StaleGeneration {
+            manifest: 5,
+            journal: 0,
+        })
+    ));
     fs::remove_dir_all(&dir).ok();
 }
 
