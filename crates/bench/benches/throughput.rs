@@ -23,7 +23,7 @@ use climber_bench::table::{f2, Table};
 use climber_bench::{default_k, default_n, env_usize, experiment_config, QUERY_SEED};
 use climber_core::dfs::store::{MemStore, PartitionStore};
 use climber_core::series::gen::{query_workload, Domain};
-use climber_core::{BatchRequest, Climber};
+use climber_core::{BatchRequest, Climber, SearchRequest};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -36,47 +36,49 @@ struct Row {
     sharing: f64,
 }
 
+/// The fixed query workload, in both shapes the engines accept: raw
+/// queries for the batch engine and pre-built unified requests for the
+/// sequential path (built outside the timed region).
+struct Workload<'a> {
+    queries: &'a [Vec<f32>],
+    requests: &'a [SearchRequest],
+    k: usize,
+    factor: usize,
+}
+
 /// Runs a configuration `reps` times and keeps the fastest run (standard
 /// benching practice: the minimum is the least noise-contaminated sample,
 /// and every configuration gets the same treatment).
 fn run_config_best(
     climber: &Climber<MemStore>,
-    queries: &[Vec<f32>],
-    k: usize,
-    factor: usize,
+    wl: &Workload<'_>,
     batch: usize,
     threads: usize,
     reps: usize,
 ) -> Row {
     (0..reps.max(1))
-        .map(|_| run_config(climber, queries, k, factor, batch, threads))
+        .map(|_| run_config(climber, wl, batch, threads))
         .min_by(|a, b| a.secs.total_cmp(&b.secs))
         .expect("reps >= 1")
 }
 
 /// Runs the whole workload split into `batch`-sized requests on `threads`
-/// workers; `batch == 1 && threads == 1` uses the sequential engine.
-fn run_config(
-    climber: &Climber<MemStore>,
-    queries: &[Vec<f32>],
-    k: usize,
-    factor: usize,
-    batch: usize,
-    threads: usize,
-) -> Row {
+/// workers; `batch == 1 && threads == 1` uses the sequential engine
+/// (`Climber::search`).
+fn run_config(climber: &Climber<MemStore>, wl: &Workload<'_>, batch: usize, threads: usize) -> Row {
     let t = Instant::now();
     let mut decoded = 0u64;
     let mut scanned = 0u64;
     if batch == 1 && threads == 1 {
-        for q in queries {
-            let out = climber.knn_adaptive(q, k, factor);
+        for req in wl.requests {
+            let out = climber.search(req);
             decoded += out.records_scanned; // sequential decodes per query
             scanned += out.records_scanned;
         }
     } else {
-        for chunk in queries.chunks(batch) {
-            let out =
-                climber.batch(&BatchRequest::adaptive(chunk, k, factor).with_threads(threads));
+        for chunk in wl.queries.chunks(batch) {
+            let out = climber
+                .batch(&BatchRequest::adaptive(chunk, wl.k, wl.factor).with_threads(threads));
             decoded += out.records_decoded;
             scanned += out.records_scanned;
         }
@@ -85,7 +87,7 @@ fn run_config(
     Row {
         batch,
         threads,
-        qps: queries.len() as f64 / secs,
+        qps: wl.queries.len() as f64 / secs,
         secs,
         sharing: if decoded == 0 {
             1.0
@@ -124,6 +126,12 @@ fn main() {
 
     let qids = query_workload(&ds, nq, QUERY_SEED);
     let queries: Vec<Vec<f32>> = qids.iter().map(|&q| ds.get(q).to_vec()).collect();
+    // Pre-built unified requests for the sequential path, so the timed
+    // region measures the engine, not request construction.
+    let requests: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::new(q.clone(), k).adaptive(factor))
+        .collect();
 
     let batches = [1usize, 16, 256];
     let threads = [1usize, 4, 8];
@@ -131,15 +139,30 @@ fn main() {
     let mut table = Table::new(vec![
         "batch", "threads", "QPS", "secs", "sharing", "speedup",
     ]);
+    let wl = Workload {
+        queries: &queries,
+        requests: &requests,
+        k,
+        factor,
+    };
     // Warm up caches so the 1×1 baseline is not penalised by first-touch.
-    run_config(climber, &queries[..queries.len().min(8)], k, factor, 1, 1);
+    run_config(
+        climber,
+        &Workload {
+            queries: &queries[..queries.len().min(8)],
+            requests: &requests[..requests.len().min(8)],
+            ..wl
+        },
+        1,
+        1,
+    );
     let mut baseline_qps = 0.0;
     for &b in &batches {
         for &t in &threads {
             if b == 1 && t > 1 && quick {
                 continue; // single-query batches gain nothing on smoke runs
             }
-            let row = run_config_best(climber, &queries, k, factor, b, t, 3);
+            let row = run_config_best(climber, &wl, b, t, 3);
             if b == 1 && t == 1 {
                 baseline_qps = row.qps;
             }
@@ -170,8 +193,8 @@ fn main() {
     // The batched engine must return exactly what the sequential one does.
     let sample = &queries[..queries.len().min(16)];
     let out = climber.batch(&BatchRequest::adaptive(sample, k, factor).with_threads(8));
-    for (q, got) in sample.iter().zip(&out.outcomes) {
-        assert_eq!(got, &climber.knn_adaptive(q, k, factor), "batch diverged");
+    for (req, got) in requests.iter().zip(&out.outcomes) {
+        assert_eq!(got, &climber.search(req), "batch diverged");
     }
     println!(
         "equivalence check: batch == sequential on {} queries",

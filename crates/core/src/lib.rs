@@ -26,8 +26,11 @@
 //!     .with_alpha(0.2);
 //! let climber = Climber::build_in_memory(&data, config);
 //!
-//! // 3. approximate 10-NN of any query series
-//! let answer = climber.knn(data.get(17), 10);
+//! // 3. approximate 10-NN of any query series, through the unified
+//! //    request API (`SearchRequest` defaults to Adaptive-4X, the
+//! //    paper's default variation)
+//! use climber_core::SearchRequest;
+//! let answer = climber.search(&SearchRequest::new(data.get(17), 10));
 //! assert_eq!(answer.results.len(), 10);
 //! assert_eq!(answer.results[0].0, 17); // the query itself is indexed
 //!
@@ -47,6 +50,8 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
+
 pub use climber_baselines as baselines;
 pub use climber_dfs as dfs;
 pub use climber_index as index;
@@ -62,7 +67,9 @@ pub use climber_index::config::IndexConfig as ClimberConfig;
 pub use climber_index::skeleton::IndexSkeleton;
 pub use climber_query::batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use climber_query::plan::QueryOutcome;
+pub use climber_query::search::{SearchMode, SearchRequest};
 pub use climber_query::updates::UpdateView;
+pub use error::{ClimberError, ServeError};
 
 use climber_dfs::format::{Decode, Encode, PartitionWriter, TrieNodeId};
 use climber_dfs::manifest::{self, xxh64, FileEntry, PartitionEntry};
@@ -184,7 +191,7 @@ impl Climber<DiskStore> {
         ds: &Dataset,
         dir: impl AsRef<Path>,
         config: ClimberConfig,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, ClimberError> {
         Self::build_on_disk_with(
             ds,
             dir,
@@ -202,7 +209,7 @@ impl Climber<DiskStore> {
         dir: impl AsRef<Path>,
         config: ClimberConfig,
         options: BuildOptions,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, ClimberError> {
         let store = DiskStore::new(dir.as_ref())?;
         let (skeleton, report) = IndexBuilder::with_options(config, options).build(ds, &store);
         let mut c = Self::assemble(skeleton, store, config, Some(report));
@@ -225,10 +232,11 @@ impl Climber<DiskStore> {
     /// The index is **read-only**: [`append`](Self::append),
     /// [`delete`](Self::delete) and [`flush`](Self::flush) fail with
     /// `PermissionDenied` — reopen with [`open_rw`](Self::open_rw) to
-    /// keep updating. Every failure mode is a typed [`OpenError`];
-    /// opening never panics and never yields a silently wrong index.
-    pub fn open(dir: impl AsRef<Path>) -> Result<Self, OpenError> {
-        Self::open_impl(dir.as_ref(), false)
+    /// keep updating. Every failure mode is a typed [`OpenError`]
+    /// (surfaced as [`ClimberError::Open`]); opening never panics and
+    /// never yields a silently wrong index.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, ClimberError> {
+        Ok(Self::open_impl(dir.as_ref(), false)?)
     }
 
     /// [`open`](Self::open) with updates enabled: the exact same
@@ -236,8 +244,8 @@ impl Climber<DiskStore> {
     /// reopened index absorbs [`append`](Self::append) /
     /// [`delete`](Self::delete) and can [`flush`](Self::flush) them into
     /// its sealed partitions — the serve-and-ingest deployment mode.
-    pub fn open_rw(dir: impl AsRef<Path>) -> Result<Self, OpenError> {
-        Self::open_impl(dir.as_ref(), true)
+    pub fn open_rw(dir: impl AsRef<Path>) -> Result<Self, ClimberError> {
+        Ok(Self::open_impl(dir.as_ref(), true)?)
     }
 
     fn open_impl(dir: &Path, writable: bool) -> Result<Self, OpenError> {
@@ -381,8 +389,8 @@ impl<S: PartitionStore> Climber<S> {
     /// The partition reads save performs for checksumming are excluded
     /// from [`serve_io`](Self::serve_io): the phase zero point advances
     /// past them when save completes.
-    pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<Manifest> {
-        self.seal(dir.as_ref(), None)
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<Manifest, ClimberError> {
+        Ok(self.seal(dir.as_ref(), None)?)
     }
 
     /// The save implementation. `refresh`, when given, is the previous
@@ -532,16 +540,65 @@ impl<S: PartitionStore> Climber<S> {
         }
     }
 
+    /// Executes one unified [`SearchRequest`]: the single query entry
+    /// point every strategy routes through — the request's
+    /// [`SearchMode`] picks the planner, and an optional
+    /// [budget](SearchRequest::with_budget) caps the partitions read.
+    /// Results are `(series id, squared ED)` ascending.
+    ///
+    /// ```
+    /// use climber_core::{Climber, ClimberConfig, SearchRequest};
+    /// use climber_core::series::gen::Domain;
+    ///
+    /// let data = Domain::RandomWalk.generate(400, 9);
+    /// let climber = Climber::build_in_memory(&data, ClimberConfig::default()
+    ///     .with_pivots(32).with_capacity(100));
+    ///
+    /// // default mode is Adaptive-4X; builders select the others
+    /// let out = climber.search(&SearchRequest::new(data.get(3), 10));
+    /// assert_eq!(out.results.len(), 10);
+    /// assert_eq!(out, climber.search(&SearchRequest::new(data.get(3), 10).adaptive(4)));
+    /// ```
+    ///
+    /// # Panics
+    /// If [`SearchRequest::validate`] fails (zero `k`, empty query, zero
+    /// factor). The serving layer validates first and returns a typed
+    /// bad-request response instead.
+    pub fn search(&self, req: &SearchRequest) -> QueryOutcome {
+        self.engine().search(req)
+    }
+
+    /// Executes many [`SearchRequest`]s through the partition-major batch
+    /// engine: compatible requests are grouped so every shared partition
+    /// is opened once and every shared cluster decoded once. Outcomes
+    /// come back in request order, **bit-identical** to calling
+    /// [`search`](Self::search) once per request — this is the entry
+    /// point the serving layer's micro-batches ride.
+    ///
+    /// # Panics
+    /// If any request fails [`SearchRequest::validate`].
+    pub fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
+        self.engine().search_many(reqs)
+    }
+
     /// CLIMBER-kNN (Algorithm 3): approximate `k` nearest neighbours.
     /// Results are `(series id, squared ED)` ascending.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Climber::search with SearchRequest::new(query, k).exact()"
+    )]
     pub fn knn(&self, query: &[f32], k: usize) -> QueryOutcome {
-        self.engine().knn(query, k)
+        self.search(&SearchRequest::new(query, k).exact())
     }
 
     /// CLIMBER-kNN-Adaptive with a partition budget of `factor ×` the plain
     /// plan (the paper evaluates 2X and 4X; 4X is its default variation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Climber::search with SearchRequest::new(query, k).adaptive(factor)"
+    )]
     pub fn knn_adaptive(&self, query: &[f32], k: usize, factor: usize) -> QueryOutcome {
-        self.engine().knn_adaptive(query, k, factor)
+        self.search(&SearchRequest::new(query, k).adaptive(factor))
     }
 
     /// The OD-Smallest full-group scan (ablation baseline, Figure 11(b)).
@@ -567,7 +624,11 @@ impl<S: PartitionStore> Climber<S> {
     ///
     /// let batch = climber.batch(&BatchRequest::adaptive(&queries, 10, 4));
     /// assert_eq!(batch.outcomes.len(), 16);
-    /// assert_eq!(batch.outcomes[0], climber.knn_adaptive(&queries[0], 10, 4));
+    /// use climber_core::SearchRequest;
+    /// assert_eq!(
+    ///     batch.outcomes[0],
+    ///     climber.search(&SearchRequest::new(&queries[0][..], 10).adaptive(4)),
+    /// );
     /// ```
     pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
         self.engine().batch(request)
@@ -577,6 +638,11 @@ impl<S: PartitionStore> Climber<S> {
     /// sustained-throughput workload (queries/second) the Lernaean Hydra
     /// evaluation measures engines by. A convenience wrapper over
     /// [`batch`](Self::batch) returning just the per-query outcomes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Climber::search_many with per-request SearchRequests, or \
+                Climber::batch for the full BatchOutcome counters"
+    )]
     pub fn knn_batch(&self, queries: &[Vec<f32>], k: usize, factor: usize) -> Vec<QueryOutcome> {
         self.batch(&BatchRequest::adaptive(queries, k, factor))
             .outcomes
@@ -589,10 +655,12 @@ impl<S: PartitionStore> Climber<S> {
     ///
     /// Distances in the result are squared ED between the resampled query
     /// and the stored series.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Climber::search with SearchRequest::new(query, k).resampled(factor)"
+    )]
     pub fn knn_resampled(&self, query: &[f32], k: usize, factor: usize) -> QueryOutcome {
-        let target = self.series_len_hint().unwrap_or(query.len());
-        let full = climber_series::resample::resample_linear(query, target);
-        self.knn_adaptive(&full, k, factor)
+        self.search(&SearchRequest::new(query, k).resampled(factor))
     }
 
     /// The indexed series length, recovered from any stored partition.
@@ -638,7 +706,7 @@ impl<S: PartitionStore> Climber<S> {
     ///
     /// # Panics
     /// If the series length differs from the indexed length.
-    pub fn append(&self, values: &[f32]) -> io::Result<u64> {
+    pub fn append(&self, values: &[f32]) -> Result<u64, ClimberError> {
         self.ensure_writable()?;
         let expected = self.series_len_hint().unwrap_or(values.len());
         assert_eq!(
@@ -660,7 +728,7 @@ impl<S: PartitionStore> Climber<S> {
     ///
     /// # Panics
     /// If any series length differs from the indexed length.
-    pub fn append_batch(&self, series: &[Vec<f32>]) -> io::Result<Vec<u64>> {
+    pub fn append_batch(&self, series: &[Vec<f32>]) -> Result<Vec<u64>, ClimberError> {
         self.ensure_writable()?;
         if series.is_empty() {
             return Ok(Vec::new());
@@ -696,7 +764,7 @@ impl<S: PartitionStore> Climber<S> {
     /// record's bytes stay in place until [`compact`](Self::compact)
     /// purges them, but no query will ever return (or rank against) a
     /// tombstoned id again.
-    pub fn delete(&self, id: u64) -> io::Result<bool> {
+    pub fn delete(&self, id: u64) -> Result<bool, ClimberError> {
         self.ensure_writable()?;
         if id >= self.next_id.load(Ordering::Relaxed) {
             return Ok(false);
@@ -722,15 +790,15 @@ impl<S: PartitionStore> Climber<S> {
     /// pending re-seal. Queries racing a fold never see duplicates or
     /// deleted records; records mid-fold can be transiently invisible
     /// between the drain and their partition's install.
-    pub fn flush(&self) -> io::Result<MaintenanceReport> {
-        self.maintain(false)
+    pub fn flush(&self) -> Result<MaintenanceReport, ClimberError> {
+        Ok(self.maintain(false)?)
     }
 
     /// [`flush`](Self::flush) + purge: additionally rewrites every
     /// partition holding tombstoned records, physically removing them,
     /// and clears the purged ids from the tombstone set.
-    pub fn compact(&self) -> io::Result<MaintenanceReport> {
-        self.maintain(true)
+    pub fn compact(&self) -> Result<MaintenanceReport, ClimberError> {
+        Ok(self.maintain(true)?)
     }
 
     fn maintain(&self, purge: bool) -> io::Result<MaintenanceReport> {

@@ -73,7 +73,7 @@ pub enum BatchStrategy {
 
 impl BatchStrategy {
     /// Whether this strategy uses the within-partition expansion fallback.
-    fn expands(self) -> bool {
+    pub(crate) fn expands(self) -> bool {
         !matches!(self, BatchStrategy::OdSmallest)
     }
 }
@@ -111,6 +111,7 @@ pub struct BatchRequest<'a> {
     k: usize,
     strategy: BatchStrategy,
     threads: usize,
+    partition_cap: Option<usize>,
 }
 
 impl<'a> BatchRequest<'a> {
@@ -146,6 +147,7 @@ impl<'a> BatchRequest<'a> {
             k,
             strategy,
             threads: 0,
+            partition_cap: None,
         }
     }
 
@@ -176,6 +178,24 @@ impl<'a> BatchRequest<'a> {
     /// The configured worker thread count (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Caps every per-query plan at `cap` distinct partitions, truncated
+    /// deterministically (ascending partition id) before execution — the
+    /// batch-side counterpart of a [`SearchRequest`] budget, applied
+    /// identically so budgeted outcomes stay bit-identical between the
+    /// sequential and the batched executor.
+    ///
+    /// [`SearchRequest`]: crate::search::SearchRequest
+    #[must_use]
+    pub fn with_partition_cap(mut self, cap: usize) -> Self {
+        self.partition_cap = Some(cap);
+        self
+    }
+
+    /// The configured per-plan partition cap, if any.
+    pub fn partition_cap(&self) -> Option<usize> {
+        self.partition_cap
     }
 }
 
@@ -344,11 +364,15 @@ fn execute_pooled<S: PartitionStore>(
         .map(|qi| {
             let sig = &signatures[qi];
             let seed = query_seed(&req.queries[qi]);
-            match req.strategy {
+            let mut plan = match req.strategy {
                 BatchStrategy::Knn => plan_knn(skeleton, sig, seed),
                 BatchStrategy::Adaptive { factor } => plan_adaptive(skeleton, sig, k, factor, seed),
                 BatchStrategy::OdSmallest => plan_od_smallest(skeleton, sig),
+            };
+            if let Some(cap) = req.partition_cap {
+                plan.truncate_partitions(cap);
             }
+            plan
         })
         .collect();
 

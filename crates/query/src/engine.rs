@@ -2,14 +2,16 @@
 //! strategies together.
 
 use crate::adaptive::plan_adaptive;
-use crate::batch::{BatchOutcome, BatchRequest};
+use crate::batch::{BatchOutcome, BatchRequest, BatchStrategy};
 use crate::knn::plan_knn;
 use crate::od_smallest::plan_od_smallest;
 use crate::plan::QueryOutcome;
 use crate::refine::refine;
+use crate::search::{SearchMode, SearchRequest};
 use crate::updates::UpdateView;
 use climber_dfs::store::PartitionStore;
 use climber_index::skeleton::IndexSkeleton;
+use climber_series::resample::resample_linear;
 
 /// Executes kNN queries against a built CLIMBER index.
 ///
@@ -87,6 +89,143 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     /// characteristics.
     pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
         crate::batch::execute(self.skeleton, self.store, request, self.updates)
+    }
+
+    /// Executes one unified [`SearchRequest`] sequentially.
+    ///
+    /// This is the single entry point behind every strategy-specific
+    /// method: the request's [`SearchMode`] selects the planner,
+    /// [`SearchMode::Resampled`] first stretches the query to the indexed
+    /// series length, and an optional budget truncates the plan
+    /// (deterministically, ascending partition id) before refinement.
+    ///
+    /// # Panics
+    /// If [`SearchRequest::validate`] fails — network callers validate
+    /// first and map failures onto a typed bad-request response.
+    pub fn search(&self, req: &SearchRequest) -> QueryOutcome {
+        if let Err(e) = req.validate() {
+            panic!("{e}");
+        }
+        let strategy = strategy_of(req.mode);
+        if matches!(req.mode, SearchMode::Resampled(_)) {
+            let target = self.series_len_hint().unwrap_or(req.query.len());
+            let full = resample_linear(&req.query, target);
+            self.search_planned(&full, req.k, strategy, req.budget)
+        } else {
+            self.search_planned(&req.query, req.k, strategy, req.budget)
+        }
+    }
+
+    /// Executes a slice of [`SearchRequest`]s through the partition-major
+    /// batch engine.
+    ///
+    /// Requests with the same `(mode strategy, k, budget)` shape are
+    /// grouped into one [`BatchRequest`] each, so every partition any of
+    /// them selects is opened once and every shared cluster decoded once.
+    /// Outcomes come back in request order and are **bit-identical** to
+    /// calling [`search`](Self::search) once per request — the batch
+    /// engine's equivalence guarantee, with budgets applied identically on
+    /// both paths.
+    ///
+    /// # Panics
+    /// If any request fails [`SearchRequest::validate`].
+    pub fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
+        if reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.search(r)).collect();
+        }
+        for req in reqs {
+            if let Err(e) = req.validate() {
+                panic!("{e}");
+            }
+        }
+        // Group compatible requests; linear scan because batches are small
+        // (a serving micro-batch) and `BatchStrategy` is a tiny Copy key.
+        type GroupKey = (BatchStrategy, usize, Option<u32>);
+        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let key = (strategy_of(req.mode), req.k, req.budget);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        let len_hint = self.series_len_hint();
+        let mut outcomes: Vec<Option<QueryOutcome>> = reqs.iter().map(|_| None).collect();
+        for ((strategy, k, budget), idxs) in groups {
+            let queries: Vec<Vec<f32>> = idxs
+                .iter()
+                .map(|&i| {
+                    let req = &reqs[i];
+                    if matches!(req.mode, SearchMode::Resampled(_)) {
+                        resample_linear(&req.query, len_hint.unwrap_or(req.query.len()))
+                    } else {
+                        req.query.clone()
+                    }
+                })
+                .collect();
+            let mut breq = BatchRequest::new(&queries, k, strategy);
+            if let Some(b) = budget {
+                breq = breq.with_partition_cap(b as usize);
+            }
+            let batch = self.batch(&breq);
+            for (idx, out) in idxs.into_iter().zip(batch.outcomes) {
+                outcomes[idx] = Some(out);
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every request belongs to exactly one group"))
+            .collect()
+    }
+
+    /// Plans with the given strategy, applies the budget, refines.
+    fn search_planned(
+        &self,
+        query: &[f32],
+        k: usize,
+        strategy: BatchStrategy,
+        budget: Option<u32>,
+    ) -> QueryOutcome {
+        let sig = self.skeleton.extract_signature(query);
+        let seed = query_seed(query);
+        let mut plan = match strategy {
+            BatchStrategy::Knn => plan_knn(self.skeleton, &sig, seed),
+            BatchStrategy::Adaptive { factor } => {
+                plan_adaptive(self.skeleton, &sig, k, factor, seed)
+            }
+            BatchStrategy::OdSmallest => plan_od_smallest(self.skeleton, &sig),
+        };
+        if let Some(b) = budget {
+            plan.truncate_partitions(b as usize);
+        }
+        refine(
+            self.store,
+            &plan,
+            query,
+            k,
+            strategy.expands(),
+            self.updates,
+        )
+    }
+
+    /// The indexed series length, recovered from any stored partition
+    /// (`None` on an empty store).
+    fn series_len_hint(&self) -> Option<usize> {
+        let pid = *self.store.ids().first()?;
+        self.store.open(pid).ok().map(|r| r.series_len())
+    }
+}
+
+/// Maps a request's [`SearchMode`] onto the batch engine's strategy; the
+/// resample preprocessing of [`SearchMode::Resampled`] happens before the
+/// strategy runs, so it maps to plain Adaptive.
+fn strategy_of(mode: SearchMode) -> BatchStrategy {
+    match mode {
+        SearchMode::Exact => BatchStrategy::Knn,
+        SearchMode::Adaptive(f) | SearchMode::Resampled(f) => {
+            BatchStrategy::Adaptive { factor: f as usize }
+        }
+        SearchMode::Smallest => BatchStrategy::OdSmallest,
     }
 }
 
@@ -238,6 +377,81 @@ mod tests {
         let q = ds.get(9);
         assert_eq!(engine.knn(q, 10), engine.knn(q, 10));
         assert_eq!(engine.knn_adaptive(q, 50, 2), engine.knn_adaptive(q, 50, 2));
+    }
+
+    #[test]
+    fn search_matches_every_legacy_entry_point() {
+        let (skeleton, store, ds) = build(Domain::RandomWalk, 400);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let q = ds.get(13).to_vec();
+        let k = 12;
+        assert_eq!(
+            engine.search(&SearchRequest::new(q.clone(), k).exact()),
+            engine.knn(&q, k)
+        );
+        assert_eq!(
+            engine.search(&SearchRequest::new(q.clone(), k).adaptive(4)),
+            engine.knn_adaptive(&q, k, 4)
+        );
+        assert_eq!(
+            engine.search(&SearchRequest::new(q.clone(), k).smallest()),
+            engine.od_smallest(&q, k)
+        );
+        // resampled at a shorter length still returns k sorted results
+        let short = resample_linear(&q, q.len() / 2);
+        let out = engine.search(&SearchRequest::new(short, k).resampled(2));
+        assert_eq!(out.results.len(), k);
+    }
+
+    #[test]
+    fn search_many_is_bit_identical_to_search_per_request() {
+        let (skeleton, store, ds) = build(Domain::Eeg, 350);
+        let engine = KnnEngine::new(&skeleton, &store);
+        // A deliberately heterogeneous batch: mixed modes, ks, budgets,
+        // and a resampled short query — the serving layer's worst case.
+        let mut reqs = Vec::new();
+        for i in 0..10u64 {
+            let q = ds.get(i * 31).to_vec();
+            reqs.push(match i % 5 {
+                0 => SearchRequest::new(q, 10).exact(),
+                1 => SearchRequest::new(q, 10).adaptive(4),
+                2 => SearchRequest::new(q, 25).adaptive(4).with_budget(3),
+                3 => SearchRequest::new(resample_linear(&q, 100), 10).resampled(2),
+                _ => SearchRequest::new(q, 5).smallest(),
+            });
+        }
+        let many = engine.search_many(&reqs);
+        assert_eq!(many.len(), reqs.len());
+        for (req, out) in reqs.iter().zip(&many) {
+            assert_eq!(out, &engine.search(req), "req {req:?}");
+        }
+    }
+
+    #[test]
+    fn budget_caps_partitions_opened() {
+        let (skeleton, store, ds) = build(Domain::RandomWalk, 500);
+        let engine = KnnEngine::new(&skeleton, &store);
+        // find a query whose OD-Smallest plan spans several partitions
+        let q = (0..50u64)
+            .map(|i| ds.get(i * 7).to_vec())
+            .find(|q| {
+                engine
+                    .search(&SearchRequest::new(q.clone(), 150).smallest())
+                    .plan
+                    .num_partitions()
+                    > 1
+            })
+            .expect("some query must span several partitions");
+        let capped = engine.search(&SearchRequest::new(q, 150).smallest().with_budget(1));
+        assert!(capped.partitions_opened <= 1);
+        assert!(capped.plan.num_partitions() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn search_rejects_zero_k() {
+        let (skeleton, store, _) = build(Domain::RandomWalk, 200);
+        KnnEngine::new(&skeleton, &store).search(&SearchRequest::new(vec![1.0f32], 0));
     }
 
     #[test]

@@ -31,9 +31,11 @@ pub mod knn;
 pub mod od_smallest;
 pub mod plan;
 pub mod refine;
+pub mod search;
 pub mod updates;
 
 pub use batch::{BatchOutcome, BatchRequest, BatchStrategy};
 pub use engine::KnnEngine;
 pub use plan::{QueryOutcome, QueryPlan};
+pub use search::{SearchMode, SearchRequest};
 pub use updates::UpdateView;

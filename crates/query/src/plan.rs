@@ -5,7 +5,7 @@
 //! the result of executing it (the approximate answer set plus the access
 //! statistics the paper's experiments report).
 
-use climber_dfs::format::TrieNodeId;
+use climber_dfs::format::{ByteReader, Decode, Encode, TrieNodeId};
 use climber_dfs::store::PartitionId;
 use climber_index::skeleton::GroupId;
 use climber_series::series::SeriesId;
@@ -42,6 +42,112 @@ impl QueryPlan {
             v.push(node);
         }
     }
+
+    /// Truncates the plan to its first `max` partitions (ascending
+    /// partition id — deterministic, so truncated plans stay bit-identical
+    /// between the sequential and the batched executor). The estimate
+    /// fields keep describing the untruncated plan.
+    pub fn truncate_partitions(&mut self, max: usize) {
+        if self.reads.len() <= max {
+            return;
+        }
+        if let Some(&cut) = self.reads.keys().nth(max) {
+            self.reads.split_off(&cut);
+        }
+    }
+}
+
+impl Encode for QueryPlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.primary_group.encode(out);
+        (self.primary_path_len as u64).encode(out);
+        self.primary_node_size.encode(out);
+        self.est_candidates.encode(out);
+        (self.groups.len() as u32).encode(out);
+        for g in &self.groups {
+            g.encode(out);
+        }
+        (self.reads.len() as u32).encode(out);
+        for (pid, nodes) in &self.reads {
+            pid.encode(out);
+            (nodes.len() as u32).encode(out);
+            for n in nodes {
+                n.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for QueryPlan {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let primary_group = r.u32()?;
+        let primary_path_len = r.u64()? as usize;
+        let primary_node_size = r.u64()?;
+        let est_candidates = r.u64()?;
+        let n_groups = r.u32()? as usize;
+        let mut groups = Vec::with_capacity(n_groups.min(r.remaining() / 4));
+        for _ in 0..n_groups {
+            groups.push(r.u32()?);
+        }
+        let n_reads = r.u32()? as usize;
+        let mut reads = BTreeMap::new();
+        for _ in 0..n_reads {
+            let pid = r.u32()?;
+            let n_nodes = r.u32()? as usize;
+            let mut nodes = Vec::with_capacity(n_nodes.min(r.remaining() / 8));
+            for _ in 0..n_nodes {
+                nodes.push(r.u64()?);
+            }
+            if reads.insert(pid, nodes).is_some() {
+                return Err(format!("duplicate partition {pid} in plan"));
+            }
+        }
+        Ok(Self {
+            primary_group,
+            primary_path_len,
+            primary_node_size,
+            reads,
+            est_candidates,
+            groups,
+        })
+    }
+}
+
+impl Encode for QueryOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.results.len() as u32).encode(out);
+        for &(id, d) in &self.results {
+            id.encode(out);
+            d.encode(out);
+        }
+        (self.partitions_opened as u64).encode(out);
+        self.records_scanned.encode(out);
+        self.plan.encode(out);
+    }
+}
+
+impl Decode for QueryOutcome {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let n = r.u32()? as usize;
+        if n > r.remaining() / 16 {
+            return Err(format!("result count {n} exceeds frame size"));
+        }
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let d = r.f64()?;
+            results.push((id, d));
+        }
+        let partitions_opened = r.u64()? as usize;
+        let records_scanned = r.u64()?;
+        let plan = QueryPlan::decode(r)?;
+        Ok(Self {
+            results,
+            partitions_opened,
+            records_scanned,
+            plan,
+        })
+    }
 }
 
 /// The executed result of a query.
@@ -62,6 +168,53 @@ pub struct QueryOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_outcome() -> QueryOutcome {
+        let mut plan = QueryPlan {
+            primary_group: 3,
+            primary_path_len: 5,
+            primary_node_size: 42,
+            reads: BTreeMap::new(),
+            est_candidates: 99,
+            groups: vec![3, 1],
+        };
+        plan.add_read(1, 10);
+        plan.add_read(1, 11);
+        plan.add_read(4, 7);
+        QueryOutcome {
+            results: vec![(9, 0.0), (2, 1.25), (17, f64::MAX)],
+            partitions_opened: 2,
+            records_scanned: 314,
+            plan,
+        }
+    }
+
+    #[test]
+    fn outcome_roundtrips_through_the_codec() {
+        use climber_dfs::format::{Decode, Encode};
+        let out = sample_outcome();
+        let bytes = out.encode_vec();
+        assert_eq!(QueryOutcome::decode_vec(&bytes).unwrap(), out);
+        // truncation anywhere fails loudly rather than mis-decoding
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                QueryOutcome::decode_vec(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_partitions_keeps_the_first_ids() {
+        let mut p = sample_outcome().plan;
+        p.truncate_partitions(10);
+        assert_eq!(p.num_partitions(), 2, "no-op when under the cap");
+        p.truncate_partitions(1);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.reads[&1], vec![10, 11]);
+        p.truncate_partitions(0);
+        assert_eq!(p.num_partitions(), 0);
+    }
 
     #[test]
     fn add_read_dedups() {

@@ -1,0 +1,309 @@
+//! The unified query surface: one request type for every search strategy.
+//!
+//! Historically the facade grew one entry point per strategy variant —
+//! `knn`, `knn_adaptive`, `knn_resampled`, `knn_batch` — each with its own
+//! parameter list. A network serving layer cannot reasonably encode four
+//! ad-hoc methods into a wire protocol, so the surface is unified here:
+//!
+//! * [`SearchRequest`] — query + `k` + a [`SearchMode`] + an optional
+//!   partition [budget](SearchRequest::with_budget), built fluently;
+//! * [`KnnEngine::search`](crate::engine::KnnEngine::search) — executes
+//!   one request sequentially;
+//! * [`KnnEngine::search_many`](crate::engine::KnnEngine::search_many) —
+//!   executes a slice of requests through the partition-major batch
+//!   engine, grouping compatible requests so each group is planned,
+//!   decoded and scored together, with outcomes bit-identical to calling
+//!   `search` once per request.
+//!
+//! Both types implement the [`Encode`]/[`Decode`] codec from
+//! `climber_dfs::format`, so the serving layer's wire protocol carries
+//! them directly — a served query is byte-for-byte the request a local
+//! caller would build.
+
+use climber_dfs::format::{ByteReader, Decode, Encode};
+
+/// Which search strategy a [`SearchRequest`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// CLIMBER-kNN (Algorithm 3): the single best trie node, expanding
+    /// within already-opened partitions when short of `k`.
+    Exact,
+    /// CLIMBER-kNN-Adaptive with a partition cap of `factor ×` the plain
+    /// plan (the paper evaluates 2X and 4X; 4X is its default variation).
+    Adaptive(u32),
+    /// The query is linearly resampled to the indexed series length first
+    /// (§II: PAA-family representations support shorter queries), then
+    /// runs Adaptive with the given factor. Distances in the outcome are
+    /// squared ED between the resampled query and the stored series.
+    Resampled(u32),
+    /// The OD-Smallest full-group scan (ablation baseline, Figure 11(b)).
+    Smallest,
+}
+
+impl SearchMode {
+    /// Wire tag for this mode.
+    fn tag(self) -> u8 {
+        match self {
+            SearchMode::Exact => 0,
+            SearchMode::Adaptive(_) => 1,
+            SearchMode::Resampled(_) => 2,
+            SearchMode::Smallest => 3,
+        }
+    }
+}
+
+impl Encode for SearchMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag().encode(out);
+        match *self {
+            SearchMode::Adaptive(f) | SearchMode::Resampled(f) => f.encode(out),
+            SearchMode::Exact | SearchMode::Smallest => 0u32.encode(out),
+        }
+    }
+}
+
+impl Decode for SearchMode {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let tag = r.u8()?;
+        let factor = r.u32()?;
+        match tag {
+            0 => Ok(SearchMode::Exact),
+            1 => Ok(SearchMode::Adaptive(factor)),
+            2 => Ok(SearchMode::Resampled(factor)),
+            3 => Ok(SearchMode::Smallest),
+            other => Err(format!("unknown search mode tag {other}")),
+        }
+    }
+}
+
+/// One approximate kNN request: the single shape every entry point — the
+/// facade, the batch engine, and the network serving layer — accepts.
+///
+/// ```
+/// use climber_query::search::{SearchMode, SearchRequest};
+///
+/// let req = SearchRequest::new(vec![0.0; 64], 10)
+///     .adaptive(4)
+///     .with_budget(32);
+/// assert_eq!(req.k, 10);
+/// assert_eq!(req.mode, SearchMode::Adaptive(4));
+/// assert_eq!(req.budget, Some(32));
+/// assert!(req.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// The query series (any length for [`SearchMode::Resampled`];
+    /// the indexed length otherwise).
+    pub query: Vec<f32>,
+    /// Answer size.
+    pub k: usize,
+    /// Search strategy.
+    pub mode: SearchMode,
+    /// Optional cap on the distinct partitions the plan may read: the
+    /// plan is truncated (deterministically, ascending partition id) to
+    /// at most this many partitions before refinement. `None` = the
+    /// strategy's own plan, untruncated.
+    pub budget: Option<u32>,
+}
+
+impl SearchRequest {
+    /// A request for the `k` nearest neighbours of `query` under the
+    /// default strategy, Adaptive-4X (the paper's default variation).
+    pub fn new(query: impl Into<Vec<f32>>, k: usize) -> Self {
+        Self {
+            query: query.into(),
+            k,
+            mode: SearchMode::Adaptive(4),
+            budget: None,
+        }
+    }
+
+    /// Switches to [`SearchMode::Exact`] (plain CLIMBER-kNN).
+    #[must_use]
+    pub fn exact(mut self) -> Self {
+        self.mode = SearchMode::Exact;
+        self
+    }
+
+    /// Switches to [`SearchMode::Adaptive`] with the given factor.
+    #[must_use]
+    pub fn adaptive(mut self, factor: usize) -> Self {
+        self.mode = SearchMode::Adaptive(factor as u32);
+        self
+    }
+
+    /// Switches to [`SearchMode::Resampled`] with the given factor.
+    #[must_use]
+    pub fn resampled(mut self, factor: usize) -> Self {
+        self.mode = SearchMode::Resampled(factor as u32);
+        self
+    }
+
+    /// Switches to [`SearchMode::Smallest`] (OD-Smallest ablation scan).
+    #[must_use]
+    pub fn smallest(mut self) -> Self {
+        self.mode = SearchMode::Smallest;
+        self
+    }
+
+    /// Caps the plan at `max_partitions` distinct partitions.
+    #[must_use]
+    pub fn with_budget(mut self, max_partitions: usize) -> Self {
+        self.budget = Some(max_partitions as u32);
+        self
+    }
+
+    /// Checks the request is executable without panicking: `k` positive,
+    /// a non-empty query, and a positive factor for the factor-carrying
+    /// modes. The serving layer maps a failure onto a typed bad-request
+    /// response instead of letting a malformed frame kill a worker.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be positive".into());
+        }
+        if self.query.is_empty() {
+            return Err("query must be non-empty".into());
+        }
+        match self.mode {
+            SearchMode::Adaptive(0) | SearchMode::Resampled(0) => {
+                Err("factor must be positive".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Encode for SearchRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.query.len() as u64).encode(out);
+        for &v in &self.query {
+            v.encode(out);
+        }
+        (self.k as u64).encode(out);
+        self.mode.encode(out);
+        match self.budget {
+            Some(b) => {
+                1u8.encode(out);
+                b.encode(out);
+            }
+            None => {
+                0u8.encode(out);
+                0u32.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for SearchRequest {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        let n = r.u64()? as usize;
+        if n > r.remaining() / 4 {
+            return Err(format!("query length {n} exceeds frame size"));
+        }
+        let mut query = Vec::with_capacity(n);
+        for _ in 0..n {
+            query.push(r.f32()?);
+        }
+        let k = r.u64()? as usize;
+        let mode = SearchMode::decode(r)?;
+        let has_budget = r.u8()?;
+        let budget_val = r.u32()?;
+        let budget = match has_budget {
+            0 => None,
+            1 => Some(budget_val),
+            other => return Err(format!("bad budget flag {other}")),
+        };
+        Ok(Self {
+            query,
+            k,
+            mode,
+            budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_covers_every_mode() {
+        let q = vec![1.0f32, 2.0];
+        assert_eq!(
+            SearchRequest::new(q.clone(), 3).mode,
+            SearchMode::Adaptive(4)
+        );
+        assert_eq!(
+            SearchRequest::new(q.clone(), 3).exact().mode,
+            SearchMode::Exact
+        );
+        assert_eq!(
+            SearchRequest::new(q.clone(), 3).adaptive(2).mode,
+            SearchMode::Adaptive(2)
+        );
+        assert_eq!(
+            SearchRequest::new(q.clone(), 3).resampled(4).mode,
+            SearchMode::Resampled(4)
+        );
+        assert_eq!(
+            SearchRequest::new(q, 3).smallest().mode,
+            SearchMode::Smallest
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_requests() {
+        assert!(SearchRequest::new(vec![1.0], 0).validate().is_err());
+        assert!(SearchRequest::new(Vec::<f32>::new(), 5).validate().is_err());
+        assert!(SearchRequest::new(vec![1.0], 5)
+            .adaptive(0)
+            .validate()
+            .is_err());
+        assert!(SearchRequest::new(vec![1.0], 5)
+            .resampled(0)
+            .validate()
+            .is_err());
+        assert!(SearchRequest::new(vec![1.0], 5).exact().validate().is_ok());
+        assert!(SearchRequest::new(vec![1.0], 5)
+            .smallest()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn request_roundtrips_through_the_codec() {
+        let reqs = [
+            SearchRequest::new(vec![1.5f32, -2.25, 0.0], 7).exact(),
+            SearchRequest::new(vec![0.5f32; 9], 100)
+                .adaptive(2)
+                .with_budget(5),
+            SearchRequest::new(vec![f32::MIN, f32::MAX], 1).resampled(4),
+            SearchRequest::new(vec![3.0f32], 2).smallest(),
+        ];
+        for req in reqs {
+            let bytes = req.encode_vec();
+            let back = SearchRequest::decode_vec(&bytes).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_bad_tags() {
+        let bytes = SearchRequest::new(vec![1.0f32, 2.0], 5).encode_vec();
+        assert!(SearchRequest::decode_vec(&bytes[..bytes.len() - 1]).is_err());
+        // oversized query length is rejected before allocating
+        let mut huge = bytes.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(SearchRequest::decode_vec(&huge).is_err());
+        // unknown mode tag
+        let mut bad = bytes.clone();
+        let mode_at = 8 + 2 * 4 + 8; // query len + 2 floats + k
+        bad[mode_at] = 9;
+        assert!(SearchRequest::decode_vec(&bad).is_err());
+        // bad budget flag
+        let mut bad = bytes;
+        let flag_at = 8 + 2 * 4 + 8 + 5; // ... + mode tag + factor
+        bad[flag_at] = 7;
+        assert!(SearchRequest::decode_vec(&bad).is_err());
+    }
+}

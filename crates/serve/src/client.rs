@@ -1,0 +1,75 @@
+//! A small blocking client for the serving protocol — used by the
+//! example, the equivalence tests, and the load generator.
+
+use crate::metrics::StatsReport;
+use crate::protocol::{read_message, write_frame, Response, REQ_PING, REQ_SEARCH, REQ_STATS};
+use climber_core::{ClimberError, QueryOutcome, SearchRequest, ServeError};
+use climber_dfs::format::Encode;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to a [`Server`](crate::server::Server):
+/// requests go out one frame at a time, responses come back in order.
+/// Clone-free: [`search`](Self::search) encodes straight from the caller's
+/// request reference.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a serving instance.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClimberError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Executes one search on the server. The outcome is bit-identical to
+    /// calling [`Climber::search`] locally with the same request; typed
+    /// failures ([`ServeError::Overloaded`], [`ServeError::ShuttingDown`],
+    /// bad requests) come back as the matching error variant.
+    ///
+    /// [`Climber::search`]: climber_core::Climber::search
+    pub fn search(&mut self, req: &SearchRequest) -> Result<QueryOutcome, ClimberError> {
+        let mut payload = Vec::new();
+        REQ_SEARCH.encode(&mut payload);
+        req.encode(&mut payload);
+        write_frame(&mut self.stream, &payload)?;
+        match self.expect_response()? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Error { status, message } => {
+                Err(ServeError::from_wire(status, message).into())
+            }
+            other => Err(
+                ServeError::Protocol(format!("expected outcome or error, got {other:?}")).into(),
+            ),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReport, ClimberError> {
+        write_frame(&mut self.stream, &[REQ_STATS])?;
+        match self.expect_response()? {
+            Response::Stats(report) => Ok(report),
+            Response::Error { status, message } => {
+                Err(ServeError::from_wire(status, message).into())
+            }
+            other => Err(ServeError::Protocol(format!("expected stats, got {other:?}")).into()),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClimberError> {
+        write_frame(&mut self.stream, &[REQ_PING])?;
+        match self.expect_response()? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!("expected pong, got {other:?}")).into()),
+        }
+    }
+
+    fn expect_response(&mut self) -> Result<Response, ClimberError> {
+        read_message::<Response>(&mut self.stream)?.ok_or_else(|| {
+            ServeError::Protocol("server closed the connection mid-request".into()).into()
+        })
+    }
+}

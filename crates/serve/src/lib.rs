@@ -1,0 +1,50 @@
+//! # climber-serve
+//!
+//! A micro-batching network serving layer over the CLIMBER index.
+//!
+//! The batch engine ([`Climber::search_many`]) earns its candidate-sharing
+//! win only when queries arrive *together* — but real traffic arrives one
+//! request at a time, over many connections. This crate closes that gap
+//! with a classic admission-queue design:
+//!
+//! * [`protocol`] — a length-prefixed binary wire protocol carrying
+//!   [`SearchRequest`]/[`QueryOutcome`] via the same `climber_dfs::format`
+//!   codec the on-disk format uses: a served query is byte-for-byte the
+//!   request a local caller would build;
+//! * [`queue`] — the [`AdmissionQueue`]: connection handlers submit
+//!   requests into a bounded queue, worker threads drain them in
+//!   micro-batches of up to `max_batch` requests, flushing early once the
+//!   oldest request has waited `max_delay`. A full queue rejects with a
+//!   typed overload response — graceful degradation, never a hang;
+//! * [`server`] — the TCP [`Server`]: acceptor thread, per-connection
+//!   handlers, a worker pool feeding the batch engine, and a clean
+//!   [`shutdown`](Server::shutdown) that drains every admitted request;
+//! * [`metrics`] — per-request latency percentiles plus
+//!   QPS/queue-depth/batch-occupancy counters, served by the stats
+//!   endpoint as a [`StatsReport`];
+//! * [`client`] — a small blocking [`ServeClient`] for examples, tests,
+//!   and the load generator.
+//!
+//! Everything is `std::net` + `std` synchronisation — no new external
+//! dependencies. Batched outcomes are **bit-identical** to direct
+//! [`Climber::search`] calls (the batch engine's equivalence guarantee;
+//! `tests/serving.rs` proves it end-to-end through real sockets).
+//!
+//! [`Climber::search`]: climber_core::Climber::search
+//! [`Climber::search_many`]: climber_core::Climber::search_many
+//! [`SearchRequest`]: climber_core::SearchRequest
+//! [`QueryOutcome`]: climber_core::QueryOutcome
+//! [`AdmissionQueue`]: queue::AdmissionQueue
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::ServeClient;
+pub use metrics::{ServeMetrics, StatsReport};
+pub use queue::{AdmissionQueue, BatchPolicy};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,248 @@
+//! Serving metrics: counters, a queue-depth gauge, and a lock-free
+//! log-bucketed latency histogram with approximate percentiles.
+
+use climber_dfs::format::{ByteReader, Decode, Encode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Latency histogram buckets: bucket `i` counts requests whose end-to-end
+/// latency is in `[2^i, 2^(i+1))` microseconds; 40 buckets span 1 µs to
+/// ~12 days, far beyond any request this server would keep alive.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free serving metrics, shared by handlers and workers.
+///
+/// Counters are monotone relaxed atomics — each one is individually exact,
+/// while a [`report`](Self::report) is a near-consistent snapshot (readers
+/// never block the serving path). Percentiles are approximate: each
+/// observation lands in a power-of-two latency bucket and a percentile
+/// reports its bucket's upper bound, so the error is at most 2× — the
+/// right trade for a hot path that must never take a lock.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    start: Instant,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    latency: Vec<AtomicU64>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh metrics; uptime and QPS count from now.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            latency: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A request entered the admission queue.
+    pub fn on_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was refused (overload or shutdown).
+    pub fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A micro-batch of `size` requests finished executing.
+    pub fn on_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// A request completed with the given queue-entry→response latency.
+    pub fn on_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound (µs) of the bucket holding percentile `q` (0–100).
+    fn percentile_us(&self, counts: &[u64], q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Snapshots everything into a wire-encodable [`StatsReport`].
+    /// `queue_depth` is sampled by the caller (the queue owns it).
+    pub fn report(&self, queue_depth: u64) -> StatsReport {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let uptime = self.start.elapsed();
+        StatsReport {
+            uptime_us: uptime.as_micros() as u64,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            queue_depth,
+            qps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            p50_us: self.percentile_us(&counts, 50.0),
+            p95_us: self.percentile_us(&counts, 95.0),
+            p99_us: self.percentile_us(&counts, 99.0),
+        }
+    }
+}
+
+/// One snapshot of the serving metrics, served by the stats endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Microseconds since the server started.
+    pub uptime_us: u64,
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests refused with a typed overload/shutdown response.
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean requests per executed micro-batch (batch occupancy).
+    pub mean_batch: f64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Completed requests per second of uptime.
+    pub qps: f64,
+    /// Approximate median latency (µs), queue entry → response ready.
+    pub p50_us: u64,
+    /// Approximate 95th-percentile latency (µs).
+    pub p95_us: u64,
+    /// Approximate 99th-percentile latency (µs).
+    pub p99_us: u64,
+}
+
+impl Encode for StatsReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.uptime_us.encode(out);
+        self.admitted.encode(out);
+        self.rejected.encode(out);
+        self.completed.encode(out);
+        self.batches.encode(out);
+        self.mean_batch.encode(out);
+        self.queue_depth.encode(out);
+        self.qps.encode(out);
+        self.p50_us.encode(out);
+        self.p95_us.encode(out);
+        self.p99_us.encode(out);
+    }
+}
+
+impl Decode for StatsReport {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        Ok(Self {
+            uptime_us: r.u64()?,
+            admitted: r.u64()?,
+            rejected: r.u64()?,
+            completed: r.u64()?,
+            batches: r.u64()?,
+            mean_batch: r.f64()?,
+            queue_depth: r.u64()?,
+            qps: r.f64()?,
+            p50_us: r.u64()?,
+            p95_us: r.u64()?,
+            p99_us: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_batches_accumulate() {
+        let m = ServeMetrics::new();
+        for _ in 0..10 {
+            m.on_admitted();
+        }
+        m.on_rejected();
+        m.on_batch(4);
+        m.on_batch(6);
+        for _ in 0..10 {
+            m.on_completed(Duration::from_micros(100));
+        }
+        let r = m.report(3);
+        assert_eq!(r.admitted, 10);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.batches, 2);
+        assert!((r.mean_batch - 5.0).abs() < 1e-9);
+        assert_eq!(r.queue_depth, 3);
+        assert!(r.qps > 0.0);
+    }
+
+    #[test]
+    fn percentiles_bound_observations_within_2x() {
+        let m = ServeMetrics::new();
+        // 9 fast requests and one slow one
+        for _ in 0..9 {
+            m.on_completed(Duration::from_micros(100));
+        }
+        m.on_completed(Duration::from_millis(80));
+        let r = m.report(0);
+        // 100 µs lands in [64,128) → upper bound 128
+        assert_eq!(r.p50_us, 128);
+        // ranks 9.5 and 9.9 round up to the slow request: 80 ms lands in
+        // [65.5,131) ms → upper bound 131072 µs
+        assert_eq!(r.p95_us, 131_072);
+        assert_eq!(r.p99_us, 131_072);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let r = ServeMetrics::new().report(0);
+        assert_eq!((r.p50_us, r.p95_us, r.p99_us), (0, 0, 0));
+        assert_eq!(r.mean_batch, 0.0);
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_codec() {
+        let m = ServeMetrics::new();
+        m.on_admitted();
+        m.on_completed(Duration::from_micros(42));
+        m.on_batch(1);
+        let r = m.report(7);
+        let bytes = r.encode_vec();
+        assert_eq!(StatsReport::decode_vec(&bytes).unwrap(), r);
+        assert!(StatsReport::decode_vec(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The wire protocol: length-prefixed frames over TCP, bodies encoded with
+//! the `climber_dfs::format` codec.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | length: u32 LE | payload (length bytes)    |
+//! +----------------+---------------------------+
+//! payload = tag: u8 | body (tag-specific codec bytes)
+//! ```
+//!
+//! Requests: `REQ_SEARCH` carries a [`SearchRequest`]; `REQ_STATS` and
+//! `REQ_PING` carry no body. Responses: `RESP_OK` carries a
+//! [`QueryOutcome`], `RESP_ERR` a status byte plus a length-prefixed
+//! UTF-8 message, `RESP_STATS` a [`StatsReport`], `RESP_PONG` nothing.
+//!
+//! Frames above [`MAX_FRAME`] are refused before allocation, and every
+//! decode error is a typed [`ServeError::Protocol`] — a malformed client
+//! can never panic a connection handler.
+
+use crate::metrics::StatsReport;
+use climber_core::error::status;
+use climber_core::{ClimberError, QueryOutcome, SearchRequest, ServeError};
+use climber_dfs::format::{ByteReader, Decode, Encode};
+use std::io::{Read, Write};
+
+/// Hard cap on a frame's payload size (64 MiB): large enough for any
+/// realistic query or outcome, small enough that a hostile length prefix
+/// cannot balloon allocation.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Request tag: a [`SearchRequest`] follows.
+pub const REQ_SEARCH: u8 = 1;
+/// Request tag: return a [`StatsReport`]; no body.
+pub const REQ_STATS: u8 = 2;
+/// Request tag: liveness probe; no body.
+pub const REQ_PING: u8 = 3;
+
+/// Response tag: a [`QueryOutcome`] follows.
+pub const RESP_OK: u8 = 1;
+/// Response tag: status byte + length-prefixed UTF-8 message.
+pub const RESP_ERR: u8 = 2;
+/// Response tag: a [`StatsReport`] follows.
+pub const RESP_STATS: u8 = 3;
+/// Response tag: pong; no body.
+pub const RESP_PONG: u8 = 4;
+
+/// One decoded client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a search.
+    Search(SearchRequest),
+    /// Return serving metrics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// One decoded server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The outcome of a successfully executed search.
+    Outcome(QueryOutcome),
+    /// A typed failure: wire status code + human-readable message.
+    Error {
+        /// One of the [`status`] codes.
+        status: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Serving metrics.
+    Stats(StatsReport),
+    /// Liveness answer.
+    Pong,
+}
+
+impl Encode for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Search(req) => {
+                REQ_SEARCH.encode(out);
+                req.encode(out);
+            }
+            Request::Stats => REQ_STATS.encode(out),
+            Request::Ping => REQ_PING.encode(out),
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        match r.u8()? {
+            REQ_SEARCH => Ok(Request::Search(SearchRequest::decode(r)?)),
+            REQ_STATS => Ok(Request::Stats),
+            REQ_PING => Ok(Request::Ping),
+            other => Err(format!("unknown request tag {other}")),
+        }
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Outcome(o) => {
+                RESP_OK.encode(out);
+                o.encode(out);
+            }
+            Response::Error { status, message } => {
+                RESP_ERR.encode(out);
+                status.encode(out);
+                message.as_bytes().encode(out);
+            }
+            Response::Stats(s) => {
+                RESP_STATS.encode(out);
+                s.encode(out);
+            }
+            Response::Pong => RESP_PONG.encode(out),
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        match r.u8()? {
+            RESP_OK => Ok(Response::Outcome(QueryOutcome::decode(r)?)),
+            RESP_ERR => {
+                let status = r.u8()?;
+                let bytes = Vec::<u8>::decode(r)?;
+                let message = String::from_utf8(bytes).map_err(|_| "error message is not UTF-8")?;
+                Ok(Response::Error { status, message })
+            }
+            RESP_STATS => Ok(Response::Stats(StatsReport::decode(r)?)),
+            RESP_PONG => Ok(Response::Pong),
+            other => Err(format!("unknown response tag {other}")),
+        }
+    }
+}
+
+/// Writes one frame: `u32` LE payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ClimberError> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(ServeError::Protocol(format!(
+            "outgoing frame of {} bytes exceeds MAX_FRAME",
+            payload.len()
+        ))
+        .into());
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes and writes one message as a frame.
+pub fn write_message(w: &mut impl Write, msg: &impl Encode) -> Result<(), ClimberError> {
+    write_frame(w, &msg.encode_vec())
+}
+
+/// Reads one frame's payload. `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection); any mid-frame truncation,
+/// oversized length, or I/O failure is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ClimberError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no next frame" from "torn frame": EOF before the first
+    // header byte is a clean close, EOF after it is truncation.
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(ServeError::Protocol("EOF inside frame header".into()).into());
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(ServeError::Protocol(format!(
+            "frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        ))
+        .into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::Protocol(format!("EOF inside frame body: {e}")))?;
+    Ok(Some(payload))
+}
+
+/// Reads and decodes one message. `Ok(None)` on clean EOF.
+pub fn read_message<T: Decode>(r: &mut impl Read) -> Result<Option<T>, ClimberError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let msg =
+        T::decode_vec(&payload).map_err(|e| ServeError::Protocol(format!("bad frame: {e}")))?;
+    Ok(Some(msg))
+}
+
+/// Builds the error [`Response`] for a facade error, preserving its typed
+/// wire status.
+pub fn error_response(e: &ClimberError) -> Response {
+    Response::Error {
+        status: e.wire_status(),
+        message: e.to_string(),
+    }
+}
+
+/// Builds the bad-request [`Response`] for a validation failure.
+pub fn bad_request(message: String) -> Response {
+    Response::Error {
+        status: status::BAD_REQUEST,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_core::SearchMode;
+
+    fn sample_request() -> Request {
+        Request::Search(
+            SearchRequest::new(vec![1.0f32, -2.5, 0.25], 7)
+                .adaptive(2)
+                .with_budget(9),
+        )
+    }
+
+    #[test]
+    fn requests_roundtrip_through_frames() {
+        let mut wire = Vec::new();
+        for msg in [sample_request(), Request::Stats, Request::Ping] {
+            write_message(&mut wire, &msg).unwrap();
+        }
+        let mut r = &wire[..];
+        let a: Request = read_message(&mut r).unwrap().unwrap();
+        let b: Request = read_message(&mut r).unwrap().unwrap();
+        let c: Request = read_message(&mut r).unwrap().unwrap();
+        match a {
+            Request::Search(req) => {
+                assert_eq!(req.k, 7);
+                assert_eq!(req.mode, SearchMode::Adaptive(2));
+                assert_eq!(req.budget, Some(9));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        assert_eq!(b, Request::Stats);
+        assert_eq!(c, Request::Ping);
+        // clean EOF at the frame boundary
+        assert!(read_message::<Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn error_responses_carry_status_and_message() {
+        let resp = error_response(&ServeError::Overloaded.into());
+        let mut wire = Vec::new();
+        write_message(&mut wire, &resp).unwrap();
+        let back: Response = read_message(&mut &wire[..]).unwrap().unwrap();
+        match back {
+            Response::Error { status: s, message } => {
+                assert_eq!(s, status::OVERLOADED);
+                assert!(message.contains("overloaded"));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frames_are_protocol_errors_not_eof() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Ping).unwrap();
+        // cut inside the header and inside the body
+        for cut in [2, wire.len() - 1] {
+            let err = read_message::<Request>(&mut &wire[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ClimberError::Serve(ServeError::Protocol(_))),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_allocation() {
+        let mut wire = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0; 8]);
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert!(matches!(err, ClimberError::Serve(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[99u8]).unwrap();
+        assert!(read_message::<Request>(&mut &wire[..]).is_err());
+        assert!(read_message::<Response>(&mut &wire[..]).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The admission queue: where concurrent single requests become
+//! micro-batches.
+//!
+//! ## State machine
+//!
+//! ```text
+//!            submit()                  next_batch()
+//! clients ─────────────▶ [ bounded VecDeque ] ─────────────▶ workers
+//!             │                                   │
+//!             │ queue full → Err(Overloaded)      │ flush when ANY of:
+//!             │ draining   → Err(ShuttingDown)    │   len ≥ max_batch
+//!             ▼                                   │   oldest waited ≥ max_delay
+//!        (request never enqueued,                 │   shutdown (drain rest)
+//!         caller answers immediately)             ▼
+//!                                      batch of ≤ max_batch Pendings
+//! ```
+//!
+//! A worker blocks on the condvar while the queue is empty, then flushes
+//! as soon as the batch is full **or** the oldest request has waited
+//! `max_delay` — so under load batches fill instantly (throughput mode),
+//! and a lone request still leaves within the latency deadline. Shutdown
+//! flips a flag under the same lock: every already-admitted request is
+//! still drained and answered, while new submissions are refused with a
+//! typed error. Backpressure is the same shape: a full queue *refuses*
+//! (never blocks) so an overloaded server degrades into fast typed
+//! rejections instead of unbounded queueing or a hang.
+
+use climber_core::{QueryOutcome, SearchRequest, ServeError};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When and how the queue flushes micro-batches.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are waiting.
+    pub max_batch: usize,
+    /// Flush once the oldest waiting request has waited this long.
+    pub max_delay: Duration,
+    /// Admission bound: a submit beyond this depth is refused.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// One admitted request: what to run, where to send the answer, and when
+/// it entered the queue (the latency clock).
+#[derive(Debug)]
+pub struct Pending {
+    /// The validated request to execute.
+    pub req: SearchRequest,
+    /// Completion channel back to the connection handler.
+    pub tx: mpsc::Sender<QueryOutcome>,
+    /// Queue-entry time; `now - enqueued` is the served latency.
+    pub enqueued: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// The bounded micro-batching queue between connection handlers and the
+/// worker pool. All methods take `&self`; share it in an `Arc`.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    nonempty: Condvar,
+    policy: BatchPolicy,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            nonempty: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// The flush/backpressure policy in force.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Current queue depth (requests admitted but not yet drained).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    /// Admits one request, or refuses it without blocking:
+    /// [`ServeError::ShuttingDown`] while draining,
+    /// [`ServeError::Overloaded`] when the bound is hit. On `Err` the
+    /// request was **not** enqueued and no worker will ever see it.
+    pub fn submit(&self, pending: Pending) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.queue.len() >= self.policy.queue_cap {
+            return Err(ServeError::Overloaded);
+        }
+        inner.queue.push_back(pending);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a micro-batch is ready and drains it (oldest first, at
+    /// most `max_batch`). Returns `None` only when the queue is shut down
+    /// **and** empty — the worker-exit signal; every admitted request is
+    /// part of some returned batch first.
+    pub fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.queue.is_empty() {
+                if inner.shutdown {
+                    return None;
+                }
+                inner = self.nonempty.wait(inner).unwrap();
+                continue;
+            }
+            let waited = inner.queue.front().expect("non-empty").enqueued.elapsed();
+            let flush = inner.shutdown
+                || inner.queue.len() >= self.policy.max_batch
+                || waited >= self.policy.max_delay;
+            if flush {
+                let n = inner.queue.len().min(self.policy.max_batch);
+                let batch: Vec<Pending> = inner.queue.drain(..n).collect();
+                let more = !inner.queue.is_empty();
+                drop(inner);
+                if more {
+                    // leftovers beyond max_batch: hand them to a sibling
+                    self.nonempty.notify_one();
+                }
+                return Some(batch);
+            }
+            // Not full yet: sleep until the oldest request's deadline (a
+            // new submit's notify wakes us earlier to re-check fullness).
+            let remaining = self.policy.max_delay - waited;
+            let (guard, _) = self.nonempty.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Starts draining: new submissions are refused from this point, every
+    /// already-admitted request is still batched out, and workers blocked
+    /// in [`next_batch`](Self::next_batch) return `None` once the queue is
+    /// empty.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn pending(id: u64) -> (Pending, mpsc::Receiver<QueryOutcome>) {
+        let (tx, rx) = mpsc::channel();
+        let p = Pending {
+            req: SearchRequest::new(vec![id as f32, 1.0], 1),
+            tx,
+            enqueued: Instant::now(),
+        };
+        (p, rx)
+    }
+
+    fn policy(max_batch: usize, max_delay_ms: u64, cap: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_delay: Duration::from_millis(max_delay_ms),
+            queue_cap: cap,
+        }
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting_for_the_deadline() {
+        let q = AdmissionQueue::new(policy(4, 10_000, 100));
+        for i in 0..4 {
+            q.submit(pending(i).0).unwrap();
+        }
+        let t = Instant::now();
+        let batch = q.next_batch().expect("full batch ready");
+        assert_eq!(batch.len(), 4);
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "flush waited for the 10s deadline despite a full batch"
+        );
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let q = Arc::new(AdmissionQueue::new(policy(1000, 30, 100)));
+        q.submit(pending(1).0).unwrap();
+        q.submit(pending(2).0).unwrap();
+        let t = Instant::now();
+        let batch = q.next_batch().expect("deadline batch");
+        let waited = t.elapsed();
+        assert_eq!(batch.len(), 2, "partial batch drained together");
+        assert!(
+            waited >= Duration::from_millis(5),
+            "flushed before the deadline"
+        );
+        assert!(waited < Duration::from_secs(10), "deadline never fired");
+    }
+
+    #[test]
+    fn overload_refuses_without_blocking() {
+        let q = AdmissionQueue::new(policy(64, 1, 2));
+        q.submit(pending(1).0).unwrap();
+        q.submit(pending(2).0).unwrap();
+        let err = q.submit(pending(3).0).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded));
+        assert_eq!(q.depth(), 2, "refused request must not be enqueued");
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_then_signals_exit() {
+        let q = AdmissionQueue::new(policy(64, 10_000, 100));
+        q.submit(pending(1).0).unwrap();
+        q.submit(pending(2).0).unwrap();
+        q.shutdown();
+        assert!(matches!(
+            q.submit(pending(3).0).unwrap_err(),
+            ServeError::ShuttingDown
+        ));
+        // admitted requests still come out (deadline ignored once draining)
+        let batch = q.next_batch().expect("drain batch");
+        assert_eq!(batch.len(), 2);
+        assert!(q.next_batch().is_none(), "empty + shutdown = exit signal");
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_shutdown() {
+        let q = Arc::new(AdmissionQueue::new(policy(64, 1, 100)));
+        let q2 = Arc::clone(&q);
+        let worker = thread::spawn(move || q2.next_batch());
+        thread::sleep(Duration::from_millis(20));
+        q.shutdown();
+        assert!(worker.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_spike_splits_into_max_batch_chunks() {
+        let q = AdmissionQueue::new(policy(3, 10_000, 100));
+        for i in 0..8 {
+            q.submit(pending(i).0).unwrap();
+        }
+        let sizes: Vec<usize> = (0..3).map(|_| q.next_batch().unwrap().len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The TCP server: acceptor + per-connection handlers + a worker pool
+//! draining the admission queue into the batch engine.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread blocks on `TcpListener::accept` and spawns a
+//!   detached handler per connection;
+//! * each **handler** reads frames, validates requests, submits them to
+//!   the [`AdmissionQueue`], and writes the response its completion
+//!   channel delivers — or the typed error (`bad request`, `overloaded`,
+//!   `shutting down`) when the request never made it in;
+//! * **workers** loop on [`AdmissionQueue::next_batch`] and feed each
+//!   micro-batch to [`Climber::search_many`], so concurrent requests from
+//!   independent connections share partition opens and cluster decodes
+//!   exactly like a hand-built batch would.
+//!
+//! [`shutdown`](Server::shutdown) is drain-clean: the acceptor stops, the
+//! queue refuses new work, every admitted request is still executed and
+//! answered, and every thread the server owns is joined.
+//!
+//! [`Climber::search_many`]: climber_core::Climber::search_many
+
+use crate::metrics::{ServeMetrics, StatsReport};
+use crate::protocol::{
+    bad_request, error_response, read_message, write_message, Request, Response,
+};
+use crate::queue::{AdmissionQueue, BatchPolicy, Pending};
+use climber_core::dfs::store::PartitionStore;
+use climber_core::{Climber, ClimberError, ServeError};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs (see [`BatchPolicy`] for the queue semantics).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Flush a micro-batch at this many requests (default 64).
+    pub max_batch: usize,
+    /// Flush once the oldest request has waited this long (default 2 ms).
+    pub max_delay: Duration,
+    /// Admission bound; beyond it submissions are refused (default 1024).
+    pub queue_cap: usize,
+    /// Worker threads executing batches; `0` = the machine's available
+    /// parallelism (default).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 1024,
+            workers: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the micro-batch size cap.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the latency deadline for partial batches.
+    #[must_use]
+    pub fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the admission bound.
+    #[must_use]
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        self.queue_cap = queue_cap.max(1);
+        self
+    }
+
+    /// Sets the worker count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// A running serving instance: owns the listener port, the worker pool,
+/// and the admission queue. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) drains and joins everything it owns.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    queue: Arc<AdmissionQueue>,
+    metrics: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving `climber`. The index is shared, read-only, across workers;
+    /// updates through other handles are picked up per batch.
+    pub fn start<S>(
+        climber: Arc<Climber<S>>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> Result<Self, ClimberError>
+    where
+        S: PartitionStore + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let queue = Arc::new(AdmissionQueue::new(BatchPolicy {
+            max_batch: config.max_batch.max(1),
+            max_delay: config.max_delay,
+            queue_cap: config.queue_cap.max(1),
+        }));
+        let metrics = Arc::new(ServeMetrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let workers = (0..config.resolved_workers())
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let climber = Arc::clone(&climber);
+                thread::Builder::new()
+                    .name(format!("climber-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&climber, &queue, &metrics))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("climber-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &queue, &metrics, &stop))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            local_addr,
+            queue,
+            metrics,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the serving metrics, same as the wire stats endpoint.
+    pub fn stats(&self) -> StatsReport {
+        self.metrics.report(self.queue.depth() as u64)
+    }
+
+    /// Stops accepting, drains every admitted request, and joins every
+    /// owned thread. In-flight requests are answered; requests submitted
+    /// after this point get a typed shutting-down response.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a throwaway connection wakes it
+        // so it can observe the stop flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.queue.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn worker_loop<S: PartitionStore>(
+    climber: &Climber<S>,
+    queue: &AdmissionQueue,
+    metrics: &ServeMetrics,
+) {
+    // `None` = queue empty + shut down; every admitted request was part of
+    // some earlier batch, so exiting here never strands a client.
+    while let Some(batch) = queue.next_batch() {
+        let mut reqs = Vec::with_capacity(batch.len());
+        let mut completions: Vec<(mpsc::Sender<_>, Instant)> = Vec::with_capacity(batch.len());
+        for p in batch {
+            reqs.push(p.req);
+            completions.push((p.tx, p.enqueued));
+        }
+        // Handlers validate before submitting, so search_many never sees a
+        // panicking request; outcomes are bit-identical to per-request
+        // `search` calls (the batch engine's equivalence guarantee).
+        let outcomes = climber.search_many(&reqs);
+        metrics.on_batch(reqs.len());
+        for ((tx, enqueued), outcome) in completions.into_iter().zip(outcomes) {
+            metrics.on_completed(enqueued.elapsed());
+            // A dead receiver just means the client hung up mid-request.
+            let _ = tx.send(outcome);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &Arc<AdmissionQueue>,
+    metrics: &Arc<ServeMetrics>,
+    stop: &Arc<AtomicBool>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let queue = Arc::clone(queue);
+                let metrics = Arc::clone(metrics);
+                // Handlers are detached: they exit on client EOF, and a
+                // post-shutdown submit is refused by the queue, so none of
+                // them can outlive the process holding work.
+                let _ = thread::Builder::new()
+                    .name("climber-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &queue, &metrics));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, metrics: &ServeMetrics) {
+    // Request/response frames are tiny; batching happens in the queue, not
+    // in the socket buffer.
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match read_message::<Request>(&mut stream) {
+            Ok(Some(req)) => req,
+            // clean EOF: the client is done
+            Ok(None) => return,
+            Err(e) => {
+                // Best-effort typed answer, then drop the connection — a
+                // torn frame leaves the stream unsynchronised.
+                let _ = write_message(&mut stream, &error_response(&e));
+                return;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(metrics.report(queue.depth() as u64)),
+            Request::Search(req) => match req.validate() {
+                Err(msg) => {
+                    metrics.on_rejected();
+                    bad_request(msg)
+                }
+                Ok(()) => {
+                    let (tx, rx) = mpsc::channel();
+                    let pending = Pending {
+                        req,
+                        tx,
+                        enqueued: Instant::now(),
+                    };
+                    match queue.submit(pending) {
+                        Err(e) => {
+                            metrics.on_rejected();
+                            error_response(&e.into())
+                        }
+                        Ok(()) => {
+                            metrics.on_admitted();
+                            match rx.recv() {
+                                Ok(outcome) => Response::Outcome(outcome),
+                                // The worker dropped the sender without
+                                // answering — only possible if the pool
+                                // died; tell the client to go elsewhere.
+                                Err(_) => error_response(&ServeError::ShuttingDown.into()),
+                            }
+                        }
+                    }
+                }
+            },
+        };
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end serving tests over real sockets: micro-batching behaviour,
+//! backpressure, clean shutdown, and the server/direct equivalence
+//! guarantee.
+
+use climber_core::dfs::store::PartitionStore;
+use climber_core::series::gen::Domain;
+use climber_core::{Climber, ClimberConfig, ClimberError, SearchRequest, ServeError};
+use climber_serve::{ServeClient, ServeConfig, Server};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn build_climber(n: usize, seed: u64) -> Arc<Climber> {
+    let ds = Domain::RandomWalk.generate(n, seed);
+    let cfg = ClimberConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(32)
+        .with_prefix_len(5)
+        .with_capacity(60)
+        .with_alpha(0.5)
+        .with_epsilon(1)
+        .with_seed(7)
+        .with_workers(2);
+    Arc::new(Climber::build_in_memory(&ds, cfg))
+}
+
+fn queries_of(climber: &Climber, n: usize) -> Vec<Vec<f32>> {
+    // recover probes from the store so tests need no dataset in scope
+    let mut records = Vec::new();
+    for pid in climber.store().ids() {
+        let reader = climber.store().open(pid).unwrap();
+        reader.for_each(|_, vals| records.push(vals.to_vec()));
+        if records.len() >= n * 17 {
+            break;
+        }
+    }
+    records.into_iter().step_by(17).take(n).collect()
+}
+
+#[test]
+fn served_outcomes_are_bit_identical_to_direct_search() {
+    let climber = build_climber(400, 11);
+    let server = Server::start(
+        Arc::clone(&climber),
+        "127.0.0.1:0",
+        ServeConfig::default().with_max_delay(Duration::from_millis(5)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // N concurrent clients, each issuing its own stream of requests, so
+    // the admission queue actually coalesces cross-connection batches.
+    let queries = queries_of(&climber, 12);
+    let handles: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let req = match i % 3 {
+                    0 => SearchRequest::new(q, 10),
+                    1 => SearchRequest::new(q, 5).exact(),
+                    _ => SearchRequest::new(q, 20).adaptive(2).with_budget(4),
+                };
+                let outcome = client.search(&req).unwrap();
+                (req, outcome)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (req, served) = h.join().unwrap();
+        let direct = climber.search(&req);
+        assert_eq!(served, direct, "served outcome diverged for {req:?}");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.admitted, 12);
+    assert_eq!(stats.completed, 12);
+    assert!(stats.p50_us > 0);
+    server.shutdown();
+}
+
+#[test]
+fn micro_batches_coalesce_concurrent_clients() {
+    let climber = build_climber(300, 13);
+    // One worker + a generous deadline: concurrent requests pile up in the
+    // queue and must flush as multi-request batches.
+    let server = Server::start(
+        Arc::clone(&climber),
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(64)
+            .with_max_delay(Duration::from_millis(40)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let queries = queries_of(&climber, 10);
+    let handles: Vec<_> = queries
+        .into_iter()
+        .map(|q| {
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                client.search(&SearchRequest::new(q, 5)).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 10);
+    assert!(
+        stats.mean_batch > 1.0,
+        "no coalescing: mean batch occupancy {}",
+        stats.mean_batch
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_a_typed_response_not_a_dead_connection() {
+    let climber = build_climber(200, 17);
+    let server =
+        Server::start(Arc::clone(&climber), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let err = client
+        .search(&SearchRequest::new(vec![1.0f32], 0))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClimberError::Serve(ServeError::BadRequest(_))),
+        "{err:?}"
+    );
+    // the connection survives and serves a valid follow-up
+    let q = queries_of(&climber, 1).remove(0);
+    let ok = client.search(&SearchRequest::new(q, 3)).unwrap();
+    assert_eq!(ok.results.len(), 3);
+    assert_eq!(server.stats().rejected, 1);
+    server.shutdown();
+}
+
+#[test]
+fn overload_rejects_with_backpressure_instead_of_hanging() {
+    let climber = build_climber(200, 19);
+    // A tiny queue and a worker pool throttled by a huge deadline & batch:
+    // with max_batch never reached and the deadline far away, submissions
+    // accumulate and the bound must trip.
+    let server = Server::start(
+        Arc::clone(&climber),
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1000)
+            .with_max_delay(Duration::from_secs(5))
+            .with_queue_cap(2),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let q = queries_of(&climber, 1).remove(0);
+
+    // Two requests park in the queue (waiting out the 5 s deadline)...
+    let parked: Vec<_> = (0..2)
+        .map(|_| {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                c.search(&SearchRequest::new(q, 3)).map(|o| o.results.len())
+            })
+        })
+        .collect();
+    // ... wait until both are admitted ...
+    let mut waited = 0;
+    while waited < 2_000 {
+        thread::sleep(Duration::from_millis(10));
+        waited += 10;
+        let s = server.stats();
+        if s.queue_depth >= 2 {
+            break;
+        }
+    }
+    // ... so the third is refused immediately with the typed overload
+    // response (measurably faster than the 5 s flush deadline).
+    let t = std::time::Instant::now();
+    let mut c = ServeClient::connect(addr).unwrap();
+    let err = c.search(&SearchRequest::new(q, 3)).unwrap_err();
+    assert!(
+        matches!(err, ClimberError::Serve(ServeError::Overloaded)),
+        "{err:?}"
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(4),
+        "overload response must not wait for the flush deadline"
+    );
+    // the parked requests are still answered (deadline or shutdown drain)
+    server.shutdown();
+    for h in parked {
+        assert_eq!(h.join().unwrap().unwrap(), 3);
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let climber = build_climber(250, 23);
+    let server = Server::start(
+        Arc::clone(&climber),
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(1000)
+            .with_max_delay(Duration::from_secs(10)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let queries = queries_of(&climber, 6);
+    // Park several requests behind the 10 s deadline...
+    let handles: Vec<_> = queries
+        .into_iter()
+        .map(|q| {
+            thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                c.search(&SearchRequest::new(q, 4)).map(|o| o.results.len())
+            })
+        })
+        .collect();
+    let mut waited = 0;
+    while waited < 2_000 {
+        thread::sleep(Duration::from_millis(10));
+        waited += 10;
+        if server.stats().queue_depth >= 6 {
+            break;
+        }
+    }
+    // ... then shut down: the drain must answer every one of them long
+    // before the deadline would have.
+    let t = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(8),
+        "shutdown waited for the deadline"
+    );
+    for h in handles {
+        assert_eq!(h.join().unwrap().unwrap(), 4, "in-flight request dropped");
+    }
+}
+
+#[test]
+fn ping_and_stats_endpoints_respond() {
+    let climber = build_climber(200, 29);
+    let server =
+        Server::start(Arc::clone(&climber), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    let q = queries_of(&climber, 1).remove(0);
+    client.search(&SearchRequest::new(q, 2)).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert!(stats.uptime_us > 0);
+    assert!(stats.qps > 0.0);
+    server.shutdown();
+}

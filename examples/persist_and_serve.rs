@@ -17,7 +17,7 @@
 
 use climber_core::dfs::store::PartitionStore;
 use climber_core::series::gen::Domain;
-use climber_core::{BatchRequest, BuildOptions, Climber, ClimberConfig};
+use climber_core::{BuildOptions, Climber, ClimberConfig, SearchRequest};
 use std::path::Path;
 use std::time::Instant;
 
@@ -92,14 +92,18 @@ fn serve(dir: &Path) {
         .map(|(_, v)| v.clone())
         .collect();
     let k = 10;
+    let requests: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::new(q.clone(), k).adaptive(4))
+        .collect();
     let t = Instant::now();
-    let batch = climber.batch(&BatchRequest::adaptive(&queries, k, 4));
+    let outcomes = climber.search_many(&requests);
     let secs = t.elapsed().as_secs_f64();
-    assert_eq!(batch.outcomes.len(), queries.len());
+    assert_eq!(outcomes.len(), queries.len());
 
     // Exact ground truth by brute force over the stored records.
     let mut recall_sum = 0.0f64;
-    for (q, out) in queries.iter().zip(batch.outcomes.iter()) {
+    for (q, out) in queries.iter().zip(outcomes.iter()) {
         let mut exact: Vec<(u64, f64)> = records
             .iter()
             .map(|(id, v)| {

@@ -1,16 +1,23 @@
 //! Persistence: disk-backed indexes survive restarts and reject corruption.
 //!
-//! Every corruption mode must surface as a typed [`OpenError`] from
-//! `Climber::open` — never a panic, never a silently wrong index.
+//! Every corruption mode must surface as a typed
+//! `ClimberError::Open(OpenError)` from `Climber::open` — never a panic,
+//! never a silently wrong index.
 
 use climber_core::dfs::manifest::xxh64;
 use climber_core::dfs::store::PartitionStore;
 use climber_core::series::gen::Domain;
 use climber_core::{
-    Climber, ClimberConfig, OpenError, FORMAT_VERSION, MANIFEST_FILE, SKELETON_FILE,
+    Climber, ClimberConfig, ClimberError, OpenError, FORMAT_VERSION, MANIFEST_FILE, SKELETON_FILE,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// Mutations on a read-only handle surface as `ClimberError::Io` wrapping
+/// a `PermissionDenied`.
+fn is_permission_denied(err: &ClimberError) -> bool {
+    matches!(err, ClimberError::Io(e) if e.kind() == std::io::ErrorKind::PermissionDenied)
+}
 
 fn cfg() -> ClimberConfig {
     ClimberConfig::default()
@@ -73,7 +80,10 @@ fn corrupted_skeleton_is_rejected() {
     bytes.truncate(bytes.len() / 2);
     fs::write(&path, &bytes).unwrap();
     assert!(
-        matches!(Climber::open(&dir), Err(OpenError::ChecksumMismatch { .. })),
+        matches!(
+            Climber::open(&dir),
+            Err(ClimberError::Open(OpenError::ChecksumMismatch { .. }))
+        ),
         "truncated skeleton accepted"
     );
     fs::remove_dir_all(&dir).ok();
@@ -92,7 +102,10 @@ fn missing_partitions_detected_on_open() {
         }
     }
     assert!(
-        matches!(Climber::open(&dir), Err(OpenError::MissingPartition { .. })),
+        matches!(
+            Climber::open(&dir),
+            Err(ClimberError::Open(OpenError::MissingPartition { .. }))
+        ),
         "opened an index with no data"
     );
     fs::remove_dir_all(&dir).ok();
@@ -147,7 +160,7 @@ fn truncated_manifest_is_typed() {
     fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::CorruptManifest(_))
+        Err(ClimberError::Open(OpenError::CorruptManifest(_)))
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -167,7 +180,7 @@ fn flipped_byte_in_cluster_block_is_typed() {
     fs::write(&victim, &bytes).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::ChecksumMismatch { .. })
+        Err(ClimberError::Open(OpenError::ChecksumMismatch { .. }))
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -181,7 +194,7 @@ fn wrong_manifest_magic_is_typed() {
     fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::BadMagic { .. })
+        Err(ClimberError::Open(OpenError::BadMagic { .. }))
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -200,7 +213,7 @@ fn future_format_version_is_typed() {
     fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 7
+        Err(ClimberError::Open(OpenError::UnsupportedVersion { found, .. })) if found == FORMAT_VERSION + 7
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -216,7 +229,7 @@ fn missing_partition_file_is_typed() {
     fs::remove_file(&victim).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::MissingPartition { .. })
+        Err(ClimberError::Open(OpenError::MissingPartition { .. }))
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -227,14 +240,12 @@ fn reopened_store_is_read_only() {
     let reopened = Climber::open(&dir).unwrap();
     assert!(!reopened.is_writable());
     let probe = vec![0.0f32; 256];
-    let err = reopened.append(&probe).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
-    let err = reopened.append_batch(&[probe]).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
-    let err = reopened.delete(0).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
-    let err = reopened.flush().unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    assert!(is_permission_denied(&reopened.append(&probe).unwrap_err()));
+    assert!(is_permission_denied(
+        &reopened.append_batch(&[probe]).unwrap_err()
+    ));
+    assert!(is_permission_denied(&reopened.delete(0).unwrap_err()));
+    assert!(is_permission_denied(&reopened.flush().unwrap_err()));
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -272,10 +283,7 @@ fn journal_survives_reopen_read_only_and_writable() {
         out.results.iter().all(|&(id, _)| id != 11),
         "deleted record served"
     );
-    assert_eq!(
-        ro.delete(0).unwrap_err().kind(),
-        std::io::ErrorKind::PermissionDenied
-    );
+    assert!(is_permission_denied(&ro.delete(0).unwrap_err()));
 
     // writable: same state, and the index keeps moving — flush folds the
     // journal away and re-seals the directory at the next generation.
@@ -358,7 +366,7 @@ fn missing_journal_is_typed() {
     fs::remove_file(dir.join(climber_core::JOURNAL_FILE)).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::MissingJournal(_))
+        Err(ClimberError::Open(OpenError::MissingJournal(_)))
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -373,7 +381,7 @@ fn corrupt_journal_is_typed() {
     fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::ChecksumMismatch { .. })
+        Err(ClimberError::Open(OpenError::ChecksumMismatch { .. }))
     ));
     fs::remove_dir_all(&dir).ok();
 }
@@ -394,10 +402,10 @@ fn stale_generation_journal_is_typed() {
     fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         Climber::open(&dir),
-        Err(OpenError::StaleGeneration {
+        Err(ClimberError::Open(OpenError::StaleGeneration {
             manifest: 5,
             journal: 0,
-        })
+        }))
     ));
     fs::remove_dir_all(&dir).ok();
 }
