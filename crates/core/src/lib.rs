@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod shard;
 
 pub use climber_baselines as baselines;
 pub use climber_dfs as dfs;
@@ -70,6 +71,7 @@ pub use climber_query::plan::QueryOutcome;
 pub use climber_query::search::{SearchMode, SearchRequest};
 pub use climber_query::updates::UpdateView;
 pub use error::{ClimberError, ServeError};
+pub use shard::{ShardSetManifest, ShardStatus, ShardedClimber, SHARD_SET_FILE};
 
 use climber_dfs::format::{Decode, Encode, PartitionWriter, TrieNodeId};
 use climber_dfs::manifest::{self, xxh64, FileEntry, PartitionEntry};
@@ -341,6 +343,23 @@ impl<S: PartitionStore> Climber<S> {
             .with_decay(skeleton.decay)
             .with_seed(skeleton.seed);
         let mut c = Self::assemble(skeleton, store, config, None);
+        c.seed_next_id_by_scan();
+        c.mark_ready();
+        c
+    }
+
+    /// [`from_parts`](Self::from_parts) with the exact build configuration
+    /// and options preserved — used by the sharded builder, whose shards
+    /// are assembled from a split of an already-built store and must keep
+    /// the capacity/α/worker knobs a plain skeleton does not persist.
+    pub(crate) fn from_parts_with_config(
+        skeleton: IndexSkeleton,
+        store: S,
+        config: ClimberConfig,
+        options: BuildOptions,
+    ) -> Self {
+        let mut c = Self::assemble(skeleton, store, config, None);
+        c.build_options = options;
         c.seed_next_id_by_scan();
         c.mark_ready();
         c
@@ -1098,6 +1117,36 @@ impl<S: PartitionStore> Climber<S> {
     /// Serialised global index size in bytes (Figure 8(b)'s metric).
     pub fn global_index_bytes(&self) -> usize {
         self.skeleton.size_bytes()
+    }
+}
+
+/// The query surface the serving layer batches against: anything that can
+/// answer a micro-batch of [`SearchRequest`]s with outcomes in request
+/// order. Implemented by [`Climber`] (one index) and by
+/// [`ShardedClimber`] (a scatter-gather shard set), so a server binds to
+/// either without caring which — the "serves a sharded index unchanged"
+/// contract.
+///
+/// Implementations must match [`Climber::search_many`] semantics: one
+/// outcome per request, in order, bit-identical to per-request
+/// [`Climber::search`] calls, panicking only on requests that fail
+/// [`SearchRequest::validate`] (network callers validate first).
+///
+/// [`SearchRequest::validate`]: climber_query::search::SearchRequest::validate
+pub trait SearchBackend: Send + Sync {
+    /// Executes many requests, outcomes in request order.
+    fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome>;
+}
+
+impl<S: PartitionStore> SearchBackend for Climber<S> {
+    fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
+        Climber::search_many(self, reqs)
+    }
+}
+
+impl<S: PartitionStore> SearchBackend for ShardedClimber<S> {
+    fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
+        ShardedClimber::search_many(self, reqs)
     }
 }
 

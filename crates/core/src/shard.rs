@@ -1,0 +1,947 @@
+//! Scatter-gather sharding: N independent [`Climber`] shards behind one
+//! query surface, with bit-identical results to a single index.
+//!
+//! One index is one machine's ceiling. A [`ShardedClimber`] splits the
+//! record set across N full [`Climber`] shards — each with its own
+//! partition store, manifest, and mutable segments — while every shard
+//! shares the **same frozen skeleton** (pivots, groups, tries). That
+//! shared skeleton is what makes scatter-gather exact:
+//!
+//! * **Routing** is by record id: `shard_of(id) = xxh64(id, router_seed)
+//!   mod N`. The seed is fixed at build time and persisted, so routing is
+//!   deterministic at build, append, and delete time, and stable across
+//!   reopens. Every record lives in exactly one shard.
+//! * **Queries** are planned **once** against the shared skeleton (plans
+//!   depend only on skeleton + query), the same plans are scattered to
+//!   every shard through the partition-major batch scan
+//!   ([`climber_query::scatter::scan_shard`]), and the per-shard top-k
+//!   streams are merged per query. All shards share one
+//!   [`SharedBound`] per query, so the moment any shard holds `k`
+//!   candidates every other shard early-abandons against the best global
+//!   k-th distance — cross-shard pruning that is provably lossless (a
+//!   published bound always reflects `k` real candidates, so anything
+//!   pruned is outside the global top-k).
+//! * **Results are bit-identical** to one [`Climber`] over the same
+//!   records: shards are record-disjoint, the scan offers every surviving
+//!   candidate of every shard, and a [`TopK`] is insertion-order
+//!   independent with deterministic `(distance, id)` tie-breaking — so
+//!   the merged heap holds exactly the single-index answer, ties at the
+//!   k-boundary included. Per-query `records_scanned` sums across shards
+//!   to the single-index count, and the expansion fallback replays the
+//!   sequential engine's plan-order loop shard-by-shard with the same
+//!   partition-granular stopping rule.
+//!
+//! ## Persistence
+//!
+//! [`save`](ShardedClimber::save) writes each shard as a normal index
+//! directory (`shard-000/`, `shard-001/`, ...) through the per-shard
+//! seal, then a tiny super-manifest [`SHARD_SET_FILE`] — shard count,
+//! router seed, per-shard generations, self-checksummed — atomically
+//! last, so a crash mid-save never leaves an openable-but-wrong set.
+//! [`open`](ShardedClimber::open) validates the super-manifest, opens
+//! every shard through the full single-index validation, and
+//! cross-checks each shard's generation against the set's snapshot; any
+//! per-shard failure surfaces as [`OpenError::Shard`] naming the shard.
+//!
+//! ## Failure semantics
+//!
+//! A shard whose partitions disappear mid-flight degrades, never panics:
+//! the scan marks the partitions failed and the merge returns the
+//! surviving shards' answer.
+//! [`ShardedClimber::search_many_with_status`] exposes the per-shard
+//! health so callers can distinguish a complete answer from a partial
+//! one.
+
+use crate::error::ClimberError;
+use crate::{Climber, ClimberConfig, MaintenanceReport, SearchMode, SearchRequest};
+use climber_dfs::format::PartitionWriter;
+use climber_dfs::manifest::{self, xxh64, OpenError};
+use climber_dfs::store::{DiskStore, MemStore, PartitionId, PartitionStore};
+use climber_index::builder::{BuildOptions, IndexBuilder};
+use climber_query::batch::BatchStrategy;
+use climber_query::engine::strategy_of;
+use climber_query::plan::QueryOutcome;
+use climber_query::scatter::{expand_shard_partition, plan_queries, scan_shard, ShardScan};
+use climber_query::updates::UpdateView;
+use climber_series::dataset::Dataset;
+use climber_series::resample::resample_linear;
+use climber_series::topk::{SharedBound, TopK};
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Name of the shard-set super-manifest inside a sharded index directory.
+pub const SHARD_SET_FILE: &str = "SHARDS.clsm";
+
+const SHARD_SET_MAGIC: [u8; 4] = *b"CLSH";
+const SHARD_SET_VERSION: u32 = 1;
+
+/// Mixed into the build config's seed to derive the router seed, so the
+/// routing hash is decorrelated from every other seeded component
+/// (pivot selection, planner tie-breaks) without a new config knob.
+const ROUTER_SALT: u64 = 0x5AAD_C11B_ED0A_7A5E;
+
+/// The directory name of shard `i` inside a sharded index directory.
+pub fn shard_dir_name(shard: usize) -> String {
+    format!("shard-{shard:03}")
+}
+
+/// Which shard owns record `id` under `router_seed` — the one routing
+/// function used at build, append, delete, and (implicitly) query time.
+fn route(id: u64, router_seed: u64, num_shards: usize) -> usize {
+    (xxh64(&id.to_le_bytes(), router_seed) % num_shards as u64) as usize
+}
+
+/// The super-manifest of a sharded index: everything needed to reopen the
+/// set — how many shards, how records route, and which generation each
+/// shard was at when the set was sealed (the snapshot-consistency check:
+/// a shard updated behind the set's back fails reopen instead of silently
+/// serving drifted data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSetManifest {
+    /// Number of shard directories the set holds.
+    pub num_shards: u32,
+    /// Seed of the record→shard routing hash.
+    pub router_seed: u64,
+    /// Per-shard segment generation at seal time, indexed by shard.
+    pub generations: Vec<u64>,
+}
+
+impl ShardSetManifest {
+    /// Serialises the super-manifest: magic, version, shard count, router
+    /// seed, per-shard generations, then an xxHash64 self-checksum over
+    /// everything preceding it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.generations.len() * 8 + 8);
+        out.extend_from_slice(&SHARD_SET_MAGIC);
+        out.extend_from_slice(&SHARD_SET_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.num_shards.to_le_bytes());
+        out.extend_from_slice(&self.router_seed.to_le_bytes());
+        for g in &self.generations {
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        let checksum = xxh64(&out, 0);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a serialised super-manifest; the message
+    /// names what is structurally wrong (surfaced as
+    /// [`OpenError::CorruptShardSet`]).
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 28 {
+            return Err(format!(
+                "shard-set manifest is {} bytes, minimum is 28",
+                bytes.len()
+            ));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let found = xxh64(body, 0);
+        if stored != found {
+            return Err(format!(
+                "shard-set checksum mismatch: stored {stored:#018x}, computed {found:#018x}"
+            ));
+        }
+        if body[0..4] != SHARD_SET_MAGIC {
+            return Err(format!("bad shard-set magic {:?}", &body[0..4]));
+        }
+        let version = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+        if version != SHARD_SET_VERSION {
+            return Err(format!(
+                "unsupported shard-set version {version} (supported: {SHARD_SET_VERSION})"
+            ));
+        }
+        let num_shards = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+        if num_shards == 0 {
+            return Err("shard-set declares zero shards".into());
+        }
+        let router_seed = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
+        let expected = 20 + num_shards as usize * 8;
+        if body.len() != expected {
+            return Err(format!(
+                "shard-set body is {} bytes, {num_shards} shards need {expected}",
+                body.len()
+            ));
+        }
+        let generations = (0..num_shards as usize)
+            .map(|i| {
+                let at = 20 + i * 8;
+                u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"))
+            })
+            .collect();
+        Ok(Self {
+            num_shards,
+            router_seed,
+            generations,
+        })
+    }
+}
+
+/// Health of one shard after a scatter-gather query pass — the per-shard
+/// status a degraded (partial) answer carries instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The shard this status describes.
+    pub shard: usize,
+    /// True iff every planned partition of every query opened on this
+    /// shard (no candidate from this shard was silently missing).
+    pub healthy: bool,
+    /// Planned partitions that failed to open on this shard.
+    pub failed_partitions: BTreeSet<PartitionId>,
+    /// Records this shard contributed to the candidate streams (scan +
+    /// expansion). Sums across shards to the single-index totals.
+    pub records_scanned: u64,
+}
+
+/// N independent [`Climber`] shards behind one scatter-gather query
+/// surface, with results bit-identical to a single index over the same
+/// records (see the [module docs](self) for why).
+///
+/// ```
+/// use climber_core::{Climber, ClimberConfig, SearchRequest, ShardedClimber};
+/// use climber_core::series::gen::Domain;
+///
+/// let data = Domain::RandomWalk.generate(600, 42);
+/// let config = ClimberConfig::default().with_pivots(32).with_capacity(100);
+///
+/// let single = Climber::build_in_memory(&data, config);
+/// let sharded = ShardedClimber::build_in_memory(&data, config, 3);
+///
+/// let req = SearchRequest::new(data.get(17), 10);
+/// assert_eq!(sharded.search(&req), single.search(&req));
+/// ```
+#[derive(Debug)]
+pub struct ShardedClimber<S: PartitionStore = MemStore> {
+    shards: Vec<Climber<S>>,
+    router_seed: u64,
+    /// Set-wide next append id (1 + the largest id stored anywhere); each
+    /// shard's own counter trails it, tracking only that shard's records.
+    next_id: AtomicU64,
+}
+
+impl ShardedClimber<MemStore> {
+    /// Builds a sharded index in memory: one full single-index build, then
+    /// a deterministic per-partition split of every cluster across
+    /// `num_shards` record-disjoint stores sharing the skeleton. Within a
+    /// shard, cluster order and in-cluster record order are preserved, so
+    /// each shard's scan visits exactly the single index's records that
+    /// route to it.
+    ///
+    /// # Panics
+    /// If `num_shards == 0`.
+    pub fn build_in_memory(ds: &Dataset, config: ClimberConfig, num_shards: usize) -> Self {
+        Self::build_in_memory_with(
+            ds,
+            config,
+            BuildOptions::default().with_threads(config.workers),
+            num_shards,
+        )
+    }
+
+    /// [`build_in_memory`](Self::build_in_memory) with explicit
+    /// [`BuildOptions`] for the staging build (options never affect index
+    /// content, only build speed).
+    ///
+    /// # Panics
+    /// If `num_shards == 0`.
+    pub fn build_in_memory_with(
+        ds: &Dataset,
+        config: ClimberConfig,
+        options: BuildOptions,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards > 0, "num_shards must be positive");
+        let staging = MemStore::new();
+        let (skeleton, _report) = IndexBuilder::with_options(config, options).build(ds, &staging);
+        let router_seed = config.seed ^ ROUTER_SALT;
+
+        // Split every partition of the staging store across the shards.
+        // Every shard gets a file for EVERY skeleton partition — possibly
+        // with zero clusters — so per-shard partition opens (and the
+        // per-query `partitions_opened` accounting) mirror the single
+        // index exactly.
+        let stores: Vec<MemStore> = (0..num_shards).map(|_| MemStore::new()).collect();
+        let mut per_shard: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); num_shards];
+        for pid in skeleton.partition_ids() {
+            let reader = staging.open(pid).expect("staging partition just built");
+            let mut writers: Vec<PartitionWriter> = (0..num_shards)
+                .map(|_| PartitionWriter::new(reader.group_id(), reader.series_len()))
+                .collect();
+            for node in reader.cluster_ids() {
+                for recs in per_shard.iter_mut() {
+                    recs.clear();
+                }
+                reader.for_each_in_cluster(node, |id, vals| {
+                    per_shard[route(id, router_seed, num_shards)].push((id, vals.to_vec()));
+                });
+                for (s, recs) in per_shard.iter().enumerate() {
+                    if !recs.is_empty() {
+                        writers[s]
+                            .push_cluster(node, recs.iter().map(|(id, v)| (*id, v.as_slice())));
+                    }
+                }
+            }
+            for (s, w) in writers.into_iter().enumerate() {
+                stores[s].put(pid, w.finish()).expect("in-memory put");
+            }
+        }
+
+        let shards: Vec<Climber<MemStore>> = stores
+            .into_iter()
+            .map(|st| Climber::from_parts_with_config(skeleton.clone(), st, config, options))
+            .collect();
+        let next_id = shards
+            .iter()
+            .map(|c| c.next_id.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        Self {
+            shards,
+            router_seed,
+            next_id: AtomicU64::new(next_id),
+        }
+    }
+}
+
+impl ShardedClimber<DiskStore> {
+    /// Builds a sharded index and persists it under `dir` (one
+    /// subdirectory per shard plus the super-manifest), returning the set
+    /// reopened read-write through the full cold-start validation — the
+    /// sharded counterpart of [`Climber::build_on_disk`].
+    ///
+    /// # Panics
+    /// If `num_shards == 0`.
+    pub fn build_on_disk(
+        ds: &Dataset,
+        dir: impl AsRef<Path>,
+        config: ClimberConfig,
+        num_shards: usize,
+    ) -> Result<Self, ClimberError> {
+        Self::build_on_disk_with(
+            ds,
+            dir,
+            config,
+            BuildOptions::default().with_threads(config.workers),
+            num_shards,
+        )
+    }
+
+    /// [`build_on_disk`](Self::build_on_disk) with explicit
+    /// [`BuildOptions`].
+    ///
+    /// # Panics
+    /// If `num_shards == 0`.
+    pub fn build_on_disk_with(
+        ds: &Dataset,
+        dir: impl AsRef<Path>,
+        config: ClimberConfig,
+        options: BuildOptions,
+        num_shards: usize,
+    ) -> Result<Self, ClimberError> {
+        let mem = ShardedClimber::build_in_memory_with(ds, config, options, num_shards);
+        mem.save(dir.as_ref())?;
+        Self::open_rw(dir)
+    }
+
+    /// Cold-starts a saved shard set **read-only**: validates the
+    /// super-manifest (magic, version, self-checksum), opens every shard
+    /// through the full single-index validation, and cross-checks each
+    /// shard's generation against the set's sealed snapshot. Any
+    /// per-shard failure — a missing directory, a corrupt partition, a
+    /// drifted generation — surfaces as [`OpenError::Shard`] naming the
+    /// shard.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, ClimberError> {
+        Ok(Self::open_impl(dir.as_ref(), false)?)
+    }
+
+    /// [`open`](Self::open) with updates enabled on every shard — the
+    /// serve-and-ingest mode of the whole set.
+    pub fn open_rw(dir: impl AsRef<Path>) -> Result<Self, ClimberError> {
+        Ok(Self::open_impl(dir.as_ref(), true)?)
+    }
+
+    fn open_impl(dir: &Path, writable: bool) -> Result<Self, OpenError> {
+        let path = dir.join(SHARD_SET_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(OpenError::MissingManifest(path))
+            }
+            Err(e) => return Err(OpenError::Io(e)),
+        };
+        let sm = ShardSetManifest::decode(&bytes).map_err(OpenError::CorruptShardSet)?;
+        let mut shards = Vec::with_capacity(sm.num_shards as usize);
+        for i in 0..sm.num_shards as usize {
+            let sub = dir.join(shard_dir_name(i));
+            let shard = Climber::open_impl(&sub, writable).map_err(|e| OpenError::Shard {
+                shard: i,
+                source: Box::new(e),
+            })?;
+            if shard.generation() != sm.generations[i] {
+                return Err(OpenError::Shard {
+                    shard: i,
+                    source: Box::new(OpenError::CorruptShardSet(format!(
+                        "shard generation {} disagrees with the shard set's sealed {}",
+                        shard.generation(),
+                        sm.generations[i]
+                    ))),
+                });
+            }
+            shards.push(shard);
+        }
+        let next_id = shards
+            .iter()
+            .map(|c| c.next_id.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        Ok(Self {
+            shards,
+            router_seed: sm.router_seed,
+            next_id: AtomicU64::new(next_id),
+        })
+    }
+}
+
+impl<S: PartitionStore> ShardedClimber<S> {
+    /// Number of shards in the set.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (each a full [`Climber`]); read-side access
+    /// for accounting and tests — route updates through the set so the
+    /// set-wide id counter and super-manifest stay consistent.
+    pub fn shards(&self) -> &[Climber<S>] {
+        &self.shards
+    }
+
+    /// Seed of the record→shard routing hash (persisted, so routing is
+    /// stable across save/reopen).
+    pub fn router_seed(&self) -> u64 {
+        self.router_seed
+    }
+
+    /// Which shard owns record `id`. Deterministic for the lifetime of
+    /// the set, including across reopens.
+    pub fn shard_of(&self, id: u64) -> usize {
+        route(id, self.router_seed, self.shards.len())
+    }
+
+    /// False only for sets opened read-only via
+    /// [`ShardedClimber::open`].
+    pub fn is_writable(&self) -> bool {
+        self.shards.iter().all(Climber::is_writable)
+    }
+
+    /// Per-shard segment generations, indexed by shard.
+    pub fn generations(&self) -> Vec<u64> {
+        self.shards.iter().map(Climber::generation).collect()
+    }
+
+    /// The indexed series length, from any shard (all agree: they share
+    /// the skeleton and the split preserves partition metadata).
+    fn series_len_hint(&self) -> Option<usize> {
+        self.shards.first()?.series_len_hint()
+    }
+
+    fn set_manifest(&self) -> ShardSetManifest {
+        ShardSetManifest {
+            num_shards: self.shards.len() as u32,
+            router_seed: self.router_seed,
+            generations: self.generations(),
+        }
+    }
+
+    /// The directory holding the shard set, when the shards are
+    /// disk-backed under their standard subdirectories.
+    fn home_dir(&self) -> Option<PathBuf> {
+        let first = self.shards.first()?.store.persist_dir()?;
+        first.parent().map(Path::to_path_buf)
+    }
+
+    /// Persists the whole set under `dir`: every shard sealed into its
+    /// own `shard-NNN/` index directory (full per-shard validation
+    /// machinery — manifest, checksums, journal), then the super-manifest
+    /// written atomically **last**, so a crash mid-save never yields a
+    /// set that opens against half-new shards. Returns the written
+    /// super-manifest.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<ShardSetManifest, ClimberError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(ClimberError::Io)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.save(dir.join(shard_dir_name(i)))?;
+        }
+        let sm = self.set_manifest();
+        manifest::write_file_atomic(&dir.join(SHARD_SET_FILE), &sm.encode())
+            .map_err(ClimberError::Io)?;
+        Ok(sm)
+    }
+
+    /// Re-seals the super-manifest of a disk-backed set after a fold
+    /// bumped shard generations; without it a reopen would (correctly)
+    /// refuse the drifted shard.
+    fn reseal_set(&self) -> Result<(), ClimberError> {
+        if let Some(home) = self.home_dir() {
+            if home.join(SHARD_SET_FILE).is_file() {
+                manifest::write_file_atomic(
+                    &home.join(SHARD_SET_FILE),
+                    &self.set_manifest().encode(),
+                )
+                .map_err(ClimberError::Io)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a new series, returning its set-wide assigned id: the id
+    /// is drawn from the set-wide counter (so ids are identical to a
+    /// single index absorbing the same appends), routed to its owning
+    /// shard, and lands in that shard's delta segment — O(record), no
+    /// partition touched anywhere.
+    ///
+    /// # Panics
+    /// If the series length differs from the indexed length.
+    pub fn append(&self, values: &[f32]) -> Result<u64, ClimberError> {
+        Ok(self.append_batch(std::slice::from_ref(&values.to_vec()))?[0])
+    }
+
+    /// Appends a batch of series, returning their set-wide assigned ids:
+    /// one id-range reservation, one routing pass, one grouped delta
+    /// insertion per touched shard.
+    ///
+    /// # Panics
+    /// If any series length differs from the indexed length.
+    pub fn append_batch(&self, series: &[Vec<f32>]) -> Result<Vec<u64>, ClimberError> {
+        for shard in &self.shards {
+            shard.ensure_writable()?;
+        }
+        if series.is_empty() {
+            return Ok(Vec::new());
+        }
+        let expected = self.series_len_hint().unwrap_or(series[0].len());
+        for v in series {
+            assert_eq!(
+                v.len(),
+                expected,
+                "appended series length {} != indexed length {expected}",
+                v.len()
+            );
+        }
+        let first = self
+            .next_id
+            .fetch_add(series.len() as u64, Ordering::Relaxed);
+        let ids: Vec<u64> = (first..first + series.len() as u64).collect();
+        // Group the batch by owning shard, preserving ascending-id order
+        // within each group (delta folds replay in id order).
+        let mut grouped: Vec<Vec<(u64, &[f32])>> = vec![Vec::new(); self.shards.len()];
+        for (v, &id) in series.iter().zip(&ids) {
+            grouped[self.shard_of(id)].push((id, v.as_slice()));
+        }
+        for (s, group) in grouped.into_iter().enumerate() {
+            let Some(&(max_id, _)) = group.last() else {
+                continue;
+            };
+            let shard = &self.shards[s];
+            let routed: Vec<_> = group
+                .into_iter()
+                .map(|(id, v)| {
+                    let p = shard.skeleton.place(v, id);
+                    (p.partition, p.node, id, v)
+                })
+                .collect();
+            shard.delta.append_many(routed);
+            // The shard's own counter tracks the largest id it stores, so
+            // a per-shard seal records the right `max_series_id`.
+            shard.next_id.fetch_max(max_id + 1, Ordering::Relaxed);
+        }
+        Ok(ids)
+    }
+
+    /// Deletes series `id` set-wide — routed to the owning shard's
+    /// tombstone set. Returns `false` when the id was never assigned or
+    /// is already deleted, exactly like [`Climber::delete`].
+    pub fn delete(&self, id: u64) -> Result<bool, ClimberError> {
+        for shard in &self.shards {
+            shard.ensure_writable()?;
+        }
+        if id >= self.next_id.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        // The owning shard's own id counter may trail the set-wide one
+        // (it only counts records routed to it), so the existence check
+        // above is set-wide and the tombstone goes straight in.
+        Ok(self.shards[self.shard_of(id)].tombstones.delete(id))
+    }
+
+    /// Folds every shard's delta segment into its sealed partitions
+    /// ([`Climber::flush`] per shard), then re-seals the super-manifest
+    /// so the on-disk set stays openable at the bumped generations.
+    /// Counters in the merged report are summed across shards; the
+    /// reported generation is the highest shard generation.
+    pub fn flush(&self) -> Result<MaintenanceReport, ClimberError> {
+        self.maintain(false)
+    }
+
+    /// [`flush`](Self::flush) + purge on every shard
+    /// ([`Climber::compact`] per shard).
+    pub fn compact(&self) -> Result<MaintenanceReport, ClimberError> {
+        self.maintain(true)
+    }
+
+    fn maintain(&self, purge: bool) -> Result<MaintenanceReport, ClimberError> {
+        let mut merged = MaintenanceReport {
+            partitions_rewritten: 0,
+            records_folded: 0,
+            records_purged: 0,
+            tombstones_remaining: 0,
+            generation: 0,
+        };
+        for shard in &self.shards {
+            let r = if purge {
+                shard.compact()?
+            } else {
+                shard.flush()?
+            };
+            merged.partitions_rewritten += r.partitions_rewritten;
+            merged.records_folded += r.records_folded;
+            merged.records_purged += r.records_purged;
+            merged.tombstones_remaining += r.tombstones_remaining;
+            merged.generation = merged.generation.max(r.generation);
+        }
+        self.reseal_set()?;
+        Ok(merged)
+    }
+
+    /// Executes one [`SearchRequest`] across every shard — scatter, merge,
+    /// expansion — with an outcome bit-identical to [`Climber::search`]
+    /// on a single index over the same records.
+    ///
+    /// # Panics
+    /// If [`SearchRequest::validate`] fails, exactly like the
+    /// single-index surface.
+    ///
+    /// [`SearchRequest::validate`]: climber_query::search::SearchRequest::validate
+    pub fn search(&self, req: &SearchRequest) -> QueryOutcome {
+        self.search_many(std::slice::from_ref(req))
+            .pop()
+            .expect("one outcome per request")
+    }
+
+    /// Executes many [`SearchRequest`]s across every shard: compatible
+    /// requests are grouped and planned once on the shared skeleton, the
+    /// plans scattered to all shards through the partition-major batch
+    /// scan, and per-shard top-k streams merged per query under a shared
+    /// cross-shard bound. Outcomes come back in request order,
+    /// bit-identical to [`Climber::search_many`] on a single index.
+    ///
+    /// # Panics
+    /// If any request fails validation.
+    pub fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
+        self.search_many_with_status(reqs, 0).0
+    }
+
+    /// [`search_many`](Self::search_many) with an explicit worker thread
+    /// count (`0` = the machine's available parallelism).
+    pub fn search_many_with_threads(
+        &self,
+        reqs: &[SearchRequest],
+        threads: usize,
+    ) -> Vec<QueryOutcome> {
+        self.search_many_with_status(reqs, threads).0
+    }
+
+    /// The full scatter-gather entry point: outcomes in request order
+    /// plus one [`ShardStatus`] per shard. When every status is healthy
+    /// the outcomes are complete (bit-identical to a single index); a
+    /// shard that failed partitions mid-scatter degrades to the surviving
+    /// shards' answer, reported — never a panic or a hang.
+    ///
+    /// # Panics
+    /// If any request fails validation.
+    pub fn search_many_with_status(
+        &self,
+        reqs: &[SearchRequest],
+        threads: usize,
+    ) -> (Vec<QueryOutcome>, Vec<ShardStatus>) {
+        let mut statuses: Vec<ShardStatus> = (0..self.shards.len())
+            .map(|s| ShardStatus {
+                shard: s,
+                healthy: true,
+                failed_partitions: BTreeSet::new(),
+                records_scanned: 0,
+            })
+            .collect();
+        if reqs.is_empty() {
+            return (Vec::new(), statuses);
+        }
+        for req in reqs {
+            if let Err(e) = req.validate() {
+                panic!("{e}");
+            }
+        }
+        // Group compatible requests exactly like the single-index
+        // micro-batch path (first-seen order, tiny linear scan).
+        type GroupKey = (BatchStrategy, usize, Option<u32>);
+        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let key = (strategy_of(req.mode), req.k, req.budget);
+            match groups.iter_mut().find(|(gk, _)| *gk == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        let len_hint = self.series_len_hint();
+        let mut out: Vec<Option<QueryOutcome>> = Vec::with_capacity(reqs.len());
+        out.resize_with(reqs.len(), || None);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        pool.install(|| {
+            for ((strategy, k, budget), idxs) in &groups {
+                let queries: Vec<Vec<f32>> = idxs
+                    .iter()
+                    .map(|&i| {
+                        let req = &reqs[i];
+                        if matches!(req.mode, SearchMode::Resampled(_)) {
+                            let target = len_hint.unwrap_or(req.query.len());
+                            resample_linear(&req.query, target)
+                        } else {
+                            req.query.clone()
+                        }
+                    })
+                    .collect();
+                // One planning pass on the shared skeleton serves every
+                // shard; one bound array per query is shared across
+                // shards for cross-shard pruning.
+                let plans = plan_queries(
+                    self.shards[0].skeleton(),
+                    &queries,
+                    *k,
+                    *strategy,
+                    budget.map(|b| b as usize),
+                );
+                let bounds: Vec<SharedBound> =
+                    (0..queries.len()).map(|_| SharedBound::new()).collect();
+                let scans: Vec<ShardScan> = self
+                    .shards
+                    .par_iter()
+                    .map(|shard| {
+                        scan_shard(
+                            &shard.store,
+                            &queries,
+                            *k,
+                            &plans,
+                            &bounds,
+                            updates_of(shard),
+                        )
+                    })
+                    .collect();
+                for (si, scan) in scans.iter().enumerate() {
+                    statuses[si]
+                        .failed_partitions
+                        .extend(scan.failed.iter().copied());
+                    statuses[si].records_scanned += scan.scanned.iter().sum::<u64>();
+                }
+                let expands = strategy.expands();
+                for (qi, &ri) in idxs.iter().enumerate() {
+                    let plan = &plans[qi];
+                    // Seeking k-way merge of the per-shard streams: each
+                    // shard's heap already holds its best ≤ k candidates
+                    // sorted by (distance, id), so merging heaps IS the
+                    // stream merge — deterministic tie-breaking included.
+                    let mut top = TopK::new(*k);
+                    let mut records_scanned = 0u64;
+                    for scan in &scans {
+                        top.merge(scan.tops[qi].clone());
+                        records_scanned += scan.scanned[qi];
+                    }
+                    // A planned partition counts as opened when any shard
+                    // opened it — with healthy shards that is every
+                    // planned partition, the single-index count.
+                    let partitions_opened = plan
+                        .reads
+                        .keys()
+                        .filter(|pid| scans.iter().any(|s| !s.failed.contains(pid)))
+                        .count();
+                    if expands && top.len() < *k {
+                        // The sequential engine's expansion loop, fanned
+                        // across shards: plan order, stop checked at
+                        // partition granularity. Each shard expands into
+                        // a FRESH heap (TopK::merge does not dedup; shard
+                        // stores are record-disjoint and expansion
+                        // clusters are disjoint from planned ones, so a
+                        // fresh local per shard merges exactly once).
+                        'partitions: for (pid, planned) in &plan.reads {
+                            for (si, shard) in self.shards.iter().enumerate() {
+                                if scans[si].failed.contains(pid) {
+                                    continue;
+                                }
+                                let mut local = TopK::new(*k);
+                                match expand_shard_partition(
+                                    &shard.store,
+                                    *pid,
+                                    planned,
+                                    &queries[qi],
+                                    &mut local,
+                                    updates_of(shard),
+                                ) {
+                                    Some(n) => {
+                                        records_scanned += n;
+                                        statuses[si].records_scanned += n;
+                                        top.merge(local);
+                                    }
+                                    None => {
+                                        statuses[si].failed_partitions.insert(*pid);
+                                    }
+                                }
+                            }
+                            if top.len() >= *k {
+                                break 'partitions;
+                            }
+                        }
+                    }
+                    out[ri] = Some(QueryOutcome {
+                        results: top.into_sorted(),
+                        partitions_opened,
+                        records_scanned,
+                        plan: plan.clone(),
+                    });
+                }
+            }
+        });
+        for s in &mut statuses {
+            s.healthy = s.failed_partitions.is_empty();
+        }
+        let outcomes = out
+            .into_iter()
+            .map(|o| o.expect("every request answered"))
+            .collect();
+        (outcomes, statuses)
+    }
+}
+
+/// The shard's mutable segments as an [`UpdateView`], or `None` when both
+/// are empty (keeping the sealed-only fast path of the scan).
+fn updates_of<S: PartitionStore>(shard: &Climber<S>) -> Option<UpdateView<'_>> {
+    if shard.delta.is_empty() && shard.tombstones.is_empty() {
+        None
+    } else {
+        Some(UpdateView {
+            delta: &shard.delta,
+            tombstones: &shard.tombstones,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_series::gen::Domain;
+
+    fn cfg() -> ClimberConfig {
+        ClimberConfig::default()
+            .with_paa_segments(8)
+            .with_pivots(32)
+            .with_prefix_len(5)
+            .with_capacity(60)
+            .with_alpha(0.5)
+            .with_epsilon(1)
+            .with_seed(7)
+            .with_workers(2)
+    }
+
+    #[test]
+    fn sharded_matches_single_across_modes() {
+        let ds = Domain::RandomWalk.generate(400, 11);
+        let single = Climber::build_in_memory(&ds, cfg());
+        for shards in [1usize, 2, 3] {
+            let sharded = ShardedClimber::build_in_memory(&ds, cfg(), shards);
+            for req in [
+                SearchRequest::new(ds.get(5), 10),
+                SearchRequest::new(ds.get(17), 7).exact(),
+                SearchRequest::new(ds.get(30), 12).smallest(),
+                SearchRequest::new(ds.get(44), 9).adaptive(2).with_budget(3),
+            ] {
+                assert_eq!(sharded.search(&req), single.search(&req), "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_record_routes_to_exactly_one_shard() {
+        let ds = Domain::Eeg.generate(300, 3);
+        let sharded = ShardedClimber::build_in_memory(&ds, cfg(), 3);
+        let mut seen = vec![0u32; 300];
+        for (si, shard) in sharded.shards().iter().enumerate() {
+            for pid in shard.store().ids() {
+                shard.store().open(pid).unwrap().for_each(|id, _| {
+                    seen[id as usize] += 1;
+                    assert_eq!(sharded.shard_of(id), si, "record {id} off its shard");
+                });
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "routing not a partition");
+    }
+
+    #[test]
+    fn updates_flow_through_the_set() {
+        let ds = Domain::RandomWalk.generate(250, 9);
+        let single = Climber::build_in_memory(&ds, cfg());
+        let sharded = ShardedClimber::build_in_memory(&ds, cfg(), 2);
+        let probe: Vec<f32> = ds.get(10).iter().map(|v| v + 0.01).collect();
+        assert_eq!(
+            single.append(&probe).unwrap(),
+            sharded.append(&probe).unwrap(),
+            "set-wide ids must match the single index"
+        );
+        single.delete(10).unwrap();
+        sharded.delete(10).unwrap();
+        let req = SearchRequest::new(&probe[..], 8);
+        assert_eq!(sharded.search(&req), single.search(&req));
+        // fold both; answers must be unchanged and still equal
+        let before = sharded.search(&req);
+        single.flush().unwrap();
+        sharded.flush().unwrap();
+        assert_eq!(sharded.search(&req), before);
+        assert_eq!(sharded.search(&req), single.search(&req));
+    }
+
+    #[test]
+    fn shard_set_manifest_roundtrip_and_corruption() {
+        let sm = ShardSetManifest {
+            num_shards: 3,
+            router_seed: 0xDEAD_BEEF,
+            generations: vec![0, 4, 1],
+        };
+        let bytes = sm.encode();
+        assert_eq!(ShardSetManifest::decode(&bytes).unwrap(), sm);
+        // flip a byte: checksum catches it
+        let mut bad = bytes.clone();
+        bad[9] ^= 0xFF;
+        assert!(ShardSetManifest::decode(&bad)
+            .unwrap_err()
+            .contains("checksum"));
+        // truncate: length check catches it
+        assert!(ShardSetManifest::decode(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_results_and_routing() {
+        let dir = std::env::temp_dir().join(format!("climber-shard-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ds = Domain::TexMex.generate(220, 5);
+        let built = ShardedClimber::build_on_disk(&ds, &dir, cfg(), 2).unwrap();
+        let req = SearchRequest::new(ds.get(3), 6);
+        let want = built.search(&req);
+        let reopened = ShardedClimber::open(&dir).unwrap();
+        assert_eq!(reopened.search(&req), want);
+        assert_eq!(reopened.router_seed(), built.router_seed());
+        assert_eq!(reopened.num_shards(), 2);
+        assert!(!reopened.is_writable());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -204,6 +204,21 @@ pub enum OpenError {
         /// Generation embedded in the journal file.
         journal: u64,
     },
+    /// One shard of a sharded index failed to open. Wraps the shard's own
+    /// typed failure so callers see both *which* shard is broken and
+    /// *how* — a missing shard directory surfaces as
+    /// `Shard { source: MissingManifest, .. }`, a corrupt one as whatever
+    /// the per-shard validation found.
+    Shard {
+        /// The failing shard's index (its `shard-NNN` directory).
+        shard: usize,
+        /// Why that shard failed to open.
+        source: Box<OpenError>,
+    },
+    /// The shard-set super-manifest (`SHARDS.clsm`) is structurally
+    /// damaged, or disagrees with the shards it describes (wrong checksum,
+    /// truncation, generation drift against a shard's own manifest).
+    CorruptShardSet(String),
 }
 
 impl fmt::Display for OpenError {
@@ -244,6 +259,8 @@ impl fmt::Display for OpenError {
                 f,
                 "update journal is from segment generation {journal}, manifest was sealed at {manifest}"
             ),
+            Self::Shard { shard, source } => write!(f, "shard {shard} failed to open: {source}"),
+            Self::CorruptShardSet(m) => write!(f, "corrupt shard set: {m}"),
         }
     }
 }
@@ -252,6 +269,7 @@ impl std::error::Error for OpenError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
+            Self::Shard { source, .. } => Some(&**source),
             _ => None,
         }
     }

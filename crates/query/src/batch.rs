@@ -16,15 +16,16 @@
 //!    queries selected it;
 //! 3. partitions are fanned out across threads via the work-queue
 //!    [`rayon::scope`]. Each partition is opened **once**, each needed
-//!    cluster decoded **once** into a reused [`ClusterBuf`], and the decoded
+//!    cluster decoded **once** into a reused buffer, and the decoded
 //!    records are scored against every interested query — in small
 //!    cache-resident record blocks, behind a per-cluster Keogh PAA
 //!    prefilter whose signatures are likewise computed once and shared by
 //!    all the cluster's queries (the soundness argument lives on
-//!    `scan_block_prefiltered` in this module). Each query keeps its own
-//!    [`TopK`] heap and
+//!    `scan_block_prefiltered` in [`crate::scatter`], where phases 1–3
+//!    now live so a sharded index can run the identical scan per shard).
+//!    Each query keeps its own `TopK` heap and
 //!    early-abandon bound; workers refining the same query on different
-//!    partitions cooperate through a lock-free [`SharedBound`];
+//!    partitions cooperate through a lock-free shared bound;
 //! 4. per-query heaps are merged and the within-partition expansion
 //!    fallback (rarely needed) replays the sequential engine's exact loop.
 //!
@@ -33,28 +34,20 @@
 //! `partitions_opened`, and plan — to calling the sequential engine once
 //! per query, for any batch size and thread count. The distance kernel,
 //! tie-breaks, and expansion order are shared with the per-query path, and
-//! a [`TopK`]'s content is insertion-order independent; threading only
+//! a [`TopK`](climber_series::topk::TopK)'s content is insertion-order
+//! independent; threading only
 //! changes how much early-abandon work is skipped, never what survives.
 //! The property test `batch_equivalence.rs` asserts this across random
 //! datasets, batch sizes, and thread counts.
 
-use crate::adaptive::plan_adaptive;
-use crate::engine::query_seed;
-use crate::knn::plan_knn;
-use crate::od_smallest::plan_od_smallest;
-use crate::plan::{QueryOutcome, QueryPlan};
-use crate::refine::{expand_partition, scan_decoded_range};
+use crate::plan::QueryOutcome;
+use crate::scatter::{expand_shard_partition, plan_queries, scan_shard, ShardScan};
 use crate::updates::UpdateView;
-use climber_dfs::format::{ClusterBuf, TrieNodeId};
-use climber_dfs::store::{PartitionId, PartitionStore};
+use climber_dfs::store::PartitionStore;
 use climber_index::skeleton::IndexSkeleton;
-use climber_repr::paa::{paa, paa_into};
-use climber_series::distance::ed_early_abandon;
-use climber_series::topk::{SharedBound, TopK};
+use climber_series::topk::SharedBound;
 use rayon::prelude::*;
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Which search strategy a batch runs (one strategy for the whole batch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,8 +65,11 @@ pub enum BatchStrategy {
 }
 
 impl BatchStrategy {
-    /// Whether this strategy uses the within-partition expansion fallback.
-    pub(crate) fn expands(self) -> bool {
+    /// Whether this strategy uses the within-partition expansion fallback
+    /// when the planned scan comes up short of `k`. Public so a sharded
+    /// gather loop can replay the same fallback decision the single-store
+    /// executor makes.
+    pub fn expands(self) -> bool {
         !matches!(self, BatchStrategy::OdSmallest)
     }
 }
@@ -261,67 +257,6 @@ impl BatchOutcome {
     }
 }
 
-/// Work discovered for one partition: cluster → the queries that chose it.
-type PartitionWork = BTreeMap<TrieNodeId, Vec<usize>>;
-
-/// Records scored per cache block in the partition-major scan: at 256
-/// points a record decodes to 1 KiB, so a block stays L1-resident while
-/// every interested query of the batch scans it.
-const SCAN_BLOCK_RECORDS: usize = 16;
-
-/// Segments of the shared PAA prefilter (see [`scan_block_prefiltered`]).
-const PREFILTER_SEGMENTS: usize = 16;
-
-/// Minimum queries sharing a cluster before its PAA signatures are worth
-/// computing: below this the signature pass costs about what it saves.
-const PREFILTER_MIN_QUERIES: usize = 4;
-
-/// Scores one block of decoded records against one query, first pruning
-/// with the Keogh PAA lower bound computed from signatures shared by every
-/// query of the batch.
-///
-/// Soundness (results stay bit-identical to the unfiltered scan):
-/// per-segment Cauchy–Schwarz gives `len_s · (mean_x − mean_y)² ≤
-/// Σ_s (x_j − y_j)²`, so `floor(n/w) · Σ (paa_x − paa_y)² ≤ sq_ed(x, y)`
-/// even for uneven segment splits (the floor weight under-weights the
-/// longer leading segments). A record is skipped only when this lower
-/// bound exceeds the query's current bound with a relative safety margin
-/// (1e-9, many orders above f64 rounding), and any such record is provably
-/// not in the final top-k — exactly like an `ed_early_abandon` rejection,
-/// just ~n/w times cheaper.
-#[allow(clippy::too_many_arguments)]
-fn scan_block_prefiltered(
-    query: &[f32],
-    query_paa: &[f64],
-    buf: &ClusterBuf,
-    paas: &[f64],
-    segments: usize,
-    scale: f64,
-    range: std::ops::Range<usize>,
-    top: &mut TopK,
-    shared: &SharedBound,
-) {
-    for i in range {
-        let bound = top.bound_with(shared);
-        if bound.is_finite() {
-            let rp = &paas[i * segments..(i + 1) * segments];
-            let mut lb = 0.0f64;
-            for (a, b) in query_paa.iter().zip(rp.iter()) {
-                let d = a - b;
-                lb += d * d;
-            }
-            if lb * scale > bound * (1.0 + 1e-9) {
-                continue;
-            }
-        }
-        let (id, vals) = buf.get(i);
-        if let Some(d) = ed_early_abandon(query, vals, bound) {
-            top.offer(id, d);
-        }
-    }
-    top.publish_bound(shared);
-}
-
 /// Executes a batch request against a skeleton + store, merging the
 /// mutable segments of `updates` (delta clusters + tombstone filter) into
 /// every cluster scan when present. Called through
@@ -357,172 +292,29 @@ fn execute_pooled<S: PartitionStore>(
     let nq = req.queries.len();
     let k = req.k;
 
-    // Phase 0 — plan every query independently, in parallel.
-    let signatures = skeleton.extract_signatures(req.queries);
-    let plans: Vec<QueryPlan> = (0..nq)
-        .into_par_iter()
-        .map(|qi| {
-            let sig = &signatures[qi];
-            let seed = query_seed(&req.queries[qi]);
-            let mut plan = match req.strategy {
-                BatchStrategy::Knn => plan_knn(skeleton, sig, seed),
-                BatchStrategy::Adaptive { factor } => plan_adaptive(skeleton, sig, k, factor, seed),
-                BatchStrategy::OdSmallest => plan_od_smallest(skeleton, sig),
-            };
-            if let Some(cap) = req.partition_cap {
-                plan.truncate_partitions(cap);
-            }
-            plan
-        })
-        .collect();
+    // Phase 0 — plan every query independently, in parallel (shared with
+    // the sharded executor, which plans once for all shards).
+    let plans = plan_queries(skeleton, req.queries, k, req.strategy, req.partition_cap);
 
-    // Per-query PAA signatures for the shared prefilter (empty when the
-    // query is too short to segment — the scan then runs unfiltered).
-    let qpaas: Vec<Vec<f64>> = req
-        .queries
-        .par_iter()
-        .map(|q| {
-            let segs = PREFILTER_SEGMENTS.min(q.len());
-            if segs == 0 {
-                Vec::new()
-            } else {
-                paa(q, segs)
-            }
-        })
-        .collect();
-
-    // Regroup the union of all plans by partition, then by cluster.
-    let mut work: BTreeMap<PartitionId, PartitionWork> = BTreeMap::new();
-    for (qi, plan) in plans.iter().enumerate() {
-        for (&pid, clusters) in &plan.reads {
-            let per_cluster = work.entry(pid).or_default();
-            for &node in clusters {
-                per_cluster.entry(node).or_default().push(qi);
-            }
-        }
-    }
-
-    // Shared per-query state for the partition-major pass.
-    let heaps: Vec<Mutex<TopK>> = (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
+    // Phase 1 — the planned partition-major scan. The single-store batch
+    // is the one-shard special case of the scatter path: one fresh bound
+    // array, one store, the same fan-out loop.
     let bounds: Vec<SharedBound> = (0..nq).map(|_| SharedBound::new()).collect();
-    let scanned: Vec<AtomicU64> = (0..nq).map(|_| AtomicU64::new(0)).collect();
-    let failed: Mutex<BTreeSet<PartitionId>> = Mutex::new(BTreeSet::new());
-    let opened = AtomicUsize::new(0);
-    let decoded = AtomicU64::new(0);
-
-    // Phase 1 — fan partitions out across threads; skewed partition sizes
-    // balance over the scope's shared work queue.
-    rayon::scope(|s| {
-        for (&pid, per_cluster) in &work {
-            let (heaps, bounds, scanned) = (&heaps, &bounds, &scanned);
-            let (failed, opened, decoded) = (&failed, &opened, &decoded);
-            let (queries, qpaas) = (req.queries, &qpaas);
-            s.spawn(move |_| {
-                let Ok(reader) = store.open(pid) else {
-                    failed.lock().unwrap().insert(pid);
-                    return;
-                };
-                opened.fetch_add(1, Ordering::Relaxed);
-                let series_len = reader.series_len();
-                let segments = PREFILTER_SEGMENTS.min(series_len);
-                let scale = (series_len / segments) as f64;
-                let mut buf = ClusterBuf::new();
-                let mut paas: Vec<f64> = Vec::new();
-                let mut locals: Vec<Option<TopK>> = vec![None; queries.len()];
-                let mut touched: Vec<usize> = Vec::new();
-                for (&node, interested) in per_cluster {
-                    buf.clear();
-                    let bytes = reader.cluster_bytes(node).unwrap_or(0);
-                    // Physical decode; with updates active the sealed
-                    // records are tombstone-filtered at decode time and
-                    // the delta cluster under the same (partition, node)
-                    // key is appended, so everything downstream — the
-                    // shared prefilter, the block loop, the per-query
-                    // scans — sees one merged candidate stream.
-                    let physical = match updates {
-                        None => reader.read_cluster_into(node, &mut buf),
-                        Some(u) => {
-                            let tomb = u.tombstones.read();
-                            let p = reader
-                                .read_cluster_into_if(node, &mut buf, |id| !tomb.contains(id));
-                            u.delta
-                                .read_cluster_into(pid, node, &mut buf, |id| !tomb.contains(id));
-                            p
-                        }
-                    };
-                    store.stats().on_read(bytes as u64);
-                    store.stats().on_records_read(physical);
-                    let n = buf.len() as u64;
-                    decoded.fetch_add(n, Ordering::Relaxed);
-                    // PAA signatures for the prefilter: computed once per
-                    // cluster, shared by every query scanning it — but
-                    // only when enough queries share the cluster to
-                    // amortise the signature pass.
-                    let prefilter = interested.len() >= PREFILTER_MIN_QUERIES;
-                    paas.clear();
-                    if prefilter {
-                        for i in 0..buf.len() {
-                            paa_into(buf.get(i).1, segments, &mut paas);
-                        }
-                    }
-                    for &qi in interested {
-                        if locals[qi].is_none() {
-                            locals[qi] = Some(TopK::new(k));
-                            touched.push(qi);
-                        }
-                        scanned[qi].fetch_add(n, Ordering::Relaxed);
-                    }
-                    // Score in small record blocks: the block stays
-                    // cache-resident while every interested query scans
-                    // it. Per query the record visit order is unchanged,
-                    // so offers — and results — are identical to one
-                    // full pass (see `scan_decoded_range`).
-                    let mut lo = 0usize;
-                    while lo < buf.len() {
-                        let hi = (lo + SCAN_BLOCK_RECORDS).min(buf.len());
-                        for &qi in interested {
-                            let top = locals[qi].as_mut().expect("created above");
-                            if prefilter
-                                && qpaas[qi].len() == segments
-                                && queries[qi].len() == series_len
-                            {
-                                scan_block_prefiltered(
-                                    &queries[qi],
-                                    &qpaas[qi],
-                                    &buf,
-                                    &paas,
-                                    segments,
-                                    scale,
-                                    lo..hi,
-                                    top,
-                                    &bounds[qi],
-                                );
-                            } else {
-                                scan_decoded_range(&queries[qi], &buf, lo..hi, top, &bounds[qi]);
-                            }
-                        }
-                        lo = hi;
-                    }
-                }
-                for qi in touched {
-                    let local = locals[qi].take().expect("touched implies created");
-                    let mut global = heaps[qi].lock().unwrap();
-                    global.merge(local);
-                    global.publish_bound(&bounds[qi]);
-                }
-            });
-        }
-    });
-
-    let failed = failed.into_inner().unwrap();
-    let merged: Vec<TopK> = heaps.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let ShardScan {
+        tops,
+        scanned,
+        failed,
+        partitions_opened: opened,
+        records_decoded,
+    } = scan_shard(store, req.queries, k, &plans, &bounds, updates);
+    let decoded = AtomicU64::new(records_decoded);
 
     // Phase 2 — finalize each query (in parallel across queries): replay
     // the sequential engine's within-partition expansion when short of k,
     // then sort. Expansion re-opens the partition (the sequential path
     // still holds it open), which only affects physical stats, not the
     // outcome.
-    let items: Vec<(usize, TopK)> = merged.into_iter().enumerate().collect();
+    let items: Vec<(usize, _)> = tops.into_iter().enumerate().collect();
     let expands = req.strategy.expands();
     let reopens = AtomicUsize::new(0);
     let outcomes: Vec<QueryOutcome> = items
@@ -535,25 +327,18 @@ fn execute_pooled<S: PartitionStore>(
                 .keys()
                 .filter(|pid| !failed.contains(pid))
                 .count();
-            let mut records_scanned = scanned[qi].load(Ordering::Relaxed);
+            let mut records_scanned = scanned[qi];
             if expands && top.len() < k {
                 for (pid, planned) in &plan.reads {
                     if failed.contains(pid) {
                         continue;
                     }
-                    let Ok(reader) = store.open(*pid) else {
+                    let Some(n) =
+                        expand_shard_partition(store, *pid, planned, query, &mut top, updates)
+                    else {
                         continue;
                     };
                     reopens.fetch_add(1, Ordering::Relaxed);
-                    let n = expand_partition(
-                        &reader,
-                        *pid,
-                        planned,
-                        query,
-                        &mut top,
-                        store.stats(),
-                        updates,
-                    );
                     records_scanned += n;
                     // Expansion decodes per query, so it counts as
                     // physical work too — like the re-opens above.
@@ -575,7 +360,7 @@ fn execute_pooled<S: PartitionStore>(
     let records_scanned = outcomes.iter().map(|o| o.records_scanned).sum();
     BatchOutcome {
         outcomes,
-        partitions_opened: opened.load(Ordering::Relaxed) + reopens.load(Ordering::Relaxed),
+        partitions_opened: opened + reopens.load(Ordering::Relaxed),
         records_decoded: decoded.load(Ordering::Relaxed),
         records_scanned,
     }

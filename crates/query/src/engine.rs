@@ -219,7 +219,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
 /// Maps a request's [`SearchMode`] onto the batch engine's strategy; the
 /// resample preprocessing of [`SearchMode::Resampled`] happens before the
 /// strategy runs, so it maps to plain Adaptive.
-fn strategy_of(mode: SearchMode) -> BatchStrategy {
+pub fn strategy_of(mode: SearchMode) -> BatchStrategy {
     match mode {
         SearchMode::Exact => BatchStrategy::Knn,
         SearchMode::Adaptive(f) | SearchMode::Resampled(f) => {

@@ -31,6 +31,7 @@ pub mod knn;
 pub mod od_smallest;
 pub mod plan;
 pub mod refine;
+pub mod scatter;
 pub mod search;
 pub mod updates;
 

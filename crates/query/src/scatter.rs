@@ -1,0 +1,446 @@
+//! Scatter-side primitives for multi-shard query execution.
+//!
+//! A sharded index holds N record-disjoint stores under one shared
+//! skeleton. Executing a query batch against it decomposes into exactly
+//! the phases the partition-major batch engine ([`crate::batch`]) already
+//! runs against a single store — and this module factors those phases out
+//! so the single-store executor and a shard fan-out run the *same code*:
+//!
+//! * [`plan_queries`] — plan every query once against the shared skeleton
+//!   (plans depend only on the skeleton and the query, so one planning
+//!   pass serves every shard);
+//! * [`scan_shard`] — the partition-major planned scan of one store:
+//!   open each selected partition once, decode each selected cluster
+//!   once, score it against every interested query. Returns one
+//!   [`TopK`] per query plus the scan accounting ([`ShardScan`]);
+//! * [`expand_shard_partition`] — the within-partition expansion fallback
+//!   for one `(store, partition)` pair, used by a gather loop that must
+//!   interleave expansion across shards in plan order.
+//!
+//! ## Cross-shard shared-bound pruning
+//!
+//! [`scan_shard`] takes the per-query [`SharedBound`]s from the caller
+//! instead of creating its own. A shard fan-out passes the *same* bound
+//! array to every shard, so a shard that has already collected `k`
+//! candidates publishes its k-th distance and every other shard
+//! early-abandons against the best global bound — the cross-shard pruning
+//! half of a scatter-gather top-k. This is sound for bit-identical
+//! results: a bound is only ever published by a heap holding `k` real
+//! candidates, so any record abandoned against it is provably outside the
+//! global top-k; and `records_scanned` counts the merged candidate
+//! stream, not the offers, so the accounting is bound-independent.
+
+use crate::adaptive::plan_adaptive;
+use crate::batch::BatchStrategy;
+use crate::engine::query_seed;
+use crate::knn::plan_knn;
+use crate::od_smallest::plan_od_smallest;
+use crate::plan::QueryPlan;
+use crate::refine::{expand_partition, scan_decoded_range};
+use crate::updates::UpdateView;
+use climber_dfs::format::{ClusterBuf, TrieNodeId};
+use climber_dfs::store::{PartitionId, PartitionStore};
+use climber_index::skeleton::IndexSkeleton;
+use climber_repr::paa::{paa, paa_into};
+use climber_series::distance::ed_early_abandon;
+use climber_series::topk::{SharedBound, TopK};
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work discovered for one partition: cluster → the queries that chose it.
+type PartitionWork = BTreeMap<TrieNodeId, Vec<usize>>;
+
+/// Records scored per cache block in the partition-major scan: at 256
+/// points a record decodes to 1 KiB, so a block stays L1-resident while
+/// every interested query of the batch scans it.
+pub(crate) const SCAN_BLOCK_RECORDS: usize = 16;
+
+/// Segments of the shared PAA prefilter (see [`scan_block_prefiltered`]).
+pub(crate) const PREFILTER_SEGMENTS: usize = 16;
+
+/// Minimum queries sharing a cluster before its PAA signatures are worth
+/// computing: below this the signature pass costs about what it saves.
+pub(crate) const PREFILTER_MIN_QUERIES: usize = 4;
+
+/// Plans every query independently, in parallel, against `skeleton`:
+/// the batch engine's planning phase, exposed so a shard fan-out can plan
+/// **once** on the shared skeleton and execute the same plans on every
+/// shard. `partition_cap`, when set, truncates each plan deterministically
+/// (ascending partition id) — the budget semantics of
+/// [`SearchRequest::with_budget`](crate::search::SearchRequest::with_budget).
+pub fn plan_queries(
+    skeleton: &IndexSkeleton,
+    queries: &[Vec<f32>],
+    k: usize,
+    strategy: BatchStrategy,
+    partition_cap: Option<usize>,
+) -> Vec<QueryPlan> {
+    let signatures = skeleton.extract_signatures(queries);
+    (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            let sig = &signatures[qi];
+            let seed = query_seed(&queries[qi]);
+            let mut plan = match strategy {
+                BatchStrategy::Knn => plan_knn(skeleton, sig, seed),
+                BatchStrategy::Adaptive { factor } => plan_adaptive(skeleton, sig, k, factor, seed),
+                BatchStrategy::OdSmallest => plan_od_smallest(skeleton, sig),
+            };
+            if let Some(cap) = partition_cap {
+                plan.truncate_partitions(cap);
+            }
+            plan
+        })
+        .collect()
+}
+
+/// The result of one store's planned partition-major scan: per-query
+/// heaps and scan counters, plus which planned partitions failed to open.
+#[derive(Debug)]
+pub struct ShardScan {
+    /// One heap per query, holding that query's best candidates from this
+    /// store's planned clusters.
+    pub tops: Vec<TopK>,
+    /// Per-query records scanned (merged candidate stream length).
+    pub scanned: Vec<u64>,
+    /// Planned partitions that failed to open (treated as empty —
+    /// fault tolerance, same as the sequential engine).
+    pub failed: BTreeSet<PartitionId>,
+    /// Distinct partitions successfully opened by the scan.
+    pub partitions_opened: usize,
+    /// Records physically decoded from partition bytes.
+    pub records_decoded: u64,
+}
+
+/// Scores one block of decoded records against one query, first pruning
+/// with the Keogh PAA lower bound computed from signatures shared by every
+/// query of the batch.
+///
+/// Soundness (results stay bit-identical to the unfiltered scan):
+/// per-segment Cauchy–Schwarz gives `len_s · (mean_x − mean_y)² ≤
+/// Σ_s (x_j − y_j)²`, so `floor(n/w) · Σ (paa_x − paa_y)² ≤ sq_ed(x, y)`
+/// even for uneven segment splits (the floor weight under-weights the
+/// longer leading segments). A record is skipped only when this lower
+/// bound exceeds the query's current bound with a relative safety margin
+/// (1e-9, many orders above f64 rounding), and any such record is provably
+/// not in the final top-k — exactly like an `ed_early_abandon` rejection,
+/// just ~n/w times cheaper.
+#[allow(clippy::too_many_arguments)]
+fn scan_block_prefiltered(
+    query: &[f32],
+    query_paa: &[f64],
+    buf: &ClusterBuf,
+    paas: &[f64],
+    segments: usize,
+    scale: f64,
+    range: std::ops::Range<usize>,
+    top: &mut TopK,
+    shared: &SharedBound,
+) {
+    for i in range {
+        let bound = top.bound_with(shared);
+        if bound.is_finite() {
+            let rp = &paas[i * segments..(i + 1) * segments];
+            let mut lb = 0.0f64;
+            for (a, b) in query_paa.iter().zip(rp.iter()) {
+                let d = a - b;
+                lb += d * d;
+            }
+            if lb * scale > bound * (1.0 + 1e-9) {
+                continue;
+            }
+        }
+        let (id, vals) = buf.get(i);
+        if let Some(d) = ed_early_abandon(query, vals, bound) {
+            top.offer(id, d);
+        }
+    }
+    top.publish_bound(shared);
+}
+
+/// Executes the planned partition-major scan against one store: the
+/// batch engine's fan-out phase, factored out so a single-store batch and
+/// an N-shard scatter run the identical loop. Partitions selected by any
+/// plan are fanned out across threads via the [`rayon::scope`] work
+/// queue; each is opened once, each needed cluster decoded once (merging
+/// `updates` when present), and the decoded records scored against every
+/// interested query behind the shared PAA prefilter.
+///
+/// `bounds` must hold one [`SharedBound`] per query; passing the same
+/// array for every shard of a fan-out enables cross-shard pruning (see
+/// the module docs for the soundness argument).
+pub fn scan_shard<S: PartitionStore>(
+    store: &S,
+    queries: &[Vec<f32>],
+    k: usize,
+    plans: &[QueryPlan],
+    bounds: &[SharedBound],
+    updates: Option<UpdateView<'_>>,
+) -> ShardScan {
+    let nq = queries.len();
+    assert_eq!(plans.len(), nq, "one plan per query");
+    assert_eq!(bounds.len(), nq, "one shared bound per query");
+
+    // Per-query PAA signatures for the shared prefilter (empty when the
+    // query is too short to segment — the scan then runs unfiltered).
+    let qpaas: Vec<Vec<f64>> = queries
+        .par_iter()
+        .map(|q| {
+            let segs = PREFILTER_SEGMENTS.min(q.len());
+            if segs == 0 {
+                Vec::new()
+            } else {
+                paa(q, segs)
+            }
+        })
+        .collect();
+
+    // Regroup the union of all plans by partition, then by cluster.
+    let mut work: BTreeMap<PartitionId, PartitionWork> = BTreeMap::new();
+    for (qi, plan) in plans.iter().enumerate() {
+        for (&pid, clusters) in &plan.reads {
+            let per_cluster = work.entry(pid).or_default();
+            for &node in clusters {
+                per_cluster.entry(node).or_default().push(qi);
+            }
+        }
+    }
+
+    // Shared per-query state for the partition-major pass.
+    let heaps: Vec<Mutex<TopK>> = (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
+    let scanned: Vec<AtomicU64> = (0..nq).map(|_| AtomicU64::new(0)).collect();
+    let failed: Mutex<BTreeSet<PartitionId>> = Mutex::new(BTreeSet::new());
+    let opened = AtomicUsize::new(0);
+    let decoded = AtomicU64::new(0);
+
+    // Fan partitions out across threads; skewed partition sizes balance
+    // over the scope's shared work queue.
+    rayon::scope(|s| {
+        for (&pid, per_cluster) in &work {
+            let (heaps, bounds, scanned) = (&heaps, &bounds, &scanned);
+            let (failed, opened, decoded) = (&failed, &opened, &decoded);
+            let qpaas = &qpaas;
+            s.spawn(move |_| {
+                let Ok(reader) = store.open(pid) else {
+                    failed.lock().unwrap().insert(pid);
+                    return;
+                };
+                opened.fetch_add(1, Ordering::Relaxed);
+                let series_len = reader.series_len();
+                let segments = PREFILTER_SEGMENTS.min(series_len);
+                let scale = (series_len / segments) as f64;
+                let mut buf = ClusterBuf::new();
+                let mut paas: Vec<f64> = Vec::new();
+                let mut locals: Vec<Option<TopK>> = vec![None; queries.len()];
+                let mut touched: Vec<usize> = Vec::new();
+                for (&node, interested) in per_cluster {
+                    buf.clear();
+                    let bytes = reader.cluster_bytes(node).unwrap_or(0);
+                    // Physical decode; with updates active the sealed
+                    // records are tombstone-filtered at decode time and
+                    // the delta cluster under the same (partition, node)
+                    // key is appended, so everything downstream — the
+                    // shared prefilter, the block loop, the per-query
+                    // scans — sees one merged candidate stream.
+                    let physical = match updates {
+                        None => reader.read_cluster_into(node, &mut buf),
+                        Some(u) => {
+                            let tomb = u.tombstones.read();
+                            let p = reader
+                                .read_cluster_into_if(node, &mut buf, |id| !tomb.contains(id));
+                            u.delta
+                                .read_cluster_into(pid, node, &mut buf, |id| !tomb.contains(id));
+                            p
+                        }
+                    };
+                    store.stats().on_read(bytes as u64);
+                    store.stats().on_records_read(physical);
+                    let n = buf.len() as u64;
+                    decoded.fetch_add(n, Ordering::Relaxed);
+                    // PAA signatures for the prefilter: computed once per
+                    // cluster, shared by every query scanning it — but
+                    // only when enough queries share the cluster to
+                    // amortise the signature pass.
+                    let prefilter = interested.len() >= PREFILTER_MIN_QUERIES;
+                    paas.clear();
+                    if prefilter {
+                        for i in 0..buf.len() {
+                            paa_into(buf.get(i).1, segments, &mut paas);
+                        }
+                    }
+                    for &qi in interested {
+                        if locals[qi].is_none() {
+                            locals[qi] = Some(TopK::new(k));
+                            touched.push(qi);
+                        }
+                        scanned[qi].fetch_add(n, Ordering::Relaxed);
+                    }
+                    // Score in small record blocks: the block stays
+                    // cache-resident while every interested query scans
+                    // it. Per query the record visit order is unchanged,
+                    // so offers — and results — are identical to one
+                    // full pass (see `scan_decoded_range`).
+                    let mut lo = 0usize;
+                    while lo < buf.len() {
+                        let hi = (lo + SCAN_BLOCK_RECORDS).min(buf.len());
+                        for &qi in interested {
+                            let top = locals[qi].as_mut().expect("created above");
+                            if prefilter
+                                && qpaas[qi].len() == segments
+                                && queries[qi].len() == series_len
+                            {
+                                scan_block_prefiltered(
+                                    &queries[qi],
+                                    &qpaas[qi],
+                                    &buf,
+                                    &paas,
+                                    segments,
+                                    scale,
+                                    lo..hi,
+                                    top,
+                                    &bounds[qi],
+                                );
+                            } else {
+                                scan_decoded_range(&queries[qi], &buf, lo..hi, top, &bounds[qi]);
+                            }
+                        }
+                        lo = hi;
+                    }
+                }
+                for qi in touched {
+                    let local = locals[qi].take().expect("touched implies created");
+                    let mut global = heaps[qi].lock().unwrap();
+                    global.merge(local);
+                    global.publish_bound(&bounds[qi]);
+                }
+            });
+        }
+    });
+
+    ShardScan {
+        tops: heaps.into_iter().map(|m| m.into_inner().unwrap()).collect(),
+        scanned: scanned.into_iter().map(AtomicU64::into_inner).collect(),
+        failed: failed.into_inner().unwrap(),
+        partitions_opened: opened.into_inner(),
+        records_decoded: decoded.into_inner(),
+    }
+}
+
+/// Runs the within-partition expansion fallback for one `(store,
+/// partition)` pair: opens the partition and scans every cluster the plan
+/// did not select (sealed first, then delta-only nodes), offering records
+/// into `top`. Returns the records scanned, or `None` when the partition
+/// fails to open (the caller counts that shard as degraded rather than
+/// aborting the gather).
+///
+/// A shard fan-out calls this per shard with a **fresh** heap and merges
+/// it back: [`TopK::merge`] does not deduplicate, so expansion candidates
+/// must never share a heap with records already merged globally — shard
+/// stores are record-disjoint and expansion clusters are disjoint from
+/// planned ones, so a fresh local per `(shard, partition)` is exactly
+/// right.
+pub fn expand_shard_partition<S: PartitionStore>(
+    store: &S,
+    pid: PartitionId,
+    planned: &[TrieNodeId],
+    query: &[f32],
+    top: &mut TopK,
+    updates: Option<UpdateView<'_>>,
+) -> Option<u64> {
+    let Ok(reader) = store.open(pid) else {
+        return None;
+    };
+    Some(expand_partition(
+        &reader,
+        pid,
+        planned,
+        query,
+        top,
+        store.stats(),
+        updates,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchRequest;
+    use crate::engine::KnnEngine;
+    use climber_dfs::store::MemStore;
+    use climber_index::builder::IndexBuilder;
+    use climber_index::config::IndexConfig;
+    use climber_series::dataset::Dataset;
+    use climber_series::gen::Domain;
+
+    fn build(n: usize) -> (IndexSkeleton, MemStore, Dataset) {
+        let ds = Domain::RandomWalk.generate(n, 17);
+        let store = MemStore::new();
+        let cfg = IndexConfig::default()
+            .with_paa_segments(8)
+            .with_pivots(48)
+            .with_prefix_len(6)
+            .with_capacity(80)
+            .with_alpha(0.4)
+            .with_epsilon(1)
+            .with_seed(5)
+            .with_workers(2);
+        let (skeleton, _) = IndexBuilder::new(cfg).build(&ds, &store);
+        (skeleton, store, ds)
+    }
+
+    #[test]
+    fn plan_queries_matches_sequential_planning() {
+        let (skeleton, store, ds) = build(400);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let queries: Vec<Vec<f32>> = (0..8u64).map(|i| ds.get(i * 37).to_vec()).collect();
+        let plans = plan_queries(&skeleton, &queries, 10, BatchStrategy::Knn, None);
+        for (q, plan) in queries.iter().zip(&plans) {
+            assert_eq!(plan, &engine.knn(q, 10).plan);
+        }
+        // A cap truncates exactly like a request budget.
+        let capped = plan_queries(&skeleton, &queries, 10, BatchStrategy::OdSmallest, Some(1));
+        assert!(capped.iter().all(|p| p.num_partitions() <= 1));
+    }
+
+    #[test]
+    fn scan_shard_heaps_match_batch_outcomes() {
+        let (skeleton, store, ds) = build(500);
+        let engine = KnnEngine::new(&skeleton, &store);
+        let queries: Vec<Vec<f32>> = (0..10u64).map(|i| ds.get(i * 41).to_vec()).collect();
+        let k = 8;
+        let plans = plan_queries(
+            &skeleton,
+            &queries,
+            k,
+            BatchStrategy::Adaptive { factor: 4 },
+            None,
+        );
+        let bounds: Vec<SharedBound> = (0..queries.len()).map(|_| SharedBound::new()).collect();
+        let scan = scan_shard(&store, &queries, k, &plans, &bounds, None);
+        assert!(scan.failed.is_empty());
+        let batch = engine.batch(&BatchRequest::adaptive(&queries, k, 4));
+        for (qi, top) in scan.tops.into_iter().enumerate() {
+            // Heaps that reached k need no expansion: they already ARE
+            // the per-query outcome of the batch engine.
+            if top.len() >= k {
+                assert_eq!(top.into_sorted(), batch.outcomes[qi].results, "query {qi}");
+                assert_eq!(scan.scanned[qi], batch.outcomes[qi].records_scanned);
+            }
+        }
+    }
+
+    #[test]
+    fn expand_shard_partition_reports_missing_partition() {
+        let (_, store, _) = build(200);
+        let mut top = TopK::new(3);
+        let missing = expand_shard_partition(&store, 9_999, &[], &[0.0; 4], &mut top, None);
+        assert!(missing.is_none());
+        let pid = store.ids()[0];
+        let q = vec![0.0f32; store.open(pid).unwrap().series_len()];
+        let n = expand_shard_partition(&store, pid, &[], &q, &mut top, None);
+        assert!(n.is_some());
+        assert_eq!(n.unwrap(), store.open(pid).unwrap().record_count());
+    }
+}

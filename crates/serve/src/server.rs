@@ -10,23 +10,26 @@
 //!   channel delivers — or the typed error (`bad request`, `overloaded`,
 //!   `shutting down`) when the request never made it in;
 //! * **workers** loop on [`AdmissionQueue::next_batch`] and feed each
-//!   micro-batch to [`Climber::search_many`], so concurrent requests from
-//!   independent connections share partition opens and cluster decodes
-//!   exactly like a hand-built batch would.
+//!   micro-batch to the backend's [`SearchBackend::search_many`], so
+//!   concurrent requests from independent connections share partition
+//!   opens and cluster decodes exactly like a hand-built batch would.
+//!
+//! The server is generic over [`SearchBackend`], so a single
+//! [`Climber`](climber_core::Climber) and a
+//! [`ShardedClimber`](climber_core::ShardedClimber) serve through the
+//! identical wire surface — clients cannot tell (and need not care)
+//! whether the index behind the port is sharded.
 //!
 //! [`shutdown`](Server::shutdown) is drain-clean: the acceptor stops, the
 //! queue refuses new work, every admitted request is still executed and
 //! answered, and every thread the server owns is joined.
-//!
-//! [`Climber::search_many`]: climber_core::Climber::search_many
 
 use crate::metrics::{ServeMetrics, StatsReport};
 use crate::protocol::{
     bad_request, error_response, read_message, write_message, Request, Response,
 };
 use crate::queue::{AdmissionQueue, BatchPolicy, Pending};
-use climber_core::dfs::store::PartitionStore;
-use climber_core::{Climber, ClimberError, ServeError};
+use climber_core::{ClimberError, SearchBackend, ServeError};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -111,15 +114,18 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts
-    /// serving `climber`. The index is shared, read-only, across workers;
-    /// updates through other handles are picked up per batch.
-    pub fn start<S>(
-        climber: Arc<Climber<S>>,
+    /// serving `backend` — any [`SearchBackend`], i.e. a single
+    /// [`Climber`](climber_core::Climber) or a whole
+    /// [`ShardedClimber`](climber_core::ShardedClimber). The index is
+    /// shared, read-only, across workers; updates through other handles
+    /// are picked up per batch.
+    pub fn start<B>(
+        backend: Arc<B>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> Result<Self, ClimberError>
     where
-        S: PartitionStore + 'static,
+        B: SearchBackend + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -135,10 +141,10 @@ impl Server {
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
-                let climber = Arc::clone(&climber);
+                let backend = Arc::clone(&backend);
                 thread::Builder::new()
                     .name(format!("climber-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&climber, &queue, &metrics))
+                    .spawn(move || worker_loop(&*backend, &queue, &metrics))
                     .expect("spawn worker")
             })
             .collect();
@@ -201,8 +207,8 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop<S: PartitionStore>(
-    climber: &Climber<S>,
+fn worker_loop<B: SearchBackend + ?Sized>(
+    backend: &B,
     queue: &AdmissionQueue,
     metrics: &ServeMetrics,
 ) {
@@ -217,8 +223,9 @@ fn worker_loop<S: PartitionStore>(
         }
         // Handlers validate before submitting, so search_many never sees a
         // panicking request; outcomes are bit-identical to per-request
-        // `search` calls (the batch engine's equivalence guarantee).
-        let outcomes = climber.search_many(&reqs);
+        // `search` calls (the batch engine's — and for a sharded backend
+        // the scatter-gather merge's — equivalence guarantee).
+        let outcomes = backend.search_many(&reqs);
         metrics.on_batch(reqs.len());
         for ((tx, enqueued), outcome) in completions.into_iter().zip(outcomes) {
             metrics.on_completed(enqueued.elapsed());

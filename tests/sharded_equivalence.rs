@@ -1,0 +1,209 @@
+//! Property test: a sharded index is indistinguishable from a single one.
+//!
+//! The scatter-gather contract: for **any** shard count, any dataset
+//! domain, and any interleaving of appends, deletes, flushes and
+//! compactions applied identically to both sides, a [`ShardedClimber`]
+//! answers every [`SearchRequest`] — all four [`SearchMode`]s, budgeted
+//! and not, through the single-request path and the micro-batch path at
+//! any thread count — with outcomes **bit-identical** to a single
+//! [`Climber`] over the same records: same neighbour ids, same distances,
+//! same `records_scanned` and `partitions_opened`, same plan.
+//!
+//! The same equivalence is then pushed through persistence: the set is
+//! saved (per-shard directories + super-manifest) and cold-opened, the
+//! reopened set compacted shard-set-wide, and cold-opened again — each
+//! checkpoint compared against the live single index.
+
+use climber_core::series::gen::Domain;
+use climber_core::{Climber, ClimberConfig, SearchRequest, ShardedClimber};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+/// The shard counts the property sweeps (1 = the degenerate set that must
+/// trivially match; 8 > typical record spread per partition).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("climber-sheq-{tag}-{}", std::process::id()))
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Every mode in the unified surface, budgeted and not, over `queries`.
+fn requests(queries: &[Vec<f32>], k: usize) -> Vec<SearchRequest> {
+    let mut reqs = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        reqs.push(SearchRequest::new(q.clone(), k));
+        reqs.push(SearchRequest::new(q.clone(), k).exact());
+        reqs.push(SearchRequest::new(q.clone(), k).smallest());
+        reqs.push(
+            SearchRequest::new(q.clone(), k)
+                .adaptive(2)
+                .with_budget(2 + i),
+        );
+        // Resampled takes any query length; drop a sample to exercise it.
+        let short: Vec<f32> = q.iter().step_by(2).copied().collect();
+        reqs.push(SearchRequest::new(short, k).resampled(2));
+    }
+    reqs
+}
+
+/// Asserts the sharded set and the single index answer identically —
+/// full outcomes, single-request and batch paths, 1 and 8 threads.
+fn assert_equivalent(
+    sharded: &ShardedClimber<impl climber_core::dfs::store::PartitionStore>,
+    single: &Climber<impl climber_core::dfs::store::PartitionStore>,
+    queries: &[Vec<f32>],
+    k: usize,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let reqs = requests(queries, k);
+    let want: Vec<_> = reqs.iter().map(|r| single.search(r)).collect();
+    for (req, want) in reqs.iter().zip(&want) {
+        let got = sharded.search(req);
+        prop_assert_eq!(&got, want, "single-request path diverged ({})", ctx);
+    }
+    prop_assert_eq!(
+        &sharded.search_many(&reqs),
+        &want,
+        "batch path diverged ({})",
+        ctx
+    );
+    for threads in [1usize, 8] {
+        prop_assert_eq!(
+            &sharded.search_many_with_threads(&reqs, threads),
+            &want,
+            "batch path at {} threads diverged ({})",
+            threads,
+            ctx
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sharded_equals_single_index(
+        seed in 0u64..400,
+        n in 120usize..220,
+        appends in 4usize..24,
+        deletes in 2usize..20,
+        capacity in 40u64..90,
+        k in 1usize..12,
+        pick in 0usize..16,
+        flush_every in 5usize..40,
+    ) {
+        // One draw covers both axes: domain × shard count.
+        let num_shards = SHARD_COUNTS[pick / 4];
+        let domain = [Domain::RandomWalk, Domain::Eeg, Domain::Dna, Domain::TexMex][pick % 4];
+        let ds = domain.generate(n, seed);
+        let extra = domain.generate(appends, seed ^ 0xE17A);
+        let config = ClimberConfig::default()
+            .with_paa_segments(8)
+            .with_pivots(24)
+            .with_prefix_len(4)
+            .with_capacity(capacity)
+            .with_alpha(0.5)
+            .with_epsilon(1)
+            .with_seed(seed ^ 0x5EED)
+            .with_workers(2);
+        let single = Climber::build_in_memory(&ds, config);
+        let sharded = ShardedClimber::build_in_memory(&ds, config, num_shards);
+
+        // The identical interleaving of appends (singly and in batches),
+        // deletes, and flush/compact folds, applied to both sides. The
+        // set-wide id counter must hand out the single index's ids.
+        let mut state = seed ^ 0xC11B;
+        let mut live: Vec<u64> = (0..n as u64).collect();
+        let (mut appended, mut deleted) = (0usize, 0usize);
+        let mut op = 0usize;
+        while appended < appends || deleted < deletes {
+            let r = splitmix(&mut state);
+            let do_append = if appended < appends && deleted < deletes {
+                r % 2 == 0
+            } else {
+                appended < appends
+            };
+            if do_append {
+                if r % 5 == 0 && appends - appended >= 3 {
+                    let batch: Vec<Vec<f32>> = (0..3)
+                        .map(|j| extra.get((appended + j) as u64).to_vec())
+                        .collect();
+                    let ids_single = single.append_batch(&batch).unwrap();
+                    let ids_sharded = sharded.append_batch(&batch).unwrap();
+                    prop_assert_eq!(&ids_single, &ids_sharded, "batch ids diverged");
+                    live.extend(ids_single);
+                    appended += 3;
+                } else {
+                    let vals = extra.get(appended as u64).to_vec();
+                    let id_single = single.append(&vals).unwrap();
+                    let id_sharded = sharded.append(&vals).unwrap();
+                    prop_assert_eq!(id_single, id_sharded, "append ids diverged");
+                    live.push(id_single);
+                    appended += 1;
+                }
+            } else {
+                let at = (r % live.len() as u64) as usize;
+                let id = live.swap_remove(at);
+                prop_assert!(single.delete(id).unwrap());
+                prop_assert!(sharded.delete(id).unwrap());
+                deleted += 1;
+            }
+            op += 1;
+            if op % flush_every == 0 {
+                if r % 3 == 0 {
+                    single.compact().unwrap();
+                    sharded.compact().unwrap();
+                } else {
+                    single.flush().unwrap();
+                    sharded.flush().unwrap();
+                }
+            }
+        }
+
+        // Queries: survivors, perturbed probes, and appended records.
+        let queries: Vec<Vec<f32>> = (0..4u64)
+            .map(|i| {
+                let mut q = ds.get((i * 37) % n as u64).to_vec();
+                if i % 2 == 1 {
+                    q[0] += 0.25;
+                }
+                q
+            })
+            .chain(std::iter::once(extra.get(0).to_vec()))
+            .collect();
+
+        assert_equivalent(&sharded, &single, &queries, k, "in memory")?;
+
+        // Persistence: per-shard directories + super-manifest, then the
+        // full cold-start validation of every shard.
+        let dir = tmp_dir(&format!("{seed}-{n}-{num_shards}"));
+        fs::remove_dir_all(&dir).ok();
+        sharded.save(&dir).unwrap();
+        let cold = ShardedClimber::open(&dir).unwrap();
+        prop_assert!(!cold.is_writable());
+        prop_assert_eq!(cold.num_shards(), num_shards);
+        prop_assert_eq!(cold.router_seed(), sharded.router_seed());
+        assert_equivalent(&cold, &single, &queries, k, "cold open")?;
+
+        // Set-wide compaction on a writable reopen must change nothing
+        // and leave the directory cold-openable at the new generations.
+        let rw = ShardedClimber::open_rw(&dir).unwrap();
+        prop_assert!(rw.is_writable());
+        rw.compact().unwrap();
+        assert_equivalent(&rw, &single, &queries, k, "after compaction")?;
+        let cold2 = ShardedClimber::open(&dir).unwrap();
+        assert_equivalent(&cold2, &single, &queries, k, "cold reopen after compaction")?;
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,180 @@
+//! Fault injection against the shard set: broken directories fail to
+//! open with a typed error naming the shard, and a shard failing
+//! mid-scatter degrades a query to a reported partial answer — never a
+//! panic, never a hang.
+
+use climber_core::dfs::manifest::OpenError;
+use climber_core::series::gen::Domain;
+use climber_core::{
+    Climber, ClimberConfig, ClimberError, SearchRequest, ShardedClimber, SHARD_SET_FILE,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn cfg() -> ClimberConfig {
+    ClimberConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(32)
+        .with_prefix_len(5)
+        .with_capacity(80)
+        .with_alpha(0.5)
+        .with_epsilon(1)
+        .with_seed(99)
+        .with_workers(2)
+}
+
+fn build(
+    tag: &str,
+    shards: usize,
+) -> (PathBuf, ShardedClimber<climber_core::dfs::store::DiskStore>) {
+    let dir = std::env::temp_dir().join(format!("climber-fault-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    let ds = Domain::RandomWalk.generate(300, 21);
+    let set = ShardedClimber::build_on_disk(&ds, &dir, cfg(), shards).unwrap();
+    (dir, set)
+}
+
+/// The shard index named by a typed shard-open failure.
+fn shard_of_error(err: &ClimberError) -> Option<usize> {
+    match err {
+        ClimberError::Open(OpenError::Shard { shard, .. }) => Some(*shard),
+        _ => None,
+    }
+}
+
+#[test]
+fn missing_shard_directory_names_the_shard() {
+    let (dir, set) = build("missing", 3);
+    drop(set);
+    fs::remove_dir_all(dir.join("shard-001")).unwrap();
+    let err = ShardedClimber::open(&dir).unwrap_err();
+    assert_eq!(shard_of_error(&err), Some(1), "got: {err}");
+    assert!(err.to_string().contains("shard 1"), "got: {err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_shard_partition_names_the_shard() {
+    let (dir, set) = build("corrupt-part", 2);
+    drop(set);
+    // Flip bytes in the middle of one of shard-000's partition files; the
+    // per-shard checksum validation must catch it and the set open must
+    // attribute it.
+    let part = first_partition_file(&dir.join("shard-000"));
+    let mut bytes = fs::read(&part).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&part, bytes).unwrap();
+    let err = ShardedClimber::open(&dir).unwrap_err();
+    assert_eq!(shard_of_error(&err), Some(0), "got: {err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_super_manifest_is_a_typed_error() {
+    let (dir, set) = build("corrupt-sm", 2);
+    drop(set);
+    let path = dir.join(SHARD_SET_FILE);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[6] ^= 0xFF;
+    fs::write(&path, bytes).unwrap();
+    let err = ShardedClimber::open(&dir).unwrap_err();
+    assert!(
+        matches!(err, ClimberError::Open(OpenError::CorruptShardSet(_))),
+        "got: {err}"
+    );
+    // Truncation is caught too (not an index out-of-bounds panic).
+    fs::write(&path, b"CLSH").unwrap();
+    let err = ShardedClimber::open(&dir).unwrap_err();
+    assert!(
+        matches!(err, ClimberError::Open(OpenError::CorruptShardSet(_))),
+        "got: {err}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_super_manifest_is_missing_manifest() {
+    let (dir, set) = build("no-sm", 2);
+    drop(set);
+    fs::remove_file(dir.join(SHARD_SET_FILE)).unwrap();
+    let err = ShardedClimber::open(&dir).unwrap_err();
+    assert!(
+        matches!(err, ClimberError::Open(OpenError::MissingManifest(_))),
+        "got: {err}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generation_drift_behind_the_sets_back_is_refused() {
+    let (dir, set) = build("drift", 2);
+    drop(set);
+    // Mutate shard 1 directly through the single-index surface — an
+    // operator "fixing" one shard out-of-band. Its sealed generation now
+    // disagrees with the super-manifest's snapshot.
+    let shard1 = Climber::open_rw(dir.join("shard-001")).unwrap();
+    let probe: Vec<f32> = Domain::RandomWalk.generate(1, 77).get(0).to_vec();
+    shard1.append(&probe).unwrap();
+    shard1.flush().unwrap();
+    drop(shard1);
+    let err = ShardedClimber::open(&dir).unwrap_err();
+    assert_eq!(shard_of_error(&err), Some(1), "got: {err}");
+    assert!(err.to_string().contains("generation"), "got: {err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_failing_mid_scatter_degrades_with_status_not_panic() {
+    let (dir, set) = build("scatter", 2);
+    let ds = Domain::RandomWalk.generate(300, 21);
+    let reqs: Vec<SearchRequest> = (0..4u64)
+        .map(|i| SearchRequest::new(ds.get(i * 61).to_vec(), 8))
+        .collect();
+    let (healthy_out, healthy_status) = set.search_many_with_status(&reqs, 0);
+    assert!(healthy_status.iter().all(|s| s.healthy));
+
+    // Rip shard 1's partition files out from under the open set — the
+    // disk store re-reads files per open, so the next scatter hits the
+    // missing files mid-flight.
+    for entry in fs::read_dir(dir.join("shard-001")).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "clbp") {
+            fs::remove_file(p).unwrap();
+        }
+    }
+    let (out, statuses) = set.search_many_with_status(&reqs, 0);
+    assert_eq!(out.len(), reqs.len(), "every request still gets an answer");
+    assert!(statuses[0].healthy, "shard 0 is untouched");
+    assert!(!statuses[1].healthy, "shard 1 lost its partitions");
+    assert!(!statuses[1].failed_partitions.is_empty());
+    // The degraded answer is exactly the surviving shard's contribution:
+    // well-formed, sorted, no phantom records from the dead shard.
+    for (outcome, healthy) in out.iter().zip(&healthy_out) {
+        assert!(outcome.results.len() <= healthy.results.len());
+        assert!(outcome
+            .results
+            .windows(2)
+            .all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)));
+        for r in &outcome.results {
+            assert_eq!(
+                set.shard_of(r.0),
+                0,
+                "record {} served by a dead shard",
+                r.0
+            );
+        }
+    }
+    // The plain (status-less) surface degrades the same way, no panic.
+    let plain = set.search_many(&reqs);
+    assert_eq!(plain, out);
+    fs::remove_dir_all(&dir).ok();
+}
+
+fn first_partition_file(shard_dir: &Path) -> PathBuf {
+    fs::read_dir(shard_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "clbp"))
+        .expect("shard holds at least one partition file")
+}
