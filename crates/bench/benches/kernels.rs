@@ -1,57 +1,280 @@
-//! Criterion baseline for the per-record kernels the build and query hot
-//! loops are made of: `sq_ed`, `ed_early_abandon`, `paa_into` (the
-//! allocation-free PAA the conversion and prefilter paths use), and
-//! single-record signature extraction through a reused
-//! [`SignatureScratch`]. Every future kernel change — vectorisation,
-//! layout, early-abandon cadence — diffs against these numbers.
+//! Per-record kernel microbench: dispatched SIMD vs forced scalar.
 //!
-//! Run with `cargo bench --bench kernels` (add `-- --quick` for the CI
-//! smoke cadence).
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! Times the kernels the build and query hot loops are made of — `sq_ed`,
+//! `ed_early_abandon`, `sum_f32`, `sq_dist_f64`, `paa_into` and
+//! single-record signature extraction — once through the runtime-detected
+//! dispatch path and once with the scalar reference pinned, and reports
+//! the speedup. Because every tier is bit-identical, the two columns
+//! measure the same work; only the instruction mix differs.
+//!
+//! Three columns per kernel: the dispatched path, the pinned scalar
+//! *tier* (the 8-lane reference — which LLVM itself auto-vectorises to
+//! SSE2 on x86-64, so it is a strong fallback, not a strawman), and for
+//! `sq_ed` additionally the *naive* single-accumulator scalar baseline,
+//! which floating-point non-associativity keeps genuinely scalar.
+//!
+//! Prints the detected CPU features in the header and records them in
+//! `BENCH_kernels.json` (path override: `CLIMBER_BENCH_JSON`). With
+//! `CLIMBER_BENCH_STRICT=1` the run asserts that on AVX2 hosts `sq_ed`
+//! reaches >= 2x over the naive scalar baseline *and* beats the scalar
+//! tier outright (the dependency chain of the pinned per-lane summation
+//! order bounds the tier-vs-tier gap: one FP add per lane per chunk is
+//! the latency floor for every bit-identical implementation, so the
+//! tier-vs-tier ratio lands well under 2x by construction). On hosts
+//! without AVX2 the gate relaxes to >= 1.0x over the scalar tier and the
+//! relaxation reason is logged. `--quick` shrinks the repetition count
+//! to the CI smoke cadence.
 
 use climber_core::pivot::pivots::PivotSet;
 use climber_core::pivot::signature::{DualSignature, SignatureScratch};
 use climber_core::repr::paa::paa_into;
-use climber_core::series::distance::{ed_early_abandon, sq_ed};
 use climber_core::series::gen::Domain;
+use climber_core::series::kernels::{
+    self, ed_early_abandon, ed_early_abandon_with, sq_dist_f64, sq_dist_f64_with, sq_ed,
+    sq_ed_with, sum_f32, sum_f32_with, Dispatch,
+};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_kernels(c: &mut Criterion) {
+/// One kernel measured both ways.
+struct Row {
+    kernel: &'static str,
+    dispatched_ns: f64,
+    scalar_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.dispatched_ns.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` nanoseconds per call for `iters` calls of `f`.
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm up caches and the dispatch cell outside the timed region
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Times `f` through the auto-dispatch path and again with the scalar
+/// tier pinned via the forced-dispatch hook (the bench is
+/// single-threaded, so pinning is race-free).
+fn measure(kernel: &'static str, reps: usize, iters: usize, mut f: impl FnMut()) -> Row {
+    let dispatched_ns = time_ns(reps, iters, &mut f);
+    kernels::force(Some(Dispatch::Scalar));
+    let scalar_ns = time_ns(reps, iters, &mut f);
+    kernels::force(None);
+    Row {
+        kernel,
+        dispatched_ns,
+        scalar_ns,
+    }
+}
+
+/// The naive textbook scalar loop: one running sum, strictly sequential.
+/// Float addition is non-associative, so LLVM cannot vectorise this —
+/// it is the honest "no SIMD, no lane trick" baseline the 2x gate
+/// compares against.
+#[inline(never)]
+fn naive_sq_ed(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = 0.0f64;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let d = f64::from(*a) - f64::from(*b);
+        acc += d * d;
+    }
+    acc
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (reps, iters) = if quick { (3, 2_000) } else { (7, 20_000) };
+
+    let detected = kernels::detect();
+    let features: Vec<&str> = Dispatch::available().iter().map(|d| d.name()).collect();
+    println!("==========================================================================");
+    println!("Kernels — dispatched SIMD vs forced scalar (ns/op, best of {reps})");
+    println!(
+        "cpu: dispatch={} available=[{}]{}",
+        detected.name(),
+        features.join(", "),
+        if quick { " [--quick]" } else { "" }
+    );
+    println!("==========================================================================");
+
     let ds = Domain::RandomWalk.generate(300, 9);
     let x = ds.get(0).to_vec();
     let y = ds.get(1).to_vec();
+    let xd: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+    let yd: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
     // The paper's default scale: 200 pivots in 16-segment PAA space,
     // prefix length 10 — the exact per-record cost of Step-4 conversion.
     let pivots = PivotSet::select_random(&ds, 16, 200, 4);
     let exact = sq_ed(&x, &y);
 
-    let mut g = c.benchmark_group("kernels");
-    g.bench_function("sq_ed_256", |b| {
-        b.iter(|| sq_ed(black_box(&x), black_box(&y)))
-    });
-    g.bench_function("ed_early_abandon_mid_bound", |b| {
+    // Sanity first: the two columns must be the same bits, or the timing
+    // comparison is meaningless.
+    assert_eq!(
+        sq_ed(&x, &y).to_bits(),
+        sq_ed_with(Dispatch::Scalar, &x, &y).to_bits(),
+        "dispatched sq_ed disagrees with scalar — bit-identity broken"
+    );
+    assert_eq!(
+        sum_f32(&x).to_bits(),
+        sum_f32_with(Dispatch::Scalar, &x).to_bits()
+    );
+    assert_eq!(
+        sq_dist_f64(&xd, &yd).to_bits(),
+        sq_dist_f64_with(Dispatch::Scalar, &xd, &yd).to_bits()
+    );
+    assert_eq!(
+        ed_early_abandon(&x, &y, exact * 0.5).map(f64::to_bits),
+        ed_early_abandon_with(Dispatch::Scalar, &x, &y, exact * 0.5).map(f64::to_bits)
+    );
+
+    let mut rows = Vec::new();
+    rows.push(measure("sq_ed_256", reps, iters, || {
+        black_box(sq_ed(black_box(&x), black_box(&y)));
+    }));
+    rows.push(measure("ed_early_abandon_mid_bound", reps, iters, || {
         // A bound around half the true distance abandons mid-series —
         // the realistic refinement-stage mix of work and bail-out.
-        b.iter(|| ed_early_abandon(black_box(&x), black_box(&y), exact * 0.5))
-    });
-    g.bench_function("ed_early_abandon_loose_bound", |b| {
-        b.iter(|| ed_early_abandon(black_box(&x), black_box(&y), f64::INFINITY))
-    });
-    g.bench_function("paa_into_256_to_16", |b| {
-        let mut arena: Vec<f64> = Vec::with_capacity(16);
-        b.iter(|| {
-            arena.clear();
-            paa_into(black_box(&x), 16, &mut arena);
-            black_box(arena.last().copied())
-        })
-    });
-    g.bench_function("signature_extract_r200_m10", |b| {
-        let mut scratch = SignatureScratch::new();
-        b.iter(|| DualSignature::extract_with(black_box(&x), &pivots, 16, 10, &mut scratch))
-    });
-    g.finish();
-}
+        black_box(ed_early_abandon(black_box(&x), black_box(&y), exact * 0.5));
+    }));
+    rows.push(measure("ed_early_abandon_loose_bound", reps, iters, || {
+        black_box(ed_early_abandon(
+            black_box(&x),
+            black_box(&y),
+            f64::INFINITY,
+        ));
+    }));
+    rows.push(measure("sum_f32_256", reps, iters, || {
+        black_box(sum_f32(black_box(&x)));
+    }));
+    rows.push(measure("sq_dist_f64_256", reps, iters, || {
+        black_box(sq_dist_f64(black_box(&xd), black_box(&yd)));
+    }));
+    let mut arena: Vec<f64> = Vec::with_capacity(16);
+    rows.push(measure("paa_into_256_to_16", reps, iters, || {
+        arena.clear();
+        paa_into(black_box(&x), 16, &mut arena);
+        black_box(arena.last().copied());
+    }));
+    let mut scratch = SignatureScratch::new();
+    rows.push(measure(
+        "signature_extract_r200_m10",
+        reps,
+        iters / 10,
+        || {
+            black_box(DualSignature::extract_with(
+                black_box(&x),
+                &pivots,
+                16,
+                10,
+                &mut scratch,
+            ));
+        },
+    ));
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+    println!(
+        "{:<30} {:>12} {:>12} {:>9}",
+        "kernel", "dispatched", "scalar", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<30} {:>10.1}ns {:>10.1}ns {:>8.2}x",
+            r.kernel,
+            r.dispatched_ns,
+            r.scalar_ns,
+            r.speedup()
+        );
+    }
+
+    let sq_ed_row = &rows[0];
+    let vs_tier = sq_ed_row.speedup();
+    let naive_ns = time_ns(reps, iters, || {
+        black_box(naive_sq_ed(black_box(&x), black_box(&y)));
+    });
+    let vs_naive = naive_ns / sq_ed_row.dispatched_ns.max(1e-9);
+    // The gate: on AVX2 hosts, >= 2x over the naive scalar baseline and
+    // strictly ahead of the scalar tier. (The bit-identity contract pins
+    // the per-lane summation order, so one FP add per lane per chunk is
+    // a hard latency floor shared by every tier — the tier-vs-tier ratio
+    // cannot reach 2x by construction; the naive baseline is the honest
+    // "no SIMD" reference.) Without AVX2 the vector paths are narrower
+    // or absent, so the gate relaxes to tier parity and says why.
+    let avx2 = detected == Dispatch::Avx2;
+    let (gate, passed, reason) = if avx2 {
+        (2.0, vs_naive >= 2.0 && vs_tier >= 1.0, None)
+    } else {
+        (
+            1.0,
+            vs_tier >= 1.0,
+            Some(format!(
+                "host dispatches {} (no AVX2) — gate relaxed to >= 1.0x vs the scalar tier",
+                detected.name()
+            )),
+        )
+    };
+    if let Some(reason) = &reason {
+        println!("\nnote: {reason}");
+    }
+    println!(
+        "sq_ed: {:.1}ns dispatched | {:.1}ns scalar tier ({vs_tier:.2}x) | {naive_ns:.1}ns naive scalar ({vs_naive:.2}x; target >= {gate:.1}x)",
+        sq_ed_row.dispatched_ns, sq_ed_row.scalar_ns
+    );
+
+    // BENCH_*.json record (consumed by tooling; schema kept flat).
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"kernels\",\n  \"series_len\": {},\n  \"dispatch\": \"{}\",\n  \"cpu_features\": [{}],\n  \"rows\": [",
+        x.len(),
+        detected.name(),
+        features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"kernel\": \"{}\", \"dispatched_ns\": {:.2}, \"scalar_ns\": {:.2}, \"speedup\": {:.2}}}",
+            if i == 0 { "" } else { "," },
+            r.kernel,
+            r.dispatched_ns,
+            r.scalar_ns,
+            r.speedup()
+        );
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"sq_ed_naive_scalar_ns\": {naive_ns:.2},\n  \"sq_ed_vs_naive\": {vs_naive:.2},\n  \"sq_ed_vs_scalar_tier\": {vs_tier:.2},\n  \"gate\": {gate:.1}\n}}\n"
+    );
+    let path =
+        std::env::var("CLIMBER_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if std::env::var("CLIMBER_BENCH_STRICT").as_deref() == Ok("1") {
+        assert!(
+            passed,
+            "sq_ed gate failed: {vs_naive:.2}x vs naive scalar, {vs_tier:.2}x vs scalar tier \
+             (target >= {gate:.1}x, {})",
+            reason
+                .as_deref()
+                .unwrap_or("AVX2 host: >= 2x vs naive and >= 1x vs tier")
+        );
+    }
+}

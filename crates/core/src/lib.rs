@@ -75,6 +75,7 @@ pub use shard::{ShardSetManifest, ShardStatus, ShardedClimber, SHARD_SET_FILE};
 
 use climber_dfs::format::{Decode, Encode, PartitionWriter, TrieNodeId};
 use climber_dfs::manifest::{self, xxh64, FileEntry, PartitionEntry};
+use climber_dfs::quant::QuantCache;
 use climber_dfs::segment::{self, Journal};
 use climber_dfs::stats::IoSnapshot;
 use climber_dfs::store::{partition_file_name, DiskStore, MemStore, PartitionId, PartitionStore};
@@ -150,6 +151,10 @@ pub struct Climber<S: PartitionStore = MemStore> {
     /// [`save`](Self::save) (which takes `&self`) advances it past its
     /// own checksum reads.
     ready_io: Mutex<IoSnapshot>,
+    /// The 8-bit quantized record cache sealed cluster scans can be served
+    /// from (opt-in via [`set_quant_enabled`](Self::set_quant_enabled));
+    /// cleared whenever a fold rewrites sealed partitions.
+    quant: QuantCache,
 }
 
 impl Climber<MemStore> {
@@ -384,6 +389,7 @@ impl<S: PartitionStore> Climber<S> {
             writable: true,
             reseal_owed: std::sync::atomic::AtomicBool::new(false),
             ready_io: Mutex::new(IoSnapshot::default()),
+            quant: QuantCache::new(),
         }
     }
 
@@ -548,7 +554,7 @@ impl<S: PartitionStore> Climber<S> {
     /// delta segment or the tombstone set is non-empty, the engine merges
     /// them into every candidate stream.
     fn engine(&self) -> KnnEngine<'_, S> {
-        let engine = KnnEngine::new(&self.skeleton, &self.store);
+        let engine = KnnEngine::new(&self.skeleton, &self.store).with_quant(&self.quant);
         if self.delta.is_empty() && self.tombstones.is_empty() {
             engine
         } else {
@@ -930,6 +936,10 @@ impl<S: PartitionStore> Climber<S> {
                 }
             }
         }
+        // Any rewritten partition invalidates its quantized clusters —
+        // drop the whole cache (even on a partial failure: the successful
+        // rewrites already replaced sealed bytes).
+        self.quant.clear();
         if let Some(e) = failed {
             self.delta.restore(restore);
             return Err(e);
@@ -1082,6 +1092,22 @@ impl<S: PartitionStore> Climber<S> {
     /// partitions have absorbed).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Enables (or disables) the quantized record cache: when on, sealed
+    /// cluster scans are served from cached 8-bit codes with an admissible
+    /// lower-bound prefilter, promoting only the surviving records to
+    /// exact `f32` scoring. Answers are **bit-identical** either way — the
+    /// cache changes how much decode work a query pays, never what it
+    /// returns. Off by default; disabling also drops the cached entries.
+    pub fn set_quant_enabled(&self, enabled: bool) {
+        self.quant.set_enabled(enabled);
+    }
+
+    /// The quantized record cache (for inspection: entry count, byte
+    /// footprint, enabled flag).
+    pub fn quant_cache(&self) -> &QuantCache {
+        &self.quant
     }
 
     /// False only for indexes opened read-only via [`Climber::open`].

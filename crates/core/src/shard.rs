@@ -424,6 +424,16 @@ impl<S: PartitionStore> ShardedClimber<S> {
         self.router_seed
     }
 
+    /// Enables (or disables) the quantized record cache on every shard —
+    /// the set-wide counterpart of [`Climber::set_quant_enabled`]: sealed
+    /// cluster scans are served from 8-bit codes with exact promotion of
+    /// the survivors, leaving every answer bit-identical.
+    pub fn set_quant_enabled(&self, enabled: bool) {
+        for shard in &self.shards {
+            shard.set_quant_enabled(enabled);
+        }
+    }
+
     /// Which shard owns record `id`. Deterministic for the lifetime of
     /// the set, including across reopens.
     pub fn shard_of(&self, id: u64) -> usize {
@@ -737,6 +747,7 @@ impl<S: PartitionStore> ShardedClimber<S> {
                             &plans,
                             &bounds,
                             updates_of(shard),
+                            Some(&shard.quant),
                         )
                     })
                     .collect();
@@ -788,6 +799,7 @@ impl<S: PartitionStore> ShardedClimber<S> {
                                     &queries[qi],
                                     &mut local,
                                     updates_of(shard),
+                                    Some(&shard.quant),
                                 ) {
                                     Some(n) => {
                                         records_scanned += n;

@@ -564,6 +564,23 @@ impl PartitionReader {
         count as u64
     }
 
+    /// Random-access view over the records of cluster `node_id`, or `None`
+    /// when the node is absent. One directory lookup up front, then O(1)
+    /// per-record access — the promotion primitive of the quantized
+    /// prefilter, which decodes exact `f32` values only for the records
+    /// that survive the quantized lower bound.
+    pub fn cluster_records(&self, node_id: TrieNodeId) -> Option<ClusterRecords<'_>> {
+        let &(_, start, count) = self.directory.iter().find(|&&(n, _, _)| n == node_id)?;
+        let record_size = 8 + self.series_len * 4;
+        let off = self.records_at + (start as usize) * record_size;
+        let len = count as usize * record_size;
+        Some(ClusterRecords {
+            bytes: &self.bytes[off..off + len],
+            series_len: self.series_len,
+            count: count as usize,
+        })
+    }
+
     /// True when any stored record's id satisfies `pred`. Reads only the
     /// 8 id bytes of each record — no value decoding — and returns at the
     /// first hit, so scanning a partition for (say) tombstoned ids costs
@@ -605,6 +622,78 @@ impl PartitionReader {
             }
             f(id, &buf);
         }
+    }
+}
+
+/// Random-access view over one sealed cluster's encoded records, returned
+/// by [`PartitionReader::cluster_records`]. Ids can be inspected without
+/// decoding values; values decode on demand, per record.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterRecords<'a> {
+    bytes: &'a [u8],
+    series_len: usize,
+    count: usize,
+}
+
+impl ClusterRecords<'_> {
+    /// Number of records in the cluster.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the cluster holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Length of every stored series.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Series id of record `i` — an 8-byte read, no value decoding.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        let off = i * (8 + self.series_len * 4);
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Decodes the values of record `i` into `out` (cleared first).
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn values_into(&self, i: usize, out: &mut Vec<f32>) {
+        let record_size = 8 + self.series_len * 4;
+        let off = i * record_size;
+        out.clear();
+        out.extend(
+            self.bytes[off + 8..off + record_size]
+                .chunks_exact(4)
+                .map(|chunk| f32::from_le_bytes(chunk.try_into().unwrap())),
+        );
+    }
+
+    /// Appends record `i` (id and values) to `buf`.
+    ///
+    /// # Panics
+    /// If `i >= len()`, or `buf` is non-empty with a different series
+    /// length.
+    pub fn push_into(&self, i: usize, buf: &mut ClusterBuf) {
+        let record_size = 8 + self.series_len * 4;
+        let off = i * record_size;
+        buf.adopt_len(self.series_len);
+        buf.ids.push(self.id(i));
+        buf.values.extend(
+            self.bytes[off + 8..off + record_size]
+                .chunks_exact(4)
+                .map(|chunk| f32::from_le_bytes(chunk.try_into().unwrap())),
+        );
     }
 }
 
@@ -810,6 +899,79 @@ mod tests {
         let mut buf = ClusterBuf::new();
         r4.read_cluster_into(100, &mut buf);
         r2.read_cluster_into(1, &mut buf);
+    }
+
+    #[test]
+    fn cluster_records_random_access_matches_sequential_decode() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        for node in [100u64, 200] {
+            let mut buf = ClusterBuf::new();
+            r.read_cluster_into(node, &mut buf);
+            let recs = r.cluster_records(node).unwrap();
+            assert_eq!(recs.len(), buf.len());
+            assert_eq!(recs.series_len(), buf.series_len());
+            let mut scratch = Vec::new();
+            for i in 0..recs.len() {
+                let (id, values) = buf.get(i);
+                assert_eq!(recs.id(i), id);
+                recs.values_into(i, &mut scratch);
+                assert_eq!(scratch.as_slice(), values);
+            }
+        }
+        assert!(r.cluster_records(999).is_none());
+    }
+
+    #[test]
+    fn cluster_records_push_into_appends_records() {
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let recs = r.cluster_records(100).unwrap();
+        let mut buf = ClusterBuf::new();
+        // Promote records out of order, as a survivor scan would.
+        recs.push_into(1, &mut buf);
+        recs.push_into(0, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.get(0), (2, &[5.0f32, 6.0, 7.0, 8.0][..]));
+        assert_eq!(buf.get(1), (1, &[1.0f32, 2.0, 3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn cluster_buf_reuse_across_quantized_and_f32_decodes() {
+        // The quantized prefilter promotes survivors into the same
+        // ClusterBuf that full-f32 decodes use; a stale-buffer bug here
+        // would silently corrupt scores. Interleave the two access styles
+        // through one buffer and check every state transition.
+        let r = PartitionReader::open(sample_partition()).unwrap();
+        let mut buf = ClusterBuf::new();
+
+        // Full f32 decode of a large cluster.
+        r.read_cluster_into(100, &mut buf);
+        assert_eq!(buf.len(), 2);
+
+        // Clear, then survivor-promote a subset of the same cluster — the
+        // buffer must hold exactly the promoted record, not leftovers.
+        buf.clear();
+        let recs = r.cluster_records(100).unwrap();
+        recs.push_into(1, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get(0), (2, &[5.0f32, 6.0, 7.0, 8.0][..]));
+
+        // Clear, then decode a *different, smaller* cluster; stale values
+        // from the larger decode must not bleed in.
+        buf.clear();
+        r.read_cluster_into(200, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get(0), (3, &[9.0f32, 10.0, 11.0, 12.0][..]));
+
+        // Promotion appends on top of a sealed decode (the delta-merge
+        // shape): order and values stay exact.
+        recs.push_into(0, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.get(1), (1, &[1.0f32, 2.0, 3.0, 4.0][..]));
+
+        // values_into through a reused scratch vec always clears first.
+        let mut scratch = vec![0.0f32; 99];
+        recs.values_into(0, &mut scratch);
+        assert_eq!(scratch, vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

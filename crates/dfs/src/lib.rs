@@ -27,6 +27,7 @@
 pub mod cluster;
 pub mod format;
 pub mod manifest;
+pub mod quant;
 pub mod sample;
 pub mod segment;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod store;
 pub use cluster::{Broadcast, Cluster};
 pub use format::{ByteReader, Decode, Encode, PartitionReader, PartitionWriter, TrieNodeId};
 pub use manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
+pub use quant::{QuantCache, QuantizedCluster};
 pub use segment::{DeltaSegment, TombstoneSet, JOURNAL_FILE};
 pub use stats::IoStats;
 pub use store::{DiskStore, MemStore, PartitionId, PartitionStore};

@@ -1,0 +1,414 @@
+//! 8-bit quantized record cache with an admissible lower bound.
+//!
+//! Once pruning saturates, scan cost is dominated by streaming full `f32`
+//! records through the distance kernels. This module shrinks the
+//! memory-resident working set ~4x: each sealed trie-node cluster can be
+//! cached as min/max-scaled `u8` codes plus a 256-entry reconstruction
+//! table, and queries prefilter against a **quantized lower bound** that
+//! never over-tightens. Only records whose lower bound stays within the
+//! current k-NN bound are promoted to exact `f32` scoring.
+//!
+//! ## Scheme
+//!
+//! Per cluster: `lo` / `hi` are the min/max over every value, `step =
+//! (hi − lo) / 255`, and each value is stored as `code = round((v − lo) /
+//! step)` clamped to `0..=255`. Reconstruction is `recon(code) = lo +
+//! code·step` via a precomputed table, and `err` is the **maximum**
+//! reconstruction error `|v − recon(code(v))|` observed while encoding the
+//! cluster.
+//!
+//! ## Admissibility
+//!
+//! For every reading, `|v − recon| ≤ err`, so by the reverse triangle
+//! inequality `|q − v| ≥ |q − recon| − err`. Clamping the right side at
+//! zero and summing squares therefore lower-bounds the true squared
+//! Euclidean distance term by term. The computed bound is additionally
+//! deflated by a factor `1 − 1e-9` so that floating-point rounding in the
+//! summation can never push it above the exact kernel's value: skipping a
+//! record on `lb > bound` then strictly implies its true distance exceeds
+//! `bound`, which is exactly the records the early-abandoning kernel
+//! rejects — quantized-prefiltered answers stay bit-identical to full-f32
+//! answers.
+//!
+//! Clusters containing non-finite values are never cached (their
+//! arithmetic would poison the bound); queries simply fall back to the
+//! exact path for them.
+
+use crate::format::{ClusterBuf, TrieNodeId};
+use crate::store::PartitionId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Multiplicative deflation applied to the lower bound, covering rounding
+/// slack between the bound's summation and the exact kernel's.
+const LB_DEFLATE: f64 = 1.0 - 1e-9;
+
+/// One sealed cluster, quantized to 8-bit codes.
+#[derive(Debug, Clone)]
+pub struct QuantizedCluster {
+    series_len: usize,
+    ids: Vec<u64>,
+    codes: Vec<u8>,
+    /// `recon[c] = lo + c·step` — one multiply-add per entry, precomputed.
+    recon: Box<[f64; 256]>,
+    /// Maximum reconstruction error over the cluster's values.
+    err: f64,
+}
+
+impl QuantizedCluster {
+    /// Quantizes a decoded cluster. Returns `None` when the buffer is
+    /// empty or holds any non-finite value (such clusters are not worth
+    /// caching and would break the bound's arithmetic).
+    pub fn from_buf(buf: &ClusterBuf) -> Option<Self> {
+        if buf.is_empty() {
+            return None;
+        }
+        let series_len = buf.series_len();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, values) in buf.iter() {
+            for &v in values {
+                if !v.is_finite() {
+                    return None;
+                }
+                let v = f64::from(v);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let step = (hi - lo) / 255.0;
+        let mut recon = Box::new([0.0f64; 256]);
+        for (c, r) in recon.iter_mut().enumerate() {
+            *r = lo + c as f64 * step;
+        }
+        let mut ids = Vec::with_capacity(buf.len());
+        let mut codes = Vec::with_capacity(buf.len() * series_len);
+        let mut err = 0.0f64;
+        for (id, values) in buf.iter() {
+            ids.push(id);
+            for &v in values {
+                let v = f64::from(v);
+                let code = if step > 0.0 {
+                    ((v - lo) / step).round().clamp(0.0, 255.0) as usize
+                } else {
+                    0
+                };
+                err = err.max((v - recon[code]).abs());
+                codes.push(code as u8);
+            }
+        }
+        Some(Self {
+            series_len,
+            ids,
+            codes,
+            recon,
+            err,
+        })
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the cluster holds no records (cannot happen post-
+    /// construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Length of every quantized series.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Series id of record `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Maximum reconstruction error of the cluster.
+    #[inline]
+    pub fn max_err(&self) -> f64 {
+        self.err
+    }
+
+    /// Approximate heap footprint, for the cache's byte budget.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ids.len() * std::mem::size_of::<u64>()
+            + self.codes.len()
+            + 256 * std::mem::size_of::<f64>()
+    }
+
+    /// Admissible quantized lower bound on `sq_ed(query, record i)`.
+    ///
+    /// # Panics
+    /// If `query.len() != series_len()` or `i >= len()`.
+    pub fn lb(&self, i: usize, query: &[f32]) -> f64 {
+        assert_eq!(query.len(), self.series_len, "query/record length mismatch");
+        let codes = &self.codes[i * self.series_len..(i + 1) * self.series_len];
+        let mut raw = 0.0f64;
+        for (q, &c) in query.iter().zip(codes) {
+            let t = (f64::from(*q) - self.recon[c as usize]).abs() - self.err;
+            if t > 0.0 {
+                raw += t * t;
+            }
+        }
+        raw * LB_DEFLATE
+    }
+
+    /// True when the lower bound for record `i` strictly exceeds
+    /// `threshold` — i.e. the record provably cannot beat the current
+    /// k-NN bound and need not be promoted to exact scoring. Exits early
+    /// once the partial sum already exceeds the threshold (sound: the sum
+    /// is monotone non-decreasing).
+    pub fn lb_exceeds(&self, i: usize, query: &[f32], threshold: f64) -> bool {
+        assert_eq!(query.len(), self.series_len, "query/record length mismatch");
+        if !threshold.is_finite() {
+            return false;
+        }
+        let codes = &self.codes[i * self.series_len..(i + 1) * self.series_len];
+        let mut raw = 0.0f64;
+        for (j, (q, &c)) in query.iter().zip(codes).enumerate() {
+            let t = (f64::from(*q) - self.recon[c as usize]).abs() - self.err;
+            if t > 0.0 {
+                raw += t * t;
+            }
+            if j % 16 == 15 && raw * LB_DEFLATE > threshold {
+                return true;
+            }
+        }
+        raw * LB_DEFLATE > threshold
+    }
+}
+
+/// Process-wide byte budget the cache defaults to (~256 MiB).
+const DEFAULT_CAPACITY_BYTES: usize = 256 << 20;
+
+/// A byte-budgeted cache of [`QuantizedCluster`]s, keyed by
+/// `(partition, trie node)`.
+///
+/// The cache only ever holds **sealed** content: the query layer bypasses
+/// it entirely whenever delta segments or tombstones are live, and the
+/// index clears it after every flush/compaction fold (which rewrites
+/// partitions and reassigns ids). Disabled by default — quantized
+/// prefiltering trades memory for scan speed and is opt-in via
+/// [`QuantCache::set_enabled`]; results are bit-identical either way.
+#[derive(Debug)]
+pub struct QuantCache {
+    enabled: AtomicBool,
+    map: RwLock<HashMap<(PartitionId, TrieNodeId), Arc<QuantizedCluster>>>,
+    bytes: AtomicUsize,
+    capacity: usize,
+}
+
+impl Default for QuantCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantCache {
+    /// An empty, disabled cache with the default byte budget.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY_BYTES)
+    }
+
+    /// An empty, disabled cache admitting at most `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            map: RwLock::new(HashMap::new()),
+            bytes: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Whether lookups and inserts are live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns the cache on or off. Turning it off drops all entries.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.clear();
+        }
+    }
+
+    /// The cached cluster for `(partition, node)`, if present and enabled.
+    pub fn get(&self, partition: PartitionId, node: TrieNodeId) -> Option<Arc<QuantizedCluster>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        self.map.read().get(&(partition, node)).cloned()
+    }
+
+    /// Admits a quantized cluster, unless the cache is disabled or the
+    /// byte budget is exhausted (admission policy: first-come, no
+    /// eviction — the working set is cleared wholesale on fold).
+    pub fn insert(&self, partition: PartitionId, node: TrieNodeId, cluster: QuantizedCluster) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cost = cluster.footprint_bytes();
+        if self.bytes.load(Ordering::Relaxed) + cost > self.capacity {
+            return;
+        }
+        let mut map = self.map.write();
+        use std::collections::hash_map::Entry;
+        if let Entry::Vacant(e) = map.entry((partition, node)) {
+            e.insert(Arc::new(cluster));
+            self.bytes.fetch_add(cost, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry (called after flush/compaction folds, which
+    /// rewrite partitions).
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of cached clusters.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Bytes currently admitted.
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use climber_series::sq_ed;
+
+    fn buf_of(records: &[(u64, Vec<f32>)]) -> ClusterBuf {
+        let mut buf = ClusterBuf::new();
+        for (id, values) in records {
+            buf.push(*id, values);
+        }
+        buf
+    }
+
+    #[test]
+    fn empty_and_nonfinite_clusters_are_rejected() {
+        assert!(QuantizedCluster::from_buf(&ClusterBuf::new()).is_none());
+        let buf = buf_of(&[(1, vec![1.0, f32::NAN])]);
+        assert!(QuantizedCluster::from_buf(&buf).is_none());
+        let buf = buf_of(&[(1, vec![1.0, f32::INFINITY])]);
+        assert!(QuantizedCluster::from_buf(&buf).is_none());
+    }
+
+    #[test]
+    fn constant_cluster_quantizes_exactly() {
+        let buf = buf_of(&[(1, vec![2.5; 8]), (2, vec![2.5; 8])]);
+        let qc = QuantizedCluster::from_buf(&buf).unwrap();
+        assert_eq!(qc.len(), 2);
+        assert_eq!(qc.max_err(), 0.0);
+        // lb of the exact value is (deflated) zero; of a far query, positive.
+        assert_eq!(qc.lb(0, &[2.5f32; 8]), 0.0);
+        assert!(qc.lb(0, &[10.0f32; 8]) > 0.0);
+    }
+
+    #[test]
+    fn lb_is_admissible_on_dense_grid() {
+        let records: Vec<(u64, Vec<f32>)> = (0..10)
+            .map(|i| {
+                (
+                    i,
+                    (0..16)
+                        .map(|j| ((i * 31 + j * 7) % 23) as f32 / 3.0 - 4.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        let buf = buf_of(&records);
+        let qc = QuantizedCluster::from_buf(&buf).unwrap();
+        for probe in 0..10u64 {
+            let query: Vec<f32> = (0..16)
+                .map(|j| ((probe * 13 + j * 5) % 29) as f32 / 2.0 - 7.0)
+                .collect();
+            for (i, (_, values)) in records.iter().enumerate() {
+                let exact = sq_ed(&query, values);
+                let lb = qc.lb(i, &query);
+                assert!(lb <= exact, "record {i}: lb {lb} > exact {exact}");
+                assert!(!qc.lb_exceeds(i, &query, exact));
+                assert!(qc.lb_exceeds(i, &query, lb - 1.0) || lb < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lb_exceeds_never_fires_on_infinite_threshold() {
+        let buf = buf_of(&[(1, vec![0.0; 4])]);
+        let qc = QuantizedCluster::from_buf(&buf).unwrap();
+        assert!(!qc.lb_exceeds(0, &[100.0; 4], f64::INFINITY));
+    }
+
+    #[test]
+    fn cache_is_disabled_by_default_and_toggles() {
+        let cache = QuantCache::new();
+        let buf = buf_of(&[(1, vec![1.0, 2.0])]);
+        cache.insert(0, 7, QuantizedCluster::from_buf(&buf).unwrap());
+        assert!(cache.get(0, 7).is_none(), "disabled cache stores nothing");
+        cache.set_enabled(true);
+        cache.insert(0, 7, QuantizedCluster::from_buf(&buf).unwrap());
+        assert_eq!(cache.get(0, 7).unwrap().len(), 1);
+        assert!(cache.bytes() > 0);
+        cache.set_enabled(false);
+        assert!(cache.get(0, 7).is_none());
+        assert_eq!(cache.len(), 0, "disabling drops entries");
+    }
+
+    #[test]
+    fn cache_respects_byte_budget() {
+        let cache = QuantCache::with_capacity(1);
+        cache.set_enabled(true);
+        let buf = buf_of(&[(1, vec![1.0, 2.0])]);
+        cache.insert(0, 7, QuantizedCluster::from_buf(&buf).unwrap());
+        assert!(cache.get(0, 7).is_none(), "over-budget insert rejected");
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn cache_clear_resets_accounting() {
+        let cache = QuantCache::new();
+        cache.set_enabled(true);
+        let buf = buf_of(&[(1, vec![1.0, 2.0]), (2, vec![3.0, 4.0])]);
+        cache.insert(3, 9, QuantizedCluster::from_buf(&buf).unwrap());
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.is_enabled(), "clear does not disable");
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_entry_and_bytes() {
+        let cache = QuantCache::new();
+        cache.set_enabled(true);
+        let buf = buf_of(&[(1, vec![1.0, 2.0])]);
+        cache.insert(0, 7, QuantizedCluster::from_buf(&buf).unwrap());
+        let before = cache.bytes();
+        cache.insert(0, 7, QuantizedCluster::from_buf(&buf).unwrap());
+        assert_eq!(cache.bytes(), before);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -86,17 +86,14 @@ impl PivotSet {
     }
 
     /// Squared Euclidean distance from `point` (in PAA space) to pivot `id`.
+    ///
+    /// Runs on the SIMD-dispatched f64 kernel; results are bit-identical
+    /// across dispatch tiers, so signatures extracted on different hosts
+    /// (or at build vs. query time) always agree.
     #[inline]
     pub fn sq_dist_to(&self, id: PivotId, point: &[f64]) -> f64 {
         debug_assert_eq!(point.len(), self.dims);
-        self.get(id)
-            .iter()
-            .zip(point.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        climber_series::kernels::sq_dist_f64(self.get(id), point)
     }
 
     /// Iterator over `(id, coords)` pairs.

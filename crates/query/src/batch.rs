@@ -43,6 +43,7 @@
 use crate::plan::QueryOutcome;
 use crate::scatter::{expand_shard_partition, plan_queries, scan_shard, ShardScan};
 use crate::updates::UpdateView;
+use climber_dfs::quant::QuantCache;
 use climber_dfs::store::PartitionStore;
 use climber_index::skeleton::IndexSkeleton;
 use climber_series::topk::SharedBound;
@@ -266,6 +267,7 @@ pub(crate) fn execute<S: PartitionStore>(
     store: &S,
     req: &BatchRequest<'_>,
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> BatchOutcome {
     let nq = req.queries.len();
     if nq == 0 {
@@ -280,7 +282,7 @@ pub(crate) fn execute<S: PartitionStore>(
         .num_threads(req.threads)
         .build()
         .expect("thread pool");
-    pool.install(|| execute_pooled(skeleton, store, req, updates))
+    pool.install(|| execute_pooled(skeleton, store, req, updates, quant))
 }
 
 fn execute_pooled<S: PartitionStore>(
@@ -288,6 +290,7 @@ fn execute_pooled<S: PartitionStore>(
     store: &S,
     req: &BatchRequest<'_>,
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> BatchOutcome {
     let nq = req.queries.len();
     let k = req.k;
@@ -306,7 +309,7 @@ fn execute_pooled<S: PartitionStore>(
         failed,
         partitions_opened: opened,
         records_decoded,
-    } = scan_shard(store, req.queries, k, &plans, &bounds, updates);
+    } = scan_shard(store, req.queries, k, &plans, &bounds, updates, quant);
     let decoded = AtomicU64::new(records_decoded);
 
     // Phase 2 — finalize each query (in parallel across queries): replay
@@ -333,9 +336,9 @@ fn execute_pooled<S: PartitionStore>(
                     if failed.contains(pid) {
                         continue;
                     }
-                    let Some(n) =
-                        expand_shard_partition(store, *pid, planned, query, &mut top, updates)
-                    else {
+                    let Some(n) = expand_shard_partition(
+                        store, *pid, planned, query, &mut top, updates, quant,
+                    ) else {
                         continue;
                     };
                     reopens.fetch_add(1, Ordering::Relaxed);

@@ -9,6 +9,7 @@ use crate::plan::QueryOutcome;
 use crate::refine::refine;
 use crate::search::{SearchMode, SearchRequest};
 use crate::updates::UpdateView;
+use climber_dfs::quant::QuantCache;
 use climber_dfs::store::PartitionStore;
 use climber_index::skeleton::IndexSkeleton;
 use climber_series::resample::resample_linear;
@@ -25,6 +26,7 @@ pub struct KnnEngine<'a, S: PartitionStore> {
     skeleton: &'a IndexSkeleton,
     store: &'a S,
     updates: Option<UpdateView<'a>>,
+    quant: Option<&'a QuantCache>,
 }
 
 impl<'a, S: PartitionStore> KnnEngine<'a, S> {
@@ -34,6 +36,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
             skeleton,
             store,
             updates: None,
+            quant: None,
         }
     }
 
@@ -42,6 +45,16 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     #[must_use]
     pub fn with_updates(mut self, updates: UpdateView<'a>) -> Self {
         self.updates = Some(updates);
+        self
+    }
+
+    /// Attaches a quantized record cache: sealed cluster scans are served
+    /// from 8-bit codes with exact promotion of the survivors whenever the
+    /// cache is enabled. Results stay bit-identical either way — the cache
+    /// only changes how much physical decode work a scan pays.
+    #[must_use]
+    pub fn with_quant(mut self, quant: &'a QuantCache) -> Self {
+        self.quant = Some(quant);
         self
     }
 
@@ -60,7 +73,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     pub fn knn(&self, query: &[f32], k: usize) -> QueryOutcome {
         let sig = self.skeleton.extract_signature(query);
         let plan = plan_knn(self.skeleton, &sig, query_seed(query));
-        refine(self.store, &plan, query, k, true, self.updates)
+        refine(self.store, &plan, query, k, true, self.updates, self.quant)
     }
 
     /// CLIMBER-kNN-Adaptive with partition cap `factor ×` the plain plan
@@ -68,7 +81,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     pub fn knn_adaptive(&self, query: &[f32], k: usize, factor: usize) -> QueryOutcome {
         let sig = self.skeleton.extract_signature(query);
         let plan = plan_adaptive(self.skeleton, &sig, k, factor, query_seed(query));
-        refine(self.store, &plan, query, k, true, self.updates)
+        refine(self.store, &plan, query, k, true, self.updates, self.quant)
     }
 
     /// OD-Smallest: scan every partition of every OD-tied group
@@ -76,7 +89,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     pub fn od_smallest(&self, query: &[f32], k: usize) -> QueryOutcome {
         let sig = self.skeleton.extract_signature(query);
         let plan = plan_od_smallest(self.skeleton, &sig);
-        refine(self.store, &plan, query, k, false, self.updates)
+        refine(self.store, &plan, query, k, false, self.updates, self.quant)
     }
 
     /// Executes a whole [`BatchRequest`] partition-major across threads:
@@ -88,7 +101,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
     /// [`crate::batch`] for the execution model and the throughput
     /// characteristics.
     pub fn batch(&self, request: &BatchRequest<'_>) -> BatchOutcome {
-        crate::batch::execute(self.skeleton, self.store, request, self.updates)
+        crate::batch::execute(self.skeleton, self.store, request, self.updates, self.quant)
     }
 
     /// Executes one unified [`SearchRequest`] sequentially.
@@ -205,6 +218,7 @@ impl<'a, S: PartitionStore> KnnEngine<'a, S> {
             k,
             strategy.expands(),
             self.updates,
+            self.quant,
         )
     }
 

@@ -38,6 +38,7 @@
 use crate::plan::{QueryOutcome, QueryPlan};
 use crate::updates::UpdateView;
 use climber_dfs::format::{ClusterBuf, PartitionReader, TrieNodeId};
+use climber_dfs::quant::{QuantCache, QuantizedCluster};
 use climber_dfs::stats::IoStats;
 use climber_dfs::store::{PartitionId, PartitionStore};
 use climber_series::distance::ed_early_abandon;
@@ -49,7 +50,10 @@ use climber_series::topk::{SharedBound, TopK};
 /// `expand_within_partitions` enables the within-partition fallback
 /// described above (used by CLIMBER-kNN and the adaptive variants).
 /// `updates`, when present, merges delta clusters into every scan and
-/// filters tombstones out of the candidate stream.
+/// filters tombstones out of the candidate stream. `quant`, when present
+/// and enabled, serves sealed cluster scans from the 8-bit quantized
+/// record cache (see `scan_cluster` for the equivalence argument).
+#[allow(clippy::too_many_arguments)]
 pub fn refine<S: PartitionStore>(
     store: &S,
     plan: &QueryPlan,
@@ -57,6 +61,7 @@ pub fn refine<S: PartitionStore>(
     k: usize,
     expand_within_partitions: bool,
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> QueryOutcome {
     assert!(k > 0, "k must be positive");
     let mut top = TopK::new(k);
@@ -81,6 +86,7 @@ pub fn refine<S: PartitionStore>(
                 &mut buf,
                 store.stats(),
                 updates,
+                quant,
             );
         }
         openers.push((pid, reader));
@@ -99,6 +105,7 @@ pub fn refine<S: PartitionStore>(
                 &mut top,
                 store.stats(),
                 updates,
+                quant,
             );
             if top.len() >= k {
                 break;
@@ -122,6 +129,16 @@ pub fn refine<S: PartitionStore>(
 /// under the same key are merged into `buf` and scored from there — one
 /// candidate stream, identical visit order per record, so results match
 /// the sealed path bit for bit whenever the segments are empty.
+///
+/// When `quant` is present and enabled, the sealed path is served through
+/// the quantized record cache instead: a cached cluster is prefiltered on
+/// its 8-bit codes and only the records the admissible lower bound cannot
+/// rule out are decoded to exact `f32` and scored. A record is skipped
+/// only when `lb > bound`, which (by admissibility, `lb <= sq_ed`) implies
+/// its true distance exceeds the bound — exactly the records an
+/// `ed_early_abandon` rejection would drop — so the surviving top-k is
+/// bit-identical to the uncached scan. Updates always bypass the cache:
+/// quantized entries reflect sealed bytes only.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_cluster(
     reader: &PartitionReader,
@@ -132,9 +149,13 @@ pub(crate) fn scan_cluster(
     buf: &mut ClusterBuf,
     stats: &IoStats,
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> u64 {
     let bytes = reader.cluster_bytes(node).unwrap_or(0);
     let Some(u) = updates else {
+        if let Some(cache) = quant.filter(|c| c.is_enabled()) {
+            return scan_cluster_quantized(reader, pid, node, query, top, buf, stats, cache);
+        }
         let n = reader.for_each_in_cluster(node, |id, vals| {
             if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
                 top.offer(id, d);
@@ -163,6 +184,68 @@ pub(crate) fn scan_cluster(
     buf.len() as u64
 }
 
+/// The sealed cluster scan served through the quantized record cache.
+///
+/// Hit: scan the cached 8-bit codes; a record whose quantized lower bound
+/// exceeds the heap's current bound is skipped without touching its `f32`
+/// bytes, and only the survivors are decoded (via
+/// [`PartitionReader::cluster_records`] random access) and scored exactly.
+/// Miss: decode the whole cluster as usual, score it, and quantize it into
+/// the cache for the next visit.
+///
+/// `records_scanned` stays the full cluster count on both paths — the
+/// cache changes how much physical decode work a scan pays, never the
+/// logical candidate stream — while the [`IoStats`] record/byte counters
+/// report only what was actually decoded (the honest physical I/O).
+#[allow(clippy::too_many_arguments)]
+fn scan_cluster_quantized(
+    reader: &PartitionReader,
+    pid: PartitionId,
+    node: TrieNodeId,
+    query: &[f32],
+    top: &mut TopK,
+    buf: &mut ClusterBuf,
+    stats: &IoStats,
+    cache: &QuantCache,
+) -> u64 {
+    if let Some(qc) = cache.get(pid, node) {
+        let Some(recs) = reader.cluster_records(node) else {
+            return 0;
+        };
+        let record_size = (8 + qc.series_len() * 4) as u64;
+        let mut scratch: Vec<f32> = Vec::with_capacity(qc.series_len());
+        let mut promoted = 0u64;
+        for i in 0..qc.len() {
+            if query.len() == qc.series_len() && qc.lb_exceeds(i, query, top.bound()) {
+                continue;
+            }
+            recs.values_into(i, &mut scratch);
+            promoted += 1;
+            if let Some(d) = ed_early_abandon(query, &scratch, top.bound()) {
+                top.offer(qc.id(i), d);
+            }
+        }
+        stats.on_read(promoted * record_size);
+        stats.on_records_read(promoted);
+        return qc.len() as u64;
+    }
+    let bytes = reader.cluster_bytes(node).unwrap_or(0);
+    buf.clear();
+    let n = reader.read_cluster_into(node, buf);
+    stats.on_read(bytes as u64);
+    stats.on_records_read(n);
+    for i in 0..buf.len() {
+        let (id, vals) = buf.get(i);
+        if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
+            top.offer(id, d);
+        }
+    }
+    if let Some(qc) = QuantizedCluster::from_buf(buf) {
+        cache.insert(pid, node, qc);
+    }
+    n
+}
+
 /// Scans every cluster of an already-opened partition that `planned` did
 /// not select — sealed clusters first, then delta-only clusters routed to
 /// this partition (nodes the sealed file has never seen) — offering
@@ -171,6 +254,7 @@ pub(crate) fn scan_cluster(
 /// This is the within-partition expansion of CLIMBER-kNN, factored out so
 /// the sequential path and the batched path execute the *identical* loop —
 /// the equivalence guarantee of `batch` depends on it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_partition(
     reader: &PartitionReader,
     pid: PartitionId,
@@ -179,6 +263,7 @@ pub(crate) fn expand_partition(
     top: &mut TopK,
     stats: &IoStats,
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> u64 {
     let mut scanned = 0u64;
     let mut buf = ClusterBuf::new();
@@ -187,14 +272,18 @@ pub(crate) fn expand_partition(
         if planned.contains(&node) {
             continue;
         }
-        scanned += scan_cluster(reader, pid, node, query, top, &mut buf, stats, updates);
+        scanned += scan_cluster(
+            reader, pid, node, query, top, &mut buf, stats, updates, quant,
+        );
     }
     if let Some(u) = updates {
         for node in u.delta.nodes_for(pid) {
             if planned.contains(&node) || sealed.contains(&node) {
                 continue;
             }
-            scanned += scan_cluster(reader, pid, node, query, top, &mut buf, stats, updates);
+            scanned += scan_cluster(
+                reader, pid, node, query, top, &mut buf, stats, updates, quant,
+            );
         }
     }
     scanned
@@ -259,7 +348,7 @@ mod tests {
     #[test]
     fn refine_ranks_by_distance() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, None);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, None, None);
         assert_eq!(out.results.len(), 2);
         assert_eq!(out.results[0].0, 0);
         assert_eq!(out.results[1].0, 1);
@@ -272,18 +361,18 @@ mod tests {
     fn expansion_fires_only_when_short_of_k() {
         let store = toy_store();
         // k=6 > 4 records in cluster 1 → expansion reads cluster 2 too.
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, true, None);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, true, None, None);
         assert_eq!(out.results.len(), 6);
         assert_eq!(out.records_scanned, 8);
         // without expansion we stop at 4
-        let out2 = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, false, None);
+        let out2 = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 6, false, None, None);
         assert_eq!(out2.results.len(), 4);
     }
 
     #[test]
     fn expansion_not_used_when_k_satisfied() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 3, true, None);
+        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 3, true, None, None);
         assert_eq!(out.records_scanned, 4, "must not touch cluster 2");
     }
 
@@ -292,14 +381,14 @@ mod tests {
         let store = toy_store();
         let mut p = plan_for(&[1]);
         p.add_read(99, 1); // nonexistent partition
-        let out = refine(&store, &p, &[0.0, 0.0], 2, false, None);
+        let out = refine(&store, &p, &[0.0, 0.0], 2, false, None, None);
         assert_eq!(out.results.len(), 2);
     }
 
     #[test]
     fn missing_cluster_is_tolerated() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[42]), &[0.0, 0.0], 2, false, None);
+        let out = refine(&store, &plan_for(&[42]), &[0.0, 0.0], 2, false, None, None);
         assert!(out.results.is_empty());
         assert_eq!(out.records_scanned, 0);
     }
@@ -307,7 +396,15 @@ mod tests {
     #[test]
     fn results_are_squared_distances_sorted() {
         let store = toy_store();
-        let out = refine(&store, &plan_for(&[1, 2]), &[0.0, 0.0], 8, false, None);
+        let out = refine(
+            &store,
+            &plan_for(&[1, 2]),
+            &[0.0, 0.0],
+            8,
+            false,
+            None,
+            None,
+        );
         for w in out.results.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
@@ -318,7 +415,7 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let store = toy_store();
-        refine(&store, &plan_for(&[1]), &[0.0, 0.0], 0, false, None);
+        refine(&store, &plan_for(&[1]), &[0.0, 0.0], 0, false, None, None);
     }
 
     #[test]
@@ -332,7 +429,15 @@ mod tests {
             delta: &delta,
             tombstones: &tombstones,
         };
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, Some(view));
+        let out = refine(
+            &store,
+            &plan_for(&[1]),
+            &[0.0, 0.0],
+            2,
+            false,
+            Some(view),
+            None,
+        );
         assert!(
             out.results.iter().all(|&(id, _)| id != 0),
             "deleted record served: {:?}",
@@ -356,19 +461,43 @@ mod tests {
             delta: &delta,
             tombstones: &tombstones,
         };
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, Some(view));
+        let out = refine(
+            &store,
+            &plan_for(&[1]),
+            &[0.0, 0.0],
+            2,
+            false,
+            Some(view),
+            None,
+        );
         assert_eq!(out.results[0].0, 0, "exact sealed match still first");
         assert_eq!(out.results[1].0, 500, "delta record ranks second");
         assert_eq!(out.records_scanned, 5, "4 sealed + 1 delta");
 
         // the delta-only cluster 77 is reachable via expansion
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 10, true, Some(view));
+        let out = refine(
+            &store,
+            &plan_for(&[1]),
+            &[0.0, 0.0],
+            10,
+            true,
+            Some(view),
+            None,
+        );
         assert!(out.results.iter().any(|&(id, _)| id == 501));
         assert_eq!(out.records_scanned, 10, "8 sealed + 2 delta");
 
         // a deleted delta record is filtered like any other
         tombstones.delete(500);
-        let out = refine(&store, &plan_for(&[1]), &[0.0, 0.0], 2, false, Some(view));
+        let out = refine(
+            &store,
+            &plan_for(&[1]),
+            &[0.0, 0.0],
+            2,
+            false,
+            Some(view),
+            None,
+        );
         assert_eq!(out.results[0].0, 0);
         assert_eq!(out.records_scanned, 4);
     }
@@ -385,8 +514,16 @@ mod tests {
         };
         assert!(view.is_noop());
         for (k, expand) in [(2usize, false), (6, true), (8, false)] {
-            let a = refine(&store, &plan_for(&[1]), &[0.1, 0.0], k, expand, None);
-            let b = refine(&store, &plan_for(&[1]), &[0.1, 0.0], k, expand, Some(view));
+            let a = refine(&store, &plan_for(&[1]), &[0.1, 0.0], k, expand, None, None);
+            let b = refine(
+                &store,
+                &plan_for(&[1]),
+                &[0.1, 0.0],
+                k,
+                expand,
+                Some(view),
+                None,
+            );
             assert_eq!(a, b, "k={k} expand={expand}");
         }
     }

@@ -39,6 +39,7 @@ use crate::plan::QueryPlan;
 use crate::refine::{expand_partition, scan_decoded_range};
 use crate::updates::UpdateView;
 use climber_dfs::format::{ClusterBuf, TrieNodeId};
+use climber_dfs::quant::{QuantCache, QuantizedCluster};
 use climber_dfs::store::{PartitionId, PartitionStore};
 use climber_index::skeleton::IndexSkeleton;
 use climber_repr::paa::{paa, paa_into};
@@ -171,6 +172,14 @@ fn scan_block_prefiltered(
 /// `bounds` must hold one [`SharedBound`] per query; passing the same
 /// array for every shard of a fan-out enables cross-shard pruning (see
 /// the module docs for the soundness argument).
+///
+/// `quant`, when present and enabled, serves sealed cluster decodes from
+/// the 8-bit quantized record cache: on a hit, only the records whose
+/// admissible quantized lower bound cannot rule them out for at least one
+/// interested query are promoted to exact `f32` — every skipped record
+/// provably lies outside that query's current bound, i.e. exactly the
+/// records an `ed_early_abandon` rejection would drop, so outcomes are
+/// unchanged. Clusters touched by updates always bypass the cache.
 pub fn scan_shard<S: PartitionStore>(
     store: &S,
     queries: &[Vec<f32>],
@@ -178,6 +187,7 @@ pub fn scan_shard<S: PartitionStore>(
     plans: &[QueryPlan],
     bounds: &[SharedBound],
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> ShardScan {
     let nq = queries.len();
     assert_eq!(plans.len(), nq, "one plan per query");
@@ -238,27 +248,78 @@ pub fn scan_shard<S: PartitionStore>(
                 for (&node, interested) in per_cluster {
                     buf.clear();
                     let bytes = reader.cluster_bytes(node).unwrap_or(0);
-                    // Physical decode; with updates active the sealed
-                    // records are tombstone-filtered at decode time and
-                    // the delta cluster under the same (partition, node)
-                    // key is appended, so everything downstream — the
-                    // shared prefilter, the block loop, the per-query
-                    // scans — sees one merged candidate stream.
-                    let physical = match updates {
-                        None => reader.read_cluster_into(node, &mut buf),
-                        Some(u) => {
-                            let tomb = u.tombstones.read();
-                            let p = reader
-                                .read_cluster_into_if(node, &mut buf, |id| !tomb.contains(id));
-                            u.delta
-                                .read_cluster_into(pid, node, &mut buf, |id| !tomb.contains(id));
-                            p
-                        }
+                    // Sealed clusters may be served from the quantized
+                    // record cache; clusters touched by updates never are.
+                    let cache = match updates {
+                        None => quant.filter(|c| c.is_enabled()),
+                        Some(_) => None,
                     };
-                    store.stats().on_read(bytes as u64);
-                    store.stats().on_records_read(physical);
-                    let n = buf.len() as u64;
-                    decoded.fetch_add(n, Ordering::Relaxed);
+                    let cached = cache.and_then(|c| c.get(pid, node));
+                    // `counted` is the logical candidate-stream length
+                    // every interested query charges to records_scanned;
+                    // on a quantized hit it stays the full sealed cluster
+                    // count even though `buf` holds only the survivors.
+                    let counted = if let Some(qc) = &cached {
+                        // Quantized hit: promote the union of survivors
+                        // across all interested queries, each judged
+                        // against its own bound at cluster entry (local
+                        // heap bound ∧ shared bound — both are k-th
+                        // distances over real candidates, so any record
+                        // skipped for every query is provably outside
+                        // every final top-k).
+                        if let Some(recs) = reader.cluster_records(node) {
+                            let thresholds: Vec<f64> = interested
+                                .iter()
+                                .map(|&qi| {
+                                    let own =
+                                        locals[qi].as_ref().map_or(f64::INFINITY, |t| t.bound());
+                                    own.min(bounds[qi].get())
+                                })
+                                .collect();
+                            for i in 0..qc.len() {
+                                let keep = interested.iter().zip(&thresholds).any(|(&qi, &t)| {
+                                    queries[qi].len() != qc.series_len()
+                                        || !qc.lb_exceeds(i, &queries[qi], t)
+                                });
+                                if keep {
+                                    recs.push_into(i, &mut buf);
+                                }
+                            }
+                            let record_size = (8 + qc.series_len() * 4) as u64;
+                            let promoted = buf.len() as u64;
+                            store.stats().on_read(promoted * record_size);
+                            store.stats().on_records_read(promoted);
+                        }
+                        qc.len() as u64
+                    } else {
+                        // Physical decode; with updates active the sealed
+                        // records are tombstone-filtered at decode time and
+                        // the delta cluster under the same (partition, node)
+                        // key is appended, so everything downstream — the
+                        // shared prefilter, the block loop, the per-query
+                        // scans — sees one merged candidate stream.
+                        let physical = match updates {
+                            None => reader.read_cluster_into(node, &mut buf),
+                            Some(u) => {
+                                let tomb = u.tombstones.read();
+                                let p = reader
+                                    .read_cluster_into_if(node, &mut buf, |id| !tomb.contains(id));
+                                u.delta.read_cluster_into(pid, node, &mut buf, |id| {
+                                    !tomb.contains(id)
+                                });
+                                p
+                            }
+                        };
+                        store.stats().on_read(bytes as u64);
+                        store.stats().on_records_read(physical);
+                        if let Some(c) = cache {
+                            if let Some(qc) = QuantizedCluster::from_buf(&buf) {
+                                c.insert(pid, node, qc);
+                            }
+                        }
+                        buf.len() as u64
+                    };
+                    decoded.fetch_add(buf.len() as u64, Ordering::Relaxed);
                     // PAA signatures for the prefilter: computed once per
                     // cluster, shared by every query scanning it — but
                     // only when enough queries share the cluster to
@@ -275,7 +336,7 @@ pub fn scan_shard<S: PartitionStore>(
                             locals[qi] = Some(TopK::new(k));
                             touched.push(qi);
                         }
-                        scanned[qi].fetch_add(n, Ordering::Relaxed);
+                        scanned[qi].fetch_add(counted, Ordering::Relaxed);
                     }
                     // Score in small record blocks: the block stays
                     // cache-resident while every interested query scans
@@ -348,6 +409,7 @@ pub fn expand_shard_partition<S: PartitionStore>(
     query: &[f32],
     top: &mut TopK,
     updates: Option<UpdateView<'_>>,
+    quant: Option<&QuantCache>,
 ) -> Option<u64> {
     let Ok(reader) = store.open(pid) else {
         return None;
@@ -360,6 +422,7 @@ pub fn expand_shard_partition<S: PartitionStore>(
         top,
         store.stats(),
         updates,
+        quant,
     ))
 }
 
@@ -418,7 +481,7 @@ mod tests {
             None,
         );
         let bounds: Vec<SharedBound> = (0..queries.len()).map(|_| SharedBound::new()).collect();
-        let scan = scan_shard(&store, &queries, k, &plans, &bounds, None);
+        let scan = scan_shard(&store, &queries, k, &plans, &bounds, None, None);
         assert!(scan.failed.is_empty());
         let batch = engine.batch(&BatchRequest::adaptive(&queries, k, 4));
         for (qi, top) in scan.tops.into_iter().enumerate() {
@@ -435,11 +498,11 @@ mod tests {
     fn expand_shard_partition_reports_missing_partition() {
         let (_, store, _) = build(200);
         let mut top = TopK::new(3);
-        let missing = expand_shard_partition(&store, 9_999, &[], &[0.0; 4], &mut top, None);
+        let missing = expand_shard_partition(&store, 9_999, &[], &[0.0; 4], &mut top, None, None);
         assert!(missing.is_none());
         let pid = store.ids()[0];
         let q = vec![0.0f32; store.open(pid).unwrap().series_len()];
-        let n = expand_shard_partition(&store, pid, &[], &q, &mut top, None);
+        let n = expand_shard_partition(&store, pid, &[], &q, &mut top, None, None);
         assert!(n.is_some());
         assert_eq!(n.unwrap(), store.open(pid).unwrap().record_count());
     }

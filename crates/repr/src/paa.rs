@@ -41,7 +41,9 @@ pub fn paa_into(values: &[f32], segments: usize, out: &mut Vec<f64>) {
     for s in 0..segments {
         let len = base + usize::from(s < extra);
         let seg = &values[start..start + len];
-        let mean = seg.iter().map(|&v| v as f64).sum::<f64>() / len as f64;
+        // Lane-based sum from the kernels module: SIMD-dispatched, but
+        // bit-identical to the scalar tier on every host.
+        let mean = climber_series::kernels::sum_f32(seg) / len as f64;
         out.push(mean);
         start += len;
     }

@@ -9,44 +9,17 @@
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
+/// Chunks of 8 with one independent `f64` accumulator per lane break the
+/// loop-carried dependence on a single sum; the lanes are combined in a
+/// fixed order shared by every dispatch tier in [`crate::kernels`], so the
+/// scalar, SSE and AVX2 paths — and `ed_early_abandon` — all agree
+/// bit-for-bit.
+///
 /// # Panics
 /// If the slices differ in length.
-/// Reduces the 8 lane accumulators in a fixed pairwise order, so every
-/// kernel built on the lanes produces bit-identical sums.
-#[inline]
-fn combine_lanes(l: &[f64; 8]) -> f64 {
-    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
-}
-
-/// Accumulates one 8-wide chunk of squared differences into the lanes.
-#[inline]
-fn accumulate_lanes(cx: &[f32], cy: &[f32], lanes: &mut [f64; 8]) {
-    for i in 0..8 {
-        let d = f64::from(cx[i]) - f64::from(cy[i]);
-        lanes[i] += d * d;
-    }
-}
-
 #[inline]
 pub fn sq_ed(x: &[f32], y: &[f32]) -> f64 {
-    assert_eq!(x.len(), y.len(), "ED requires equal-length series");
-    // Chunks of 8 with one independent accumulator per lane break the
-    // loop-carried dependence on a single sum, letting LLVM vectorise and
-    // pipeline the adds; f64 accumulation stays exact enough for ordering
-    // decisions. Lanes are combined in a fixed order and the same layout is
-    // used by `ed_early_abandon`, so the two kernels agree bit-for-bit.
-    let mut lanes = [0.0f64; 8];
-    let mut xc = x.chunks_exact(8);
-    let mut yc = y.chunks_exact(8);
-    for (cx, cy) in (&mut xc).zip(&mut yc) {
-        accumulate_lanes(cx, cy, &mut lanes);
-    }
-    let mut acc = combine_lanes(&lanes);
-    for (a, b) in xc.remainder().iter().zip(yc.remainder().iter()) {
-        let d = f64::from(*a) - f64::from(*b);
-        acc += d * d;
-    }
-    acc
+    crate::kernels::sq_ed(x, y)
 }
 
 /// Euclidean distance `ED(X, Y)` (Definition 3).
@@ -64,27 +37,7 @@ pub fn ed(x: &[f32], y: &[f32]) -> f64 {
 /// so a non-abandoned result is bit-identical to `sq_ed(x, y)`.
 #[inline]
 pub fn ed_early_abandon(x: &[f32], y: &[f32], sq_bound: f64) -> Option<f64> {
-    assert_eq!(x.len(), y.len(), "ED requires equal-length series");
-    let mut lanes = [0.0f64; 8];
-    let mut xc = x.chunks_exact(8);
-    let mut yc = y.chunks_exact(8);
-    for (i, (cx, cy)) in (&mut xc).zip(&mut yc).enumerate() {
-        accumulate_lanes(cx, cy, &mut lanes);
-        // Check after every second 8-chunk (16 readings). Combining the
-        // lanes for the check does not disturb their running values.
-        if i % 2 == 1 && combine_lanes(&lanes) > sq_bound {
-            return None;
-        }
-    }
-    let mut acc = combine_lanes(&lanes);
-    for (a, b) in xc.remainder().iter().zip(yc.remainder().iter()) {
-        let d = f64::from(*a) - f64::from(*b);
-        acc += d * d;
-    }
-    if acc > sq_bound {
-        return None;
-    }
-    Some(acc)
+    crate::kernels::ed_early_abandon(x, y, sq_bound)
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ pub mod distance;
 pub mod gen;
 pub mod ground_truth;
 pub mod io;
+pub mod kernels;
 pub mod recall;
 pub mod resample;
 pub mod sampling;

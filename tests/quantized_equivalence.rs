@@ -1,0 +1,219 @@
+//! Property test: the 8-bit quantized record cache is **invisible**.
+//!
+//! Two contracts, checked independently:
+//!
+//! 1. **Admissibility.** For any cluster content and any query,
+//!    [`QuantizedCluster::lb`] never exceeds the exact squared Euclidean
+//!    distance, and [`QuantizedCluster::lb_exceeds`] never reports a
+//!    threshold violation the exact distance would not also report. A
+//!    record skipped by the prefilter therefore cannot belong to any
+//!    top-k result.
+//!
+//! 2. **End-to-end equality.** A [`Climber`] and a [`ShardedClimber`]
+//!    with the quantized cache enabled answer every [`SearchRequest`] —
+//!    all four [`SearchMode`]s, budgeted and not, single-request and
+//!    batch paths — **bit-identically** to a baseline index with the
+//!    cache disabled: same neighbour ids, same distances, same
+//!    `records_scanned`, same plan. The comparison runs twice per
+//!    checkpoint (a cold pass that populates the cache through the miss
+//!    path, then a warm pass through the quantized prefilter), then again
+//!    with a delta segment present (cache bypassed), after flush and
+//!    compaction (cache invalidated and rebuilt), and after disabling
+//!    the cache mid-flight.
+
+use climber_core::dfs::format::ClusterBuf;
+use climber_core::dfs::QuantizedCluster;
+use climber_core::series::gen::Domain;
+use climber_core::series::kernels::sq_ed;
+use climber_core::{Climber, ClimberConfig, SearchRequest, ShardedClimber};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const DOMAINS: [Domain; 4] = [Domain::RandomWalk, Domain::Eeg, Domain::Dna, Domain::TexMex];
+
+/// Every mode in the unified surface, budgeted and not, over `queries`
+/// (mirrors the request matrix of `sharded_equivalence`).
+fn requests(queries: &[Vec<f32>], k: usize) -> Vec<SearchRequest> {
+    let mut reqs = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        reqs.push(SearchRequest::new(q.clone(), k));
+        reqs.push(SearchRequest::new(q.clone(), k).exact());
+        reqs.push(SearchRequest::new(q.clone(), k).smallest());
+        reqs.push(
+            SearchRequest::new(q.clone(), k)
+                .adaptive(2)
+                .with_budget(2 + i),
+        );
+        let short: Vec<f32> = q.iter().step_by(2).copied().collect();
+        reqs.push(SearchRequest::new(short, k).resampled(2));
+    }
+    reqs
+}
+
+/// Runs the full request matrix against all three indexes and insists on
+/// bit-identical outcomes, through single-request and batch paths.
+fn assert_invisible(
+    baseline: &Climber<impl climber_core::dfs::store::PartitionStore>,
+    quant: &Climber<impl climber_core::dfs::store::PartitionStore>,
+    sharded: &ShardedClimber<impl climber_core::dfs::store::PartitionStore>,
+    reqs: &[SearchRequest],
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let want: Vec<_> = reqs.iter().map(|r| baseline.search(r)).collect();
+    for (req, want) in reqs.iter().zip(&want) {
+        prop_assert_eq!(
+            &quant.search(req),
+            want,
+            "quant-on single index diverged ({})",
+            ctx
+        );
+        prop_assert_eq!(
+            &sharded.search(req),
+            want,
+            "quant-on sharded single-request path diverged ({})",
+            ctx
+        );
+    }
+    prop_assert_eq!(
+        &sharded.search_many(reqs),
+        &want,
+        "quant-on sharded batch path diverged ({})",
+        ctx
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: the quantized lower bound is admissible — it never
+    /// overshoots the exact distance, and `lb_exceeds` only prunes
+    /// records the exact distance would also prune.
+    #[test]
+    fn quantized_lower_bound_is_admissible(
+        seed in 0u64..1000,
+        n in 1usize..24,
+        series_len in 1usize..96,
+        pick in 0usize..4,
+        thresh_scale in 0f64..1.5,
+    ) {
+        let domain = DOMAINS[pick];
+        let ds = domain.generate(n + 1, seed);
+        let mut buf = ClusterBuf::new();
+        for i in 0..n {
+            buf.push(i as u64, &ds.get(i as u64)[..series_len.min(ds.series_len())]);
+        }
+        let qc = QuantizedCluster::from_buf(&buf)
+            .expect("non-empty cluster must quantize");
+        prop_assert_eq!(qc.len(), n);
+        let query = &ds.get(n as u64)[..series_len.min(ds.series_len())];
+        for i in 0..n {
+            let (_, vals) = buf.get(i);
+            let exact = sq_ed(query, vals);
+            let lb = qc.lb(i, query);
+            prop_assert!(
+                lb <= exact,
+                "lb {lb:e} overshoots exact {exact:e} at record {i} (len {series_len})"
+            );
+            // Pruning at any threshold must be sound: a pruned record's
+            // exact distance genuinely exceeds the threshold.
+            let t = exact * thresh_scale;
+            if qc.lb_exceeds(i, query, t) {
+                prop_assert!(exact > t, "pruned record has exact {exact:e} <= t {t:e}");
+            }
+            prop_assert!(!qc.lb_exceeds(i, query, f64::INFINITY));
+            prop_assert!(!qc.lb_exceeds(i, query, f64::NAN));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Contract 2: enabling the quantized cache changes nothing
+    /// observable, across modes, shard counts, updates, and maintenance.
+    #[test]
+    fn quantized_cache_is_invisible(
+        seed in 0u64..400,
+        n in 100usize..180,
+        k in 1usize..10,
+        pick in 0usize..16,
+        capacity in 30u64..70,
+    ) {
+        let domain = DOMAINS[pick % 4];
+        let num_shards = 1 + pick % 3;
+        let ds = domain.generate(n, seed);
+        let extra = domain.generate(6, seed ^ 0xE17A);
+        let config = ClimberConfig::default()
+            .with_paa_segments(8)
+            .with_pivots(24)
+            .with_prefix_len(4)
+            .with_capacity(capacity)
+            .with_alpha(0.5)
+            .with_epsilon(1)
+            .with_seed(seed ^ 0x5EED)
+            .with_workers(2);
+        let baseline = Climber::build_in_memory(&ds, config);
+        let quant = Climber::build_in_memory(&ds, config);
+        let sharded = ShardedClimber::build_in_memory(&ds, config, num_shards);
+
+        // Opt in — the cache is off by default.
+        prop_assert!(!quant.quant_cache().is_enabled());
+        quant.set_quant_enabled(true);
+        sharded.set_quant_enabled(true);
+
+        let queries: Vec<Vec<f32>> = (0..3u64)
+            .map(|i| {
+                let mut q = ds.get((i * 41) % n as u64).to_vec();
+                if i % 2 == 1 {
+                    q[0] += 0.25;
+                }
+                q
+            })
+            .collect();
+        let reqs = requests(&queries, k);
+
+        // Cold pass populates the cache through the miss path; the warm
+        // pass answers through the quantized prefilter. Both identical.
+        assert_invisible(&baseline, &quant, &sharded, &reqs, "cold cache")?;
+        prop_assert!(
+            !quant.quant_cache().is_empty(),
+            "cold pass over sealed clusters should have populated the cache"
+        );
+        prop_assert!(quant.quant_cache().bytes() > 0);
+        assert_invisible(&baseline, &quant, &sharded, &reqs, "warm cache")?;
+
+        // A delta segment bypasses the cache; equality must survive the
+        // mixed sealed/unsealed state and the deletes-present state.
+        for j in 0..3u64 {
+            let vals = extra.get(j).to_vec();
+            let a = baseline.append(&vals).unwrap();
+            prop_assert_eq!(quant.append(&vals).unwrap(), a);
+            prop_assert_eq!(sharded.append(&vals).unwrap(), a);
+        }
+        prop_assert!(baseline.delete(seed % n as u64).unwrap());
+        prop_assert!(quant.delete(seed % n as u64).unwrap());
+        prop_assert!(sharded.delete(seed % n as u64).unwrap());
+        assert_invisible(&baseline, &quant, &sharded, &reqs, "with delta")?;
+
+        // Flush folds the delta into sealed partitions; the rewritten
+        // partitions' stale entries must have been dropped.
+        baseline.flush().unwrap();
+        quant.flush().unwrap();
+        sharded.flush().unwrap();
+        assert_invisible(&baseline, &quant, &sharded, &reqs, "after flush")?;
+
+        // Compaction rewrites partitions wholesale.
+        baseline.compact().unwrap();
+        quant.compact().unwrap();
+        sharded.compact().unwrap();
+        assert_invisible(&baseline, &quant, &sharded, &reqs, "after compaction")?;
+
+        // Disabling clears the cache and reverts to the plain scan path.
+        quant.set_quant_enabled(false);
+        sharded.set_quant_enabled(false);
+        prop_assert!(quant.quant_cache().is_empty());
+        prop_assert_eq!(quant.quant_cache().bytes(), 0);
+        assert_invisible(&baseline, &quant, &sharded, &reqs, "after disable")?;
+    }
+}
