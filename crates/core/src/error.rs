@@ -32,6 +32,10 @@ pub mod status {
     ///
     /// [`OpenError`]: climber_dfs::manifest::OpenError
     pub const OPEN: u8 = 6;
+    /// The request's per-request deadline expired before a worker
+    /// answered; the search may still complete server-side, but the
+    /// response was abandoned.
+    pub const DEADLINE_EXCEEDED: u8 = 7;
 }
 
 /// Every way the facade can fail, in one enum.
@@ -124,6 +128,10 @@ pub enum ServeError {
     ShuttingDown,
     /// The request failed validation before admission.
     BadRequest(String),
+    /// The per-request deadline expired before the batch engine answered.
+    /// The request itself was valid and read-only; retrying is safe but a
+    /// client should treat repeated deadline misses as overload.
+    DeadlineExceeded,
     /// A malformed or unexpected frame on the wire.
     Protocol(String),
     /// A failure reported by the remote server that is not one of the
@@ -143,6 +151,7 @@ impl ServeError {
             ServeError::Overloaded => status::OVERLOADED,
             ServeError::ShuttingDown => status::SHUTTING_DOWN,
             ServeError::BadRequest(_) => status::BAD_REQUEST,
+            ServeError::DeadlineExceeded => status::DEADLINE_EXCEEDED,
             ServeError::Protocol(_) => status::PROTOCOL,
             ServeError::Remote { status, .. } => *status,
         }
@@ -155,6 +164,7 @@ impl ServeError {
             status::OVERLOADED => ServeError::Overloaded,
             status::SHUTTING_DOWN => ServeError::ShuttingDown,
             status::BAD_REQUEST => ServeError::BadRequest(message),
+            status::DEADLINE_EXCEEDED => ServeError::DeadlineExceeded,
             status::PROTOCOL => ServeError::Protocol(message),
             code => ServeError::Remote {
                 status: code,
@@ -170,6 +180,7 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "admission queue full (overloaded)"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::Remote { status, message } => {
                 write!(f, "remote error (status {status}): {message}")
@@ -190,6 +201,7 @@ mod tests {
             ServeError::Overloaded,
             ServeError::ShuttingDown,
             ServeError::BadRequest("k must be positive".into()),
+            ServeError::DeadlineExceeded,
             ServeError::Protocol("bad frame".into()),
         ];
         for e in cases {

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod recover;
 pub mod shard;
 
 pub use climber_baselines as baselines;
@@ -71,10 +72,12 @@ pub use climber_query::plan::QueryOutcome;
 pub use climber_query::search::{SearchMode, SearchRequest};
 pub use climber_query::updates::UpdateView;
 pub use error::{ClimberError, ServeError};
+pub use recover::{BackendHealth, RecoveryPolicy, RecoveryReport, ScrubReport};
 pub use shard::{ShardSetManifest, ShardStatus, ShardedClimber, SHARD_SET_FILE};
 
 use climber_dfs::format::{Decode, Encode, PartitionWriter, TrieNodeId};
-use climber_dfs::manifest::{self, xxh64, FileEntry, PartitionEntry};
+use climber_dfs::fsio::{self, ClimberFs, FsRef};
+use climber_dfs::manifest::{xxh64, FileEntry, PartitionEntry};
 use climber_dfs::quant::QuantCache;
 use climber_dfs::segment::{self, Journal};
 use climber_dfs::stats::IoSnapshot;
@@ -255,22 +258,92 @@ impl Climber<DiskStore> {
         Ok(Self::open_impl(dir.as_ref(), true)?)
     }
 
+    /// [`open_rw`](Self::open_rw) through an injectable filesystem — the
+    /// fault-injection seam: every read, write, fsync, and rename the
+    /// index performs from open validation through save/flush goes
+    /// through `fs`, so a [`FaultFs`](climber_dfs::fsio::FaultFs) can
+    /// fail or freeze any single operation deterministically (the
+    /// crash-consistency torture harness drives exactly this entry
+    /// point).
+    pub fn open_rw_with_fs(dir: impl AsRef<Path>, fs: FsRef) -> Result<Self, ClimberError> {
+        Ok(Self::open_impl_fs(dir.as_ref(), true, fs, RecoveryPolicy::Strict)?.0)
+    }
+
+    /// A self-healing read-write open. Under
+    /// [`RecoveryPolicy::Quarantine`], a partition whose committed bytes
+    /// fail validation (missing, truncated, checksum mismatch) no longer
+    /// aborts the open: its file is moved into the directory's
+    /// `QUARANTINE/` subdirectory, the failure is recorded in the
+    /// returned [`RecoveryReport`], and the index opens serving every
+    /// partition that did validate. Queries then degrade instead of
+    /// erroring — [`search_many_with_status`] reports the failed
+    /// partitions per pass — and a later [`scrub`](Self::scrub) can
+    /// re-admit a partition once its bytes are restored. With
+    /// [`RecoveryPolicy::Strict`] this is exactly
+    /// [`open_rw`](Self::open_rw).
+    ///
+    /// [`search_many_with_status`]: Self::search_many_with_status
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+    ) -> Result<(Self, RecoveryReport), ClimberError> {
+        let (c, quarantined) = Self::open_impl_fs(dir.as_ref(), true, fsio::std_fs(), policy)?;
+        Ok((
+            c,
+            RecoveryReport {
+                quarantined_partitions: quarantined,
+                dead_shards: Vec::new(),
+            },
+        ))
+    }
+
     fn open_impl(dir: &Path, writable: bool) -> Result<Self, OpenError> {
-        let (store, manifest) = if writable {
-            DiskStore::open_read_write(dir)?
-        } else {
-            DiskStore::open_read_only(dir)?
+        Ok(Self::open_impl_fs(dir, writable, fsio::std_fs(), RecoveryPolicy::Strict)?.0)
+    }
+
+    fn open_impl_fs(
+        dir: &Path,
+        writable: bool,
+        fs: FsRef,
+        policy: RecoveryPolicy,
+    ) -> Result<(Self, Vec<PartitionId>), OpenError> {
+        let quarantine = policy == RecoveryPolicy::Quarantine;
+        let (store, manifest) =
+            DiskStore::open_validated_with(dir.to_path_buf(), !writable, fs.clone(), quarantine)?;
+        let skel_path = dir.join(SKELETON_FILE);
+        let skel_staged = dir.join(format!("{SKELETON_FILE}.new"));
+        let entry_matches = |b: &[u8]| {
+            b.len() as u64 == manifest.skeleton.bytes && xxh64(b, 0) == manifest.skeleton.checksum
         };
-        let skel_bytes = std::fs::read(dir.join(SKELETON_FILE)).map_err(OpenError::Io)?;
-        let found = xxh64(&skel_bytes, 0);
-        if found != manifest.skeleton.checksum || skel_bytes.len() as u64 != manifest.skeleton.bytes
-        {
-            return Err(OpenError::ChecksumMismatch {
-                what: "skeleton".into(),
-                expected: manifest.skeleton.checksum,
-                found,
-            });
-        }
+        // The committed skeleton, rolled forward from its `.new` sibling
+        // when a crash interrupted a seal between the manifest commit and
+        // the skeleton install (same protocol as partition files).
+        let skel_bytes = match fs.read(&skel_path) {
+            Ok(b) if entry_matches(&b) => {
+                if writable {
+                    fs.remove_file(&skel_staged).ok();
+                }
+                b
+            }
+            main => match fs.read(&skel_staged) {
+                Ok(b) if entry_matches(&b) => {
+                    if writable && fs.rename(&skel_staged, &skel_path).is_ok() {
+                        fs.fsync_dir(dir).ok();
+                    }
+                    b
+                }
+                _ => {
+                    return Err(match main {
+                        Ok(b) => OpenError::ChecksumMismatch {
+                            what: "skeleton".into(),
+                            expected: manifest.skeleton.checksum,
+                            found: xxh64(&b, 0),
+                        },
+                        Err(e) => OpenError::Io(e),
+                    })
+                }
+            },
+        };
         let skeleton =
             IndexSkeleton::from_bytes(&skel_bytes).map_err(OpenError::CorruptSkeleton)?;
         if skeleton.partition_ids() != manifest.partition_ids() {
@@ -282,7 +355,8 @@ impl Climber<DiskStore> {
         }
         let config = ClimberConfig::decode_vec(&manifest.config)
             .map_err(|e| OpenError::CorruptManifest(format!("config: {e}")))?;
-        let journal = Self::load_journal(dir, &manifest)?;
+        let journal = Self::load_journal(&*fs, dir, &manifest, writable)?;
+        let quarantined = store.quarantined();
         let mut c = Self::assemble(skeleton, store, config, None);
         // The manifest records the largest stored id, so cold start needs
         // no full scan to seed the append counter.
@@ -292,46 +366,124 @@ impl Climber<DiskStore> {
         c.generation = AtomicU64::new(manifest.generation);
         c.writable = writable;
         c.mark_ready();
-        Ok(c)
+        Ok((c, quarantined))
     }
 
     /// Reads, validates and decodes the update journal the manifest
-    /// references; an empty [`Journal`] when it references none.
-    fn load_journal(dir: &Path, m: &Manifest) -> Result<Journal, OpenError> {
+    /// references; an empty [`Journal`] when it references none. A crash
+    /// between the manifest commit and the journal install leaves the
+    /// committed bytes under `journal.cldj.new` — they are rolled forward
+    /// here, so the open serves exactly the committed updates.
+    fn load_journal(
+        fs: &dyn ClimberFs,
+        dir: &Path,
+        m: &Manifest,
+        writable: bool,
+    ) -> Result<Journal, OpenError> {
         let Some(entry) = &m.journal else {
+            if writable {
+                // A crash before the manifest commit can leave a staged
+                // journal the committed manifest never references —
+                // pre-commit garbage, swept like a `.new` partition.
+                fs.remove_file(&segment::staged_journal_path(dir)).ok();
+            }
             return Ok(Journal::default());
         };
-        let path = dir.join(JOURNAL_FILE);
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(OpenError::MissingJournal(path))
+        let path = segment::journal_path(dir);
+        let staged = segment::staged_journal_path(dir);
+        let entry_matches =
+            |b: &[u8]| b.len() as u64 == entry.bytes && xxh64(b, 0) == entry.checksum;
+        let decode = |bytes: &[u8]| -> Result<Journal, OpenError> {
+            let journal = segment::decode_journal(bytes).map_err(OpenError::CorruptJournal)?;
+            if journal.generation != m.generation {
+                return Err(OpenError::StaleGeneration {
+                    manifest: m.generation,
+                    journal: journal.generation,
+                });
             }
-            Err(e) => return Err(OpenError::Io(e)),
+            Ok(journal)
         };
-        if bytes.len() as u64 != entry.bytes {
-            return Err(OpenError::CorruptJournal(format!(
-                "journal is {} bytes, manifest says {}",
-                bytes.len(),
-                entry.bytes
-            )));
+        let main = fs.read(&path);
+        if let Ok(b) = &main {
+            if entry_matches(b) {
+                if writable {
+                    fs.remove_file(&staged).ok();
+                }
+                return decode(b);
+            }
         }
-        let found = xxh64(&bytes, 0);
-        if found != entry.checksum {
-            return Err(OpenError::ChecksumMismatch {
-                what: "journal".into(),
-                expected: entry.checksum,
-                found,
-            });
+        if let Ok(b) = fs.read(&staged) {
+            if entry_matches(&b) {
+                if writable && fs.rename(&staged, &path).is_ok() {
+                    fs.fsync_dir(dir).ok();
+                }
+                return decode(&b);
+            }
         }
-        let journal = segment::decode_journal(&bytes).map_err(OpenError::CorruptJournal)?;
-        if journal.generation != m.generation {
-            return Err(OpenError::StaleGeneration {
-                manifest: m.generation,
-                journal: journal.generation,
-            });
+        // No committed journal anywhere: surface the main file's typed
+        // failure, exactly as if no staged sibling existed.
+        match main {
+            Ok(bytes) => {
+                if bytes.len() as u64 != entry.bytes {
+                    Err(OpenError::CorruptJournal(format!(
+                        "journal is {} bytes, manifest says {}",
+                        bytes.len(),
+                        entry.bytes
+                    )))
+                } else {
+                    Err(OpenError::ChecksumMismatch {
+                        what: "journal".into(),
+                        expected: entry.checksum,
+                        found: xxh64(&bytes, 0),
+                    })
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(OpenError::MissingJournal(path)),
+            Err(e) => Err(OpenError::Io(e)),
         }
-        Ok(journal)
+    }
+
+    /// Re-verifies every committed partition of the home directory
+    /// against the sealed manifest — the self-healing maintenance pass:
+    ///
+    /// * healthy partitions are re-read and re-checksummed;
+    /// * fresh damage is quarantined (file moved into `QUARANTINE/`,
+    ///   quantized cache entries evicted) so queries degrade instead of
+    ///   erroring;
+    /// * previously quarantined partitions are re-admitted when their
+    ///   main file matches the manifest again (operator restored it) or
+    ///   the quarantined copy itself validates.
+    ///
+    /// Returns what the pass found and did; see [`ScrubReport`].
+    pub fn scrub(&self) -> Result<ScrubReport, ClimberError> {
+        let dir = self.store.dir().to_path_buf();
+        let fs = self.store.fs();
+        let manifest = Manifest::load_with(&*fs, &dir)?;
+        let quarantined: BTreeSet<PartitionId> = self.store.quarantined().into_iter().collect();
+        let mut report = ScrubReport::default();
+        for e in &manifest.partitions {
+            if quarantined.contains(&e.id) {
+                if self.store.try_readmit(e).map_err(ClimberError::Io)? {
+                    self.quant.evict_partition(e.id);
+                    report.readmitted.push(e.id);
+                } else {
+                    report.still_quarantined.push(e.id);
+                }
+            } else {
+                report.partitions_checked += 1;
+                match self.store.verify_partition(e) {
+                    Ok(()) => report.partitions_ok += 1,
+                    Err(_) => {
+                        self.store
+                            .quarantine_partition(e.id)
+                            .map_err(ClimberError::Io)?;
+                        self.quant.evict_partition(e.id);
+                        report.quarantined.push(e.id);
+                    }
+                }
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -429,7 +581,8 @@ impl<S: PartitionStore> Climber<S> {
         dir: &Path,
         refresh: Option<(&Manifest, &BTreeSet<PartitionId>)>,
     ) -> io::Result<Manifest> {
-        std::fs::create_dir_all(dir)?;
+        let fs = self.store.fs();
+        fs.create_dir_all(dir)?;
         let ids = self.store.ids();
         if ids.is_empty() {
             return Err(io::Error::new(
@@ -446,69 +599,111 @@ impl<S: PartitionStore> Climber<S> {
         // while a sealed manifest must only ever reference files that
         // went through the temp-file + fsync + rename protocol.
         // When the store's own puts already landed the files durably in
-        // this very directory (a manifest-opened DiskStore), the seal
-        // only needs to checksum them in place — re-copying identical
-        // bytes would double every fold's write I/O for nothing.
+        // this very directory (a manifest-opened DiskStore, which stages
+        // rewrites under `.new` siblings), the seal only needs to
+        // checksum them in place — re-copying identical bytes would
+        // double every fold's write I/O for nothing.
+        //
+        // Crash-consistency protocol: nothing a committed manifest
+        // references is overwritten before the next manifest commits.
+        // New bytes are staged beside the committed files (`.new`
+        // siblings, written durably), the manifest — which describes the
+        // staged state — is written atomically as the commit point, and
+        // only then are the staged files renamed into place. A crash
+        // before the commit leaves the old directory byte-identical
+        // (stray stages are swept at open); a crash after it is rolled
+        // forward at open from the surviving `.new` siblings.
         let in_place_durable =
             self.store.persist_dir() == Some(dir) && self.store.puts_are_durable();
         let cluster = climber_dfs::cluster::Cluster::new(self.build_options.resolved_threads());
-        let copied: Vec<io::Result<(PartitionEntry, Option<u32>)>> = cluster.par_map(ids, |pid| {
-            if let Some((prev, dirty)) = refresh {
-                if !dirty.contains(&pid) {
-                    if let Some(e) = prev.partition(pid) {
-                        // Untouched since the previous seal: the file in
-                        // `dir` already went through the atomic protocol
-                        // and its entry is still exact.
-                        return Ok((*e, None));
+        let fs_ref = &fs;
+        let copied: Vec<io::Result<(PartitionEntry, Option<u32>, bool)>> =
+            cluster.par_map(ids, move |pid| {
+                if let Some((prev, dirty)) = refresh {
+                    if !dirty.contains(&pid) {
+                        if let Some(e) = prev.partition(pid) {
+                            // Untouched since the previous seal: the file
+                            // in `dir` already went through the atomic
+                            // protocol and its entry is still exact.
+                            return Ok((*e, None, false));
+                        }
                     }
                 }
-            }
-            let reader = self.store.open(pid)?;
-            let bytes = reader.raw_bytes();
-            if !in_place_durable {
-                manifest::write_file_atomic(&dir.join(partition_file_name(pid)), bytes)?;
-            }
-            Ok((
-                PartitionEntry {
-                    id: pid,
-                    bytes: bytes.len() as u64,
-                    checksum: xxh64(bytes, 0),
-                    records: reader.record_count(),
-                },
-                Some(reader.series_len() as u32),
-            ))
-        });
+                let reader = self.store.open(pid)?;
+                let bytes = reader.raw_bytes();
+                if !in_place_durable {
+                    fsio::write_file_atomic_with(
+                        &**fs_ref,
+                        &dir.join(format!("{}.new", partition_file_name(pid))),
+                        bytes,
+                    )?;
+                }
+                Ok((
+                    PartitionEntry {
+                        id: pid,
+                        bytes: bytes.len() as u64,
+                        checksum: xxh64(bytes, 0),
+                        records: reader.record_count(),
+                    },
+                    Some(reader.series_len() as u32),
+                    !in_place_durable,
+                ))
+            });
         let mut partitions = Vec::with_capacity(copied.len());
+        let mut staged_parts: Vec<PartitionId> = Vec::new();
         let mut num_records = 0u64;
         let mut series_len = refresh.map_or(0, |(prev, _)| prev.series_len);
         for entry in copied {
-            let (p, sl) = entry?;
+            let (p, sl, staged) = entry?;
+            if staged {
+                staged_parts.push(p.id);
+            }
             num_records += p.records;
             if let Some(sl) = sl {
                 series_len = sl;
             }
             partitions.push(p);
         }
+        // The skeleton's bytes are invariant after the build, so a
+        // re-save into the home directory leaves the identical file
+        // untouched; a differing file (sealing into a foreign directory)
+        // is staged and installed after the commit point like any
+        // partition.
         let skel = self.skeleton.to_bytes();
-        manifest::write_file_atomic(&dir.join(SKELETON_FILE), &skel)?;
+        let skel_path = dir.join(SKELETON_FILE);
+        let skel_staged_path = dir.join(format!("{SKELETON_FILE}.new"));
+        let skel_staged = match fs.read(&skel_path) {
+            Ok(cur) if cur == skel => false,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // First seal of this directory: no committed manifest can
+                // reference a skeleton yet, write it directly.
+                fsio::write_file_atomic_with(&*fs, &skel_path, &skel)?;
+                false
+            }
+            _ => {
+                fsio::write_file_atomic_with(&*fs, &skel_staged_path, &skel)?;
+                true
+            }
+        };
         // Unfolded mutable segments persist as a journal next to the
         // partitions; the manifest references it (size + checksum) under
         // the current segment generation, so a reopen can never replay a
-        // journal against partitions from a different fold.
+        // journal against partitions from a different fold. The journal
+        // is staged too: the committed `journal.cldj` keeps describing
+        // the committed manifest until the new one lands.
         let generation = self.generation.load(Ordering::Relaxed);
         let journal = if self.delta.is_empty() && self.tombstones.is_empty() {
-            // Nothing pending: drop any journal a previous save of this
-            // directory left behind, so no stale file shadows the sealed
-            // state.
-            std::fs::remove_file(dir.join(JOURNAL_FILE)).ok();
+            // Nothing pending: any journal a previous save left behind is
+            // dropped after the commit point below.
             None
         } else {
-            let bytes = segment::encode_journal(generation, &self.delta, &self.tombstones);
-            manifest::write_file_atomic(&dir.join(JOURNAL_FILE), &bytes)?;
-            Some(FileEntry {
-                bytes: bytes.len() as u64,
-                checksum: xxh64(&bytes, 0),
-            })
+            Some(segment::stage_journal(
+                &*fs,
+                dir,
+                generation,
+                &self.delta,
+                &self.tombstones,
+            )?)
         };
         let m = Manifest {
             format_version: FORMAT_VERSION,
@@ -525,7 +720,29 @@ impl<S: PartitionStore> Climber<S> {
             },
             partitions,
         };
-        m.write_atomic(dir)?;
+        // ---- commit point: the manifest now describes the staged state.
+        // Everything below only installs what the manifest already
+        // references; an interruption anywhere is rolled forward by the
+        // next open.
+        m.write_atomic_with(&*fs, dir)?;
+        for pid in &staged_parts {
+            fs.rename(
+                &dir.join(format!("{}.new", partition_file_name(*pid))),
+                &dir.join(partition_file_name(*pid)),
+            )?;
+        }
+        if skel_staged {
+            fs.rename(&skel_staged_path, &skel_path)?;
+        }
+        if m.journal.is_some() {
+            segment::commit_staged_journal(&*fs, dir)?;
+        } else {
+            segment::discard_journal(&*fs, dir);
+        }
+        if !staged_parts.is_empty() || skel_staged {
+            fs.fsync_dir(dir)?;
+        }
+        self.store.commit_staged()?;
         // The home directory (if any) now describes the store exactly: no
         // fold re-seal is outstanding.
         if self.store.persist_dir() == Some(dir) {
@@ -590,6 +807,12 @@ impl<S: PartitionStore> Climber<S> {
     /// factor). The serving layer validates first and returns a typed
     /// bad-request response instead.
     pub fn search(&self, req: &SearchRequest) -> QueryOutcome {
+        if !self.store.quarantined().is_empty() {
+            return self
+                .search_many(std::slice::from_ref(req))
+                .pop()
+                .expect("one outcome per request");
+        }
         self.engine().search(req)
     }
 
@@ -603,7 +826,39 @@ impl<S: PartitionStore> Climber<S> {
     /// # Panics
     /// If any request fails [`SearchRequest::validate`].
     pub fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
+        if !self.store.quarantined().is_empty() {
+            // A degraded index (quarantined partitions) routes through
+            // the status-aware scatter path, which records unopenable
+            // partitions instead of failing the whole pass. On a healthy
+            // index both paths are bit-identical (the PR-7 sharding
+            // contract with one shard), so the fast engine serves it.
+            return self.search_many_with_status(reqs).0;
+        }
         self.engine().search_many(reqs)
+    }
+
+    /// [`search_many`](Self::search_many) with the index's health for
+    /// the pass: runs the scatter-gather scan used by [`ShardedClimber`]
+    /// over this one index, degrading planned-but-unopenable partitions
+    /// (quarantined, deleted mid-flight) into the returned
+    /// [`ShardStatus`] — never a panic, never a silently partial answer
+    /// without the status saying so. On a fully healthy index the
+    /// outcomes are bit-identical to [`search_many`](Self::search_many).
+    pub fn search_many_with_status(
+        &self,
+        reqs: &[SearchRequest],
+    ) -> (Vec<QueryOutcome>, ShardStatus) {
+        let (out, mut statuses) = shard::scatter_search_with_status(&[Some(self)], reqs, 0);
+        (out, statuses.pop().expect("one shard status"))
+    }
+
+    /// Partitions currently quarantined by the store — empty for healthy
+    /// (and for in-memory) indexes. Quarantined partitions are skipped by
+    /// queries (reported via
+    /// [`search_many_with_status`](Self::search_many_with_status)) until
+    /// a scrub re-admits them.
+    pub fn quarantined_partitions(&self) -> Vec<PartitionId> {
+        self.store.quarantined()
     }
 
     /// CLIMBER-kNN (Algorithm 3): approximate `k` nearest neighbours.
@@ -956,7 +1211,7 @@ impl<S: PartitionStore> Climber<S> {
         // previous manifest for an untouched partition is reused — so a
         // small fold costs O(affected partitions), not O(index).
         if let Some(dir) = self.store.persist_dir().map(Path::to_path_buf) {
-            match Manifest::load(&dir) {
+            match Manifest::load_with(&*self.store.fs(), &dir) {
                 Ok(prev) if !owed_before && prev.partition_ids() == self.store.ids() => {
                     self.seal(&dir, Some((&prev, &affected)))?;
                 }
@@ -1162,17 +1417,37 @@ impl<S: PartitionStore> Climber<S> {
 pub trait SearchBackend: Send + Sync {
     /// Executes many requests, outcomes in request order.
     fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome>;
+
+    /// The backend's current health — shard liveness and partition
+    /// quarantine — for the serving layer's health endpoint. The default
+    /// reports a permanently healthy single backend, so plain in-memory
+    /// backends need no override.
+    fn health(&self) -> BackendHealth {
+        BackendHealth::healthy()
+    }
 }
 
 impl<S: PartitionStore> SearchBackend for Climber<S> {
     fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
         Climber::search_many(self, reqs)
     }
+
+    fn health(&self) -> BackendHealth {
+        BackendHealth {
+            shards: 1,
+            dead_shards: 0,
+            quarantined_partitions: self.store.quarantined().len() as u64,
+        }
+    }
 }
 
 impl<S: PartitionStore> SearchBackend for ShardedClimber<S> {
     fn search_many(&self, reqs: &[SearchRequest]) -> Vec<QueryOutcome> {
         ShardedClimber::search_many(self, reqs)
+    }
+
+    fn health(&self) -> BackendHealth {
+        ShardedClimber::health(self)
     }
 }
 

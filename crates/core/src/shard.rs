@@ -53,6 +53,7 @@
 //! one.
 
 use crate::error::ClimberError;
+use crate::recover::{BackendHealth, RecoveryPolicy, RecoveryReport, ScrubReport};
 use crate::{Climber, ClimberConfig, MaintenanceReport, SearchMode, SearchRequest};
 use climber_dfs::format::PartitionWriter;
 use climber_dfs::manifest::{self, xxh64, OpenError};
@@ -215,8 +216,15 @@ pub struct ShardStatus {
 /// ```
 #[derive(Debug)]
 pub struct ShardedClimber<S: PartitionStore = MemStore> {
-    shards: Vec<Climber<S>>,
+    /// One slot per shard; `None` marks a dead shard a quarantining open
+    /// ([`ShardedClimber::open_with`]) could not bring up. Dead slots
+    /// keep their position so routing — which depends only on the shard
+    /// count and router seed — is unchanged by quarantine and repair.
+    shards: Vec<Option<Climber<S>>>,
     router_seed: u64,
+    /// Per-shard generation snapshot from the last seal: the value
+    /// reported for dead slots, whose live generation is unknowable.
+    sealed_generations: Vec<u64>,
     /// Set-wide next append id (1 + the largest id stored anywhere); each
     /// shard's own counter trails it, tracking only that shard's records.
     next_id: AtomicU64,
@@ -289,16 +297,25 @@ impl ShardedClimber<MemStore> {
             }
         }
 
-        let shards: Vec<Climber<MemStore>> = stores
+        let shards: Vec<Option<Climber<MemStore>>> = stores
             .into_iter()
-            .map(|st| Climber::from_parts_with_config(skeleton.clone(), st, config, options))
+            .map(|st| {
+                Some(Climber::from_parts_with_config(
+                    skeleton.clone(),
+                    st,
+                    config,
+                    options,
+                ))
+            })
             .collect();
         let next_id = shards
             .iter()
+            .flatten()
             .map(|c| c.next_id.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0);
         Self {
+            sealed_generations: vec![0; shards.len()],
             shards,
             router_seed,
             next_id: AtomicU64::new(next_id),
@@ -364,15 +381,7 @@ impl ShardedClimber<DiskStore> {
     }
 
     fn open_impl(dir: &Path, writable: bool) -> Result<Self, OpenError> {
-        let path = dir.join(SHARD_SET_FILE);
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(OpenError::MissingManifest(path))
-            }
-            Err(e) => return Err(OpenError::Io(e)),
-        };
-        let sm = ShardSetManifest::decode(&bytes).map_err(OpenError::CorruptShardSet)?;
+        let sm = Self::load_set_manifest(dir)?;
         let mut shards = Vec::with_capacity(sm.num_shards as usize);
         for i in 0..sm.num_shards as usize {
             let sub = dir.join(shard_dir_name(i));
@@ -390,18 +399,120 @@ impl ShardedClimber<DiskStore> {
                     ))),
                 });
             }
-            shards.push(shard);
+            shards.push(Some(shard));
         }
+        Ok(Self::from_slots(shards, sm))
+    }
+
+    fn load_set_manifest(dir: &Path) -> Result<ShardSetManifest, OpenError> {
+        let path = dir.join(SHARD_SET_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(OpenError::MissingManifest(path))
+            }
+            Err(e) => return Err(OpenError::Io(e)),
+        };
+        ShardSetManifest::decode(&bytes).map_err(OpenError::CorruptShardSet)
+    }
+
+    fn from_slots(shards: Vec<Option<Climber<DiskStore>>>, sm: ShardSetManifest) -> Self {
         let next_id = shards
             .iter()
+            .flatten()
             .map(|c| c.next_id.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0);
-        Ok(Self {
+        Self {
             shards,
             router_seed: sm.router_seed,
+            sealed_generations: sm.generations,
             next_id: AtomicU64::new(next_id),
-        })
+        }
+    }
+
+    /// A self-healing set open. Each shard is opened under `policy`:
+    /// partitions that fail validation are quarantined *inside* their
+    /// shard (see [`Climber::open_with`]); a shard that cannot open at
+    /// all — corrupt manifest or skeleton, drifted generation — is left
+    /// as a **dead slot** instead of failing the set. Queries over a set
+    /// with dead slots return the surviving shards' answer, with every
+    /// dead shard reported unhealthy in its [`ShardStatus`]. Routing and
+    /// id assignment depend only on the persisted shard count and router
+    /// seed, so they are byte-for-byte stable across quarantine, repair
+    /// ([`scrub`](Self::scrub)), and reopen.
+    ///
+    /// Fails when *no* shard opens (nothing left to serve), and behaves
+    /// exactly like [`open_rw`](Self::open_rw) under
+    /// [`RecoveryPolicy::Strict`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+    ) -> Result<(Self, RecoveryReport), ClimberError> {
+        let dir = dir.as_ref();
+        if policy == RecoveryPolicy::Strict {
+            return Ok((Self::open_rw(dir)?, RecoveryReport::default()));
+        }
+        let sm = Self::load_set_manifest(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut shards = Vec::with_capacity(sm.num_shards as usize);
+        for i in 0..sm.num_shards as usize {
+            let sub = dir.join(shard_dir_name(i));
+            match Climber::open_with(&sub, RecoveryPolicy::Quarantine) {
+                Ok((shard, r)) if shard.generation() == sm.generations[i] => {
+                    report
+                        .quarantined_partitions
+                        .extend(r.quarantined_partitions);
+                    shards.push(Some(shard));
+                }
+                _ => {
+                    report.dead_shards.push(i);
+                    shards.push(None);
+                }
+            }
+        }
+        if shards.iter().all(Option::is_none) {
+            return Err(
+                OpenError::CorruptShardSet("every shard of the set failed to open".into()).into(),
+            );
+        }
+        Ok((Self::from_slots(shards, sm), report))
+    }
+
+    /// Scrubs the whole set: every live shard runs [`Climber::scrub`]
+    /// (re-verify, re-admit, quarantine fresh damage), and every dead
+    /// slot retries a quarantining open — a shard whose directory was
+    /// repaired since is re-admitted **in place**, with routing and ids
+    /// untouched. Returns the merged report; re-opened shards' remaining
+    /// quarantined partitions count as still-quarantined.
+    pub fn scrub(&mut self) -> Result<ScrubReport, ClimberError> {
+        let mut merged = ScrubReport::default();
+        let home = self.home_dir();
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            match slot {
+                Some(shard) => merged.absorb(shard.scrub()?),
+                None => {
+                    let Some(home) = &home else { continue };
+                    let sub = home.join(shard_dir_name(i));
+                    if let Ok((shard, r)) = Climber::open_with(&sub, RecoveryPolicy::Quarantine) {
+                        if shard.generation() == self.sealed_generations[i] {
+                            merged.still_quarantined.extend(r.quarantined_partitions);
+                            *slot = Some(shard);
+                        }
+                    }
+                }
+            }
+        }
+        // A re-admitted shard may hold the set's largest stored id.
+        let seen = self
+            .shards
+            .iter()
+            .flatten()
+            .map(|c| c.next_id.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        self.next_id.fetch_max(seen, Ordering::Relaxed);
+        Ok(merged)
     }
 }
 
@@ -411,11 +522,34 @@ impl<S: PartitionStore> ShardedClimber<S> {
         self.shards.len()
     }
 
-    /// The shards themselves (each a full [`Climber`]); read-side access
-    /// for accounting and tests — route updates through the set so the
-    /// set-wide id counter and super-manifest stay consistent.
-    pub fn shards(&self) -> &[Climber<S>] {
+    /// The live shards (each a full [`Climber`]; dead slots omitted);
+    /// read-side access for accounting and tests — route updates through
+    /// the set so the set-wide id counter and super-manifest stay
+    /// consistent.
+    pub fn shards(&self) -> Vec<&Climber<S>> {
+        self.shards.iter().flatten().collect()
+    }
+
+    /// The slot-indexed shard view: `None` marks a dead shard left
+    /// behind by a quarantining open (see
+    /// [`open_with`](ShardedClimber::open_with)).
+    pub fn shard_slots(&self) -> &[Option<Climber<S>>] {
         &self.shards
+    }
+
+    /// The set's health: slot count, dead slots, and partitions
+    /// quarantined inside live shards.
+    pub fn health(&self) -> BackendHealth {
+        BackendHealth {
+            shards: self.shards.len() as u32,
+            dead_shards: self.shards.iter().filter(|s| s.is_none()).count() as u32,
+            quarantined_partitions: self
+                .shards
+                .iter()
+                .flatten()
+                .map(|c| c.quarantined_partitions().len() as u64)
+                .sum(),
+        }
     }
 
     /// Seed of the record→shard routing hash (persisted, so routing is
@@ -429,7 +563,7 @@ impl<S: PartitionStore> ShardedClimber<S> {
     /// cluster scans are served from 8-bit codes with exact promotion of
     /// the survivors, leaving every answer bit-identical.
     pub fn set_quant_enabled(&self, enabled: bool) {
-        for shard in &self.shards {
+        for shard in self.shards.iter().flatten() {
             shard.set_quant_enabled(enabled);
         }
     }
@@ -443,18 +577,26 @@ impl<S: PartitionStore> ShardedClimber<S> {
     /// False only for sets opened read-only via
     /// [`ShardedClimber::open`].
     pub fn is_writable(&self) -> bool {
-        self.shards.iter().all(Climber::is_writable)
+        self.shards.iter().flatten().all(Climber::is_writable)
     }
 
-    /// Per-shard segment generations, indexed by shard.
+    /// Per-shard segment generations, indexed by shard slot; dead slots
+    /// report their last sealed generation.
     pub fn generations(&self) -> Vec<u64> {
-        self.shards.iter().map(Climber::generation).collect()
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.as_ref()
+                    .map_or(self.sealed_generations[i], Climber::generation)
+            })
+            .collect()
     }
 
-    /// The indexed series length, from any shard (all agree: they share
-    /// the skeleton and the split preserves partition metadata).
+    /// The indexed series length, from any live shard (all agree: they
+    /// share the skeleton and the split preserves partition metadata).
     fn series_len_hint(&self) -> Option<usize> {
-        self.shards.first()?.series_len_hint()
+        self.shards.iter().flatten().next()?.series_len_hint()
     }
 
     fn set_manifest(&self) -> ShardSetManifest {
@@ -468,7 +610,7 @@ impl<S: PartitionStore> ShardedClimber<S> {
     /// The directory holding the shard set, when the shards are
     /// disk-backed under their standard subdirectories.
     fn home_dir(&self) -> Option<PathBuf> {
-        let first = self.shards.first()?.store.persist_dir()?;
+        let first = self.shards.iter().flatten().next()?.store.persist_dir()?;
         first.parent().map(Path::to_path_buf)
     }
 
@@ -481,7 +623,12 @@ impl<S: PartitionStore> ShardedClimber<S> {
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<ShardSetManifest, ClimberError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(ClimberError::Io)?;
+        // Dead slots are skipped: their directories keep whatever state
+        // they sealed last (recorded in `sealed_generations`), so a
+        // repaired shard can still re-admit under the super-manifest
+        // written below.
         for (i, shard) in self.shards.iter().enumerate() {
+            let Some(shard) = shard else { continue };
             shard.save(dir.join(shard_dir_name(i)))?;
         }
         let sm = self.set_manifest();
@@ -525,7 +672,7 @@ impl<S: PartitionStore> ShardedClimber<S> {
     /// # Panics
     /// If any series length differs from the indexed length.
     pub fn append_batch(&self, series: &[Vec<f32>]) -> Result<Vec<u64>, ClimberError> {
-        for shard in &self.shards {
+        for shard in self.shards.iter().flatten() {
             shard.ensure_writable()?;
         }
         if series.is_empty() {
@@ -550,11 +697,19 @@ impl<S: PartitionStore> ShardedClimber<S> {
         for (v, &id) in series.iter().zip(&ids) {
             grouped[self.shard_of(id)].push((id, v.as_slice()));
         }
+        // All-or-nothing: refuse the whole batch before any record lands
+        // if one routes to a dead slot (the reserved ids stay unused — a
+        // gap, never a partial append).
+        for (s, group) in grouped.iter().enumerate() {
+            if !group.is_empty() && self.shards[s].is_none() {
+                return Err(ClimberError::Io(dead_shard_error(s)));
+            }
+        }
         for (s, group) in grouped.into_iter().enumerate() {
             let Some(&(max_id, _)) = group.last() else {
                 continue;
             };
-            let shard = &self.shards[s];
+            let shard = self.shards[s].as_ref().expect("dead slots checked above");
             let routed: Vec<_> = group
                 .into_iter()
                 .map(|(id, v)| {
@@ -574,16 +729,20 @@ impl<S: PartitionStore> ShardedClimber<S> {
     /// tombstone set. Returns `false` when the id was never assigned or
     /// is already deleted, exactly like [`Climber::delete`].
     pub fn delete(&self, id: u64) -> Result<bool, ClimberError> {
-        for shard in &self.shards {
+        for shard in self.shards.iter().flatten() {
             shard.ensure_writable()?;
         }
         if id >= self.next_id.load(Ordering::Relaxed) {
             return Ok(false);
         }
+        let owner = self.shard_of(id);
+        let Some(shard) = self.shards[owner].as_ref() else {
+            return Err(ClimberError::Io(dead_shard_error(owner)));
+        };
         // The owning shard's own id counter may trail the set-wide one
         // (it only counts records routed to it), so the existence check
         // above is set-wide and the tombstone goes straight in.
-        Ok(self.shards[self.shard_of(id)].tombstones.delete(id))
+        Ok(shard.tombstones.delete(id))
     }
 
     /// Folds every shard's delta segment into its sealed partitions
@@ -609,7 +768,7 @@ impl<S: PartitionStore> ShardedClimber<S> {
             tombstones_remaining: 0,
             generation: 0,
         };
-        for shard in &self.shards {
+        for shard in self.shards.iter().flatten() {
             let r = if purge {
                 shard.compact()?
             } else {
@@ -676,70 +835,104 @@ impl<S: PartitionStore> ShardedClimber<S> {
         reqs: &[SearchRequest],
         threads: usize,
     ) -> (Vec<QueryOutcome>, Vec<ShardStatus>) {
-        let mut statuses: Vec<ShardStatus> = (0..self.shards.len())
-            .map(|s| ShardStatus {
-                shard: s,
-                healthy: true,
-                failed_partitions: BTreeSet::new(),
-                records_scanned: 0,
-            })
-            .collect();
-        if reqs.is_empty() {
-            return (Vec::new(), statuses);
+        let slots: Vec<Option<&Climber<S>>> = self.shards.iter().map(Option::as_ref).collect();
+        scatter_search_with_status(&slots, reqs, threads)
+    }
+}
+
+/// The error an update targeting a dead (quarantined) shard slot gets.
+fn dead_shard_error(shard: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("shard {shard} is quarantined (dead slot); scrub the set to re-admit it"),
+    )
+}
+
+/// The scatter-gather batch engine over a slice of shard slots — the
+/// shared implementation behind
+/// [`ShardedClimber::search_many_with_status`] and the degraded
+/// single-index path [`Climber::search_many_with_status`] (one slot).
+/// Dead (`None`) slots contribute nothing and are reported unhealthy;
+/// planned partitions that fail to open on a live shard (quarantined,
+/// deleted mid-flight) are recorded in that shard's status instead of
+/// failing the pass.
+///
+/// # Panics
+/// If any request fails validation, or every slot is dead (there is no
+/// skeleton to plan against).
+pub(crate) fn scatter_search_with_status<S: PartitionStore>(
+    shards: &[Option<&Climber<S>>],
+    reqs: &[SearchRequest],
+    threads: usize,
+) -> (Vec<QueryOutcome>, Vec<ShardStatus>) {
+    let mut statuses: Vec<ShardStatus> = (0..shards.len())
+        .map(|s| ShardStatus {
+            shard: s,
+            healthy: shards[s].is_some(),
+            failed_partitions: BTreeSet::new(),
+            records_scanned: 0,
+        })
+        .collect();
+    if reqs.is_empty() {
+        return (Vec::new(), statuses);
+    }
+    for req in reqs {
+        if let Err(e) = req.validate() {
+            panic!("{e}");
         }
-        for req in reqs {
-            if let Err(e) = req.validate() {
-                panic!("{e}");
-            }
+    }
+    let first_live = shards
+        .iter()
+        .flatten()
+        .next()
+        .expect("at least one live shard");
+    // Group compatible requests exactly like the single-index
+    // micro-batch path (first-seen order, tiny linear scan).
+    type GroupKey = (BatchStrategy, usize, Option<u32>);
+    let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let key = (strategy_of(req.mode), req.k, req.budget);
+        match groups.iter_mut().find(|(gk, _)| *gk == key) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((key, vec![i])),
         }
-        // Group compatible requests exactly like the single-index
-        // micro-batch path (first-seen order, tiny linear scan).
-        type GroupKey = (BatchStrategy, usize, Option<u32>);
-        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
-        for (i, req) in reqs.iter().enumerate() {
-            let key = (strategy_of(req.mode), req.k, req.budget);
-            match groups.iter_mut().find(|(gk, _)| *gk == key) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((key, vec![i])),
-            }
-        }
-        let len_hint = self.series_len_hint();
-        let mut out: Vec<Option<QueryOutcome>> = Vec::with_capacity(reqs.len());
-        out.resize_with(reqs.len(), || None);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
-        pool.install(|| {
-            for ((strategy, k, budget), idxs) in &groups {
-                let queries: Vec<Vec<f32>> = idxs
-                    .iter()
-                    .map(|&i| {
-                        let req = &reqs[i];
-                        if matches!(req.mode, SearchMode::Resampled(_)) {
-                            let target = len_hint.unwrap_or(req.query.len());
-                            resample_linear(&req.query, target)
-                        } else {
-                            req.query.clone()
-                        }
-                    })
-                    .collect();
-                // One planning pass on the shared skeleton serves every
-                // shard; one bound array per query is shared across
-                // shards for cross-shard pruning.
-                let plans = plan_queries(
-                    self.shards[0].skeleton(),
-                    &queries,
-                    *k,
-                    *strategy,
-                    budget.map(|b| b as usize),
-                );
-                let bounds: Vec<SharedBound> =
-                    (0..queries.len()).map(|_| SharedBound::new()).collect();
-                let scans: Vec<ShardScan> = self
-                    .shards
-                    .par_iter()
-                    .map(|shard| {
+    }
+    let len_hint = first_live.series_len_hint();
+    let mut out: Vec<Option<QueryOutcome>> = Vec::with_capacity(reqs.len());
+    out.resize_with(reqs.len(), || None);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        for ((strategy, k, budget), idxs) in &groups {
+            let queries: Vec<Vec<f32>> = idxs
+                .iter()
+                .map(|&i| {
+                    let req = &reqs[i];
+                    if matches!(req.mode, SearchMode::Resampled(_)) {
+                        let target = len_hint.unwrap_or(req.query.len());
+                        resample_linear(&req.query, target)
+                    } else {
+                        req.query.clone()
+                    }
+                })
+                .collect();
+            // One planning pass on the shared skeleton serves every
+            // shard; one bound array per query is shared across
+            // shards for cross-shard pruning.
+            let plans = plan_queries(
+                first_live.skeleton(),
+                &queries,
+                *k,
+                *strategy,
+                budget.map(|b| b as usize),
+            );
+            let bounds: Vec<SharedBound> = (0..queries.len()).map(|_| SharedBound::new()).collect();
+            let scans: Vec<Option<ShardScan>> = shards
+                .par_iter()
+                .map(|slot| {
+                    slot.map(|shard| {
                         scan_shard(
                             &shard.store,
                             &queries,
@@ -750,90 +943,94 @@ impl<S: PartitionStore> ShardedClimber<S> {
                             Some(&shard.quant),
                         )
                     })
-                    .collect();
-                for (si, scan) in scans.iter().enumerate() {
-                    statuses[si]
-                        .failed_partitions
-                        .extend(scan.failed.iter().copied());
-                    statuses[si].records_scanned += scan.scanned.iter().sum::<u64>();
+                })
+                .collect();
+            for (si, scan) in scans.iter().enumerate() {
+                let Some(scan) = scan else { continue };
+                statuses[si]
+                    .failed_partitions
+                    .extend(scan.failed.iter().copied());
+                statuses[si].records_scanned += scan.scanned.iter().sum::<u64>();
+            }
+            let expands = strategy.expands();
+            for (qi, &ri) in idxs.iter().enumerate() {
+                let plan = &plans[qi];
+                // Seeking k-way merge of the per-shard streams: each
+                // shard's heap already holds its best ≤ k candidates
+                // sorted by (distance, id), so merging heaps IS the
+                // stream merge — deterministic tie-breaking included.
+                let mut top = TopK::new(*k);
+                let mut records_scanned = 0u64;
+                for scan in scans.iter().flatten() {
+                    top.merge(scan.tops[qi].clone());
+                    records_scanned += scan.scanned[qi];
                 }
-                let expands = strategy.expands();
-                for (qi, &ri) in idxs.iter().enumerate() {
-                    let plan = &plans[qi];
-                    // Seeking k-way merge of the per-shard streams: each
-                    // shard's heap already holds its best ≤ k candidates
-                    // sorted by (distance, id), so merging heaps IS the
-                    // stream merge — deterministic tie-breaking included.
-                    let mut top = TopK::new(*k);
-                    let mut records_scanned = 0u64;
-                    for scan in &scans {
-                        top.merge(scan.tops[qi].clone());
-                        records_scanned += scan.scanned[qi];
-                    }
-                    // A planned partition counts as opened when any shard
-                    // opened it — with healthy shards that is every
-                    // planned partition, the single-index count.
-                    let partitions_opened = plan
-                        .reads
-                        .keys()
-                        .filter(|pid| scans.iter().any(|s| !s.failed.contains(pid)))
-                        .count();
-                    if expands && top.len() < *k {
-                        // The sequential engine's expansion loop, fanned
-                        // across shards: plan order, stop checked at
-                        // partition granularity. Each shard expands into
-                        // a FRESH heap (TopK::merge does not dedup; shard
-                        // stores are record-disjoint and expansion
-                        // clusters are disjoint from planned ones, so a
-                        // fresh local per shard merges exactly once).
-                        'partitions: for (pid, planned) in &plan.reads {
-                            for (si, shard) in self.shards.iter().enumerate() {
-                                if scans[si].failed.contains(pid) {
-                                    continue;
-                                }
-                                let mut local = TopK::new(*k);
-                                match expand_shard_partition(
-                                    &shard.store,
-                                    *pid,
-                                    planned,
-                                    &queries[qi],
-                                    &mut local,
-                                    updates_of(shard),
-                                    Some(&shard.quant),
-                                ) {
-                                    Some(n) => {
-                                        records_scanned += n;
-                                        statuses[si].records_scanned += n;
-                                        top.merge(local);
-                                    }
-                                    None => {
-                                        statuses[si].failed_partitions.insert(*pid);
-                                    }
-                                }
+                // A planned partition counts as opened when any live
+                // shard opened it — with healthy shards that is every
+                // planned partition, the single-index count.
+                let partitions_opened = plan
+                    .reads
+                    .keys()
+                    .filter(|pid| scans.iter().flatten().any(|s| !s.failed.contains(pid)))
+                    .count();
+                if expands && top.len() < *k {
+                    // The sequential engine's expansion loop, fanned
+                    // across shards: plan order, stop checked at
+                    // partition granularity. Each shard expands into
+                    // a FRESH heap (TopK::merge does not dedup; shard
+                    // stores are record-disjoint and expansion
+                    // clusters are disjoint from planned ones, so a
+                    // fresh local per shard merges exactly once).
+                    'partitions: for (pid, planned) in &plan.reads {
+                        for (si, slot) in shards.iter().enumerate() {
+                            let Some(shard) = slot else { continue };
+                            let failed_scan =
+                                scans[si].as_ref().is_some_and(|s| s.failed.contains(pid));
+                            if failed_scan {
+                                continue;
                             }
-                            if top.len() >= *k {
-                                break 'partitions;
+                            let mut local = TopK::new(*k);
+                            match expand_shard_partition(
+                                &shard.store,
+                                *pid,
+                                planned,
+                                &queries[qi],
+                                &mut local,
+                                updates_of(shard),
+                                Some(&shard.quant),
+                            ) {
+                                Some(n) => {
+                                    records_scanned += n;
+                                    statuses[si].records_scanned += n;
+                                    top.merge(local);
+                                }
+                                None => {
+                                    statuses[si].failed_partitions.insert(*pid);
+                                }
                             }
                         }
+                        if top.len() >= *k {
+                            break 'partitions;
+                        }
                     }
-                    out[ri] = Some(QueryOutcome {
-                        results: top.into_sorted(),
-                        partitions_opened,
-                        records_scanned,
-                        plan: plan.clone(),
-                    });
                 }
+                out[ri] = Some(QueryOutcome {
+                    results: top.into_sorted(),
+                    partitions_opened,
+                    records_scanned,
+                    plan: plan.clone(),
+                });
             }
-        });
-        for s in &mut statuses {
-            s.healthy = s.failed_partitions.is_empty();
         }
-        let outcomes = out
-            .into_iter()
-            .map(|o| o.expect("every request answered"))
-            .collect();
-        (outcomes, statuses)
+    });
+    for s in &mut statuses {
+        s.healthy = shards[s.shard].is_some() && s.failed_partitions.is_empty();
     }
+    let outcomes = out
+        .into_iter()
+        .map(|o| o.expect("every request answered"))
+        .collect();
+    (outcomes, statuses)
 }
 
 /// The shard's mutable segments as an [`UpdateView`], or `None` when both

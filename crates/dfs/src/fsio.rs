@@ -1,0 +1,641 @@
+//! Pluggable filesystem: the injectable I/O layer under every durable
+//! path.
+//!
+//! Everything the persistence layer does to a directory — partition
+//! writes, manifest commits, journal staging, fsyncs, renames — goes
+//! through the [`ClimberFs`] trait instead of calling `std::fs`
+//! directly. Production uses [`StdFs`] (a zero-cost passthrough); the
+//! crash-consistency torture harness swaps in a [`FaultFs`] that
+//! deterministically injects scripted faults:
+//!
+//! * **error at op N** — the Nth filesystem operation (globally, or the
+//!   Nth of one [`FsOp`] kind) fails with an injected `io::Error`;
+//! * **error once, then ok** — the same, but only the first matching
+//!   operation fails; a retry succeeds (transient `EIO`);
+//! * **torn write** — a write persists only a prefix of its bytes, then
+//!   reports failure (torn page / short write);
+//! * **crash point** — from op N onward *every* operation fails: the
+//!   process's view of the directory is frozen at whatever the first
+//!   N−1 operations made durable, exactly like a power cut mid-protocol.
+//!
+//! Because faults are keyed by a deterministic operation counter, a
+//! harness can run a protocol once fault-free to learn its op count,
+//! then sweep a crash point across **every** operation — which is what
+//! `tests/crash_consistency.rs` does to prove the save/flush/compact
+//! commit protocol never leaves a third state.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The kinds of filesystem operation the persistence layer performs —
+/// each a distinct fault point a [`FaultFs`] script can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FsOp {
+    /// Whole-file read.
+    Read,
+    /// Whole-file write (create/truncate).
+    Write,
+    /// `fsync` of a file's contents.
+    FsyncFile,
+    /// Atomic rename within a directory.
+    Rename,
+    /// File removal.
+    RemoveFile,
+    /// `fsync` of a directory (making renames durable).
+    FsyncDir,
+    /// Recursive directory creation.
+    CreateDirAll,
+}
+
+impl FsOp {
+    /// Index into per-kind counters.
+    fn idx(self) -> usize {
+        match self {
+            Self::Read => 0,
+            Self::Write => 1,
+            Self::FsyncFile => 2,
+            Self::Rename => 3,
+            Self::RemoveFile => 4,
+            Self::FsyncDir => 5,
+            Self::CreateDirAll => 6,
+        }
+    }
+}
+
+const NUM_KINDS: usize = 7;
+
+/// The filesystem surface of the persistence layer. Every durable-path
+/// byte the index writes or validates flows through one of these
+/// methods, so an implementation sees (and may fail) each protocol step
+/// individually.
+///
+/// Implementations must be shareable across threads — the seal writes
+/// partitions from a parallel map.
+pub trait ClimberFs: fmt::Debug + Send + Sync {
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Writes `bytes` to `path`, creating or truncating it. Not atomic
+    /// and not synced — compose with [`ClimberFs::fsync_file`] and
+    /// [`ClimberFs::rename`] (or use [`write_file_atomic_with`]) for
+    /// durable commits.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces the contents of `path` to stable storage.
+    fn fsync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Renames `from` to `to` (atomic within a directory on POSIX).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Forces the directory entry metadata of `path` to stable storage
+    /// (a rename is only durable once its parent directory is synced).
+    fn fsync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates `path` and any missing ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// A shared, thread-safe filesystem handle.
+pub type FsRef = Arc<dyn ClimberFs>;
+
+/// The production filesystem: direct passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+impl ClimberFs for StdFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        // Reopen-to-sync keeps the trait object-safe (no handles cross
+        // the boundary); the kernel syncs the inode, not the descriptor.
+        fs::OpenOptions::new().write(true).open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            fs::File::open(path)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+}
+
+/// The process-wide shared [`StdFs`] handle every non-injected
+/// constructor defaults to.
+pub fn std_fs() -> FsRef {
+    static STD: OnceLock<FsRef> = OnceLock::new();
+    STD.get_or_init(|| Arc::new(StdFs)).clone()
+}
+
+/// What an armed [`FaultFs`] rule does when its trigger matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the triggering operation and every later operation in the
+    /// trigger's scope (all ops for an [`FaultTrigger::Op`] trigger, all
+    /// ops of the kind for [`FaultTrigger::Kind`]) — a persistently bad
+    /// device.
+    Error,
+    /// Fail the first matching operation only; retries succeed (a
+    /// transient `EIO`).
+    ErrorOnce,
+    /// For a write: persist only the first `keep` bytes, then report
+    /// failure — a torn/short write. Other kinds degrade to
+    /// [`FaultAction::ErrorOnce`].
+    Torn {
+        /// Bytes of the write that reach the disk.
+        keep: usize,
+    },
+    /// Freeze the disk: this operation and **all** later ones fail, so
+    /// the directory stays exactly as the preceding operations left it —
+    /// a power cut at this protocol step.
+    Crash,
+    /// A torn write *followed by* a crash: the first `keep` bytes land,
+    /// then the disk freezes. The torn-write fault point a pure
+    /// [`FaultAction::Crash`] can't reach (a crashed `write` persists
+    /// nothing).
+    TornCrash {
+        /// Bytes of the write that reach the disk before the freeze.
+        keep: usize,
+    },
+}
+
+/// When a [`FaultFs`] rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// The Nth armed operation overall (0-based).
+    Op(u64),
+    /// The Nth armed operation of one kind (0-based).
+    Kind(FsOp, u64),
+}
+
+impl FaultTrigger {
+    fn matches(self, op: FsOp, global: u64, of_kind: u64) -> bool {
+        match self {
+            Self::Op(n) => global == n,
+            Self::Kind(k, n) => k == op && of_kind == n,
+        }
+    }
+
+    /// Persistent form: the trigger point and everything after it in the
+    /// trigger's scope (used by [`FaultAction::Error`]).
+    fn matches_at_or_after(self, op: FsOp, global: u64, of_kind: u64) -> bool {
+        match self {
+            Self::Op(n) => global >= n,
+            Self::Kind(k, n) => k == op && of_kind >= n,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Rule {
+    trigger: FaultTrigger,
+    action: FaultAction,
+    fired: bool,
+}
+
+/// A deterministic fault-injecting filesystem wrapping another
+/// [`ClimberFs`].
+///
+/// Operations are counted (globally and per [`FsOp`] kind) only while
+/// the injector is **armed**, so a harness can set a directory up, call
+/// [`FaultFs::arm`], and know op index 0 is the first operation of the
+/// protocol under test. A fault-free armed run records the op count
+/// ([`FaultFs::op_count`]) and trace ([`FaultFs::trace`]); a sweep then
+/// replays the protocol with [`FaultAction::Crash`] (or any other
+/// action) scripted at each index in turn.
+#[derive(Debug)]
+pub struct FaultFs {
+    inner: FsRef,
+    armed: AtomicBool,
+    crashed: AtomicBool,
+    global: AtomicU64,
+    per_kind: [AtomicU64; NUM_KINDS],
+    rules: Mutex<Vec<Rule>>,
+    trace: Mutex<Vec<(FsOp, PathBuf)>>,
+}
+
+/// The error message every injected failure carries — tests assert on
+/// it to distinguish injected faults from real I/O problems.
+pub const INJECTED_FAULT: &str = "injected fault";
+
+fn injected(op: FsOp, path: &Path) -> io::Error {
+    io::Error::other(format!("{INJECTED_FAULT}: {op:?} {}", path.display()))
+}
+
+impl FaultFs {
+    /// Wraps `inner`, starting **disarmed**: operations pass through
+    /// uncounted until [`FaultFs::arm`].
+    pub fn new(inner: FsRef) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            armed: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            global: AtomicU64::new(0),
+            per_kind: Default::default(),
+            rules: Mutex::new(Vec::new()),
+            trace: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Wraps the standard filesystem.
+    pub fn over_std() -> Arc<Self> {
+        Self::new(std_fs())
+    }
+
+    /// Starts counting operations (op index 0 = the next operation).
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops counting; subsequent operations pass through unchecked
+    /// (unless the disk already crashed, which is permanent).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Scripts `action` at armed-op trigger `trigger`.
+    pub fn inject(&self, trigger: FaultTrigger, action: FaultAction) {
+        self.rules.lock().expect("fault rules").push(Rule {
+            trigger,
+            action,
+            fired: false,
+        });
+    }
+
+    /// Scripts a [`FaultAction::Crash`] at global armed op `n`.
+    pub fn crash_at(&self, n: u64) {
+        self.inject(FaultTrigger::Op(n), FaultAction::Crash);
+    }
+
+    /// Scripts a [`FaultAction::TornCrash`] at global armed op `n`.
+    pub fn torn_crash_at(&self, n: u64, keep: usize) {
+        self.inject(FaultTrigger::Op(n), FaultAction::TornCrash { keep });
+    }
+
+    /// Total armed operations seen so far.
+    pub fn op_count(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Armed operations of `kind` seen so far.
+    pub fn op_count_of(&self, kind: FsOp) -> u64 {
+        self.per_kind[kind.idx()].load(Ordering::SeqCst)
+    }
+
+    /// True once a crash rule fired; every later operation fails.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// The `(kind, path)` of every armed operation, in order.
+    pub fn trace(&self) -> Vec<(FsOp, PathBuf)> {
+        self.trace.lock().expect("fault trace").clone()
+    }
+
+    /// Gate called before every operation. Returns the action to apply
+    /// to this op, or an error for plain failures.
+    fn check(&self, op: FsOp, path: &Path) -> io::Result<Option<FaultAction>> {
+        if !self.armed.load(Ordering::SeqCst) {
+            if self.is_crashed() {
+                return Err(injected(op, path));
+            }
+            return Ok(None);
+        }
+        let global = self.global.fetch_add(1, Ordering::SeqCst);
+        let of_kind = self.per_kind[op.idx()].fetch_add(1, Ordering::SeqCst);
+        self.trace
+            .lock()
+            .expect("fault trace")
+            .push((op, path.to_path_buf()));
+        if self.is_crashed() {
+            return Err(injected(op, path));
+        }
+        let mut rules = self.rules.lock().expect("fault rules");
+        for rule in rules.iter_mut() {
+            if rule.action == FaultAction::Error {
+                if rule.trigger.matches_at_or_after(op, global, of_kind) {
+                    return Err(injected(op, path));
+                }
+                continue;
+            }
+            if !rule.trigger.matches(op, global, of_kind) {
+                continue;
+            }
+            match rule.action {
+                FaultAction::Error => unreachable!("handled above"),
+                FaultAction::ErrorOnce => {
+                    if !rule.fired {
+                        rule.fired = true;
+                        return Err(injected(op, path));
+                    }
+                }
+                FaultAction::Torn { keep } => {
+                    if !rule.fired {
+                        rule.fired = true;
+                        if op == FsOp::Write {
+                            return Ok(Some(FaultAction::Torn { keep }));
+                        }
+                        return Err(injected(op, path));
+                    }
+                }
+                FaultAction::Crash => {
+                    self.crashed.store(true, Ordering::SeqCst);
+                    return Err(injected(op, path));
+                }
+                FaultAction::TornCrash { keep } => {
+                    self.crashed.store(true, Ordering::SeqCst);
+                    if op == FsOp::Write {
+                        return Ok(Some(FaultAction::TornCrash { keep }));
+                    }
+                    return Err(injected(op, path));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl ClimberFs for FaultFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check(FsOp::Read, path)?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.check(FsOp::Write, path)? {
+            Some(FaultAction::Torn { keep } | FaultAction::TornCrash { keep }) => {
+                // The torn prefix really lands on disk; the caller still
+                // sees a failure — exactly a short write cut by a fault.
+                let keep = keep.min(bytes.len());
+                self.inner.write(path, &bytes[..keep])?;
+                Err(injected(FsOp::Write, path))
+            }
+            _ => self.inner.write(path, bytes),
+        }
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        self.check(FsOp::FsyncFile, path)?;
+        self.inner.fsync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check(FsOp::Rename, from)?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check(FsOp::RemoveFile, path)?;
+        self.inner.remove_file(path)
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        self.check(FsOp::FsyncDir, path)?;
+        self.inner.fsync_dir(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check(FsOp::CreateDirAll, path)?;
+        self.inner.create_dir_all(path)
+    }
+}
+
+/// A sibling temp path for `path` that no concurrent writer shares: the
+/// name carries the process id and a process-wide sequence number.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    path.with_extension(format!(
+        "{}.tmp.{}.{seq}",
+        path.extension().and_then(|e| e.to_str()).unwrap_or("dat"),
+        std::process::id()
+    ))
+}
+
+/// True when `name` is a temp file left by an interrupted
+/// [`write_file_atomic_with`] — safe to sweep at open time.
+pub fn is_tmp_name(name: &str) -> bool {
+    name.contains(".tmp.")
+}
+
+/// Writes `bytes` to `path` crash-safely through `fs`: sibling temp
+/// file, fsync, atomic rename, parent-directory fsync — every step an
+/// individually injectable fault point. On failure the temp file is
+/// removed best-effort (a crash may keep it; open-time recovery sweeps
+/// strays).
+pub fn write_file_atomic_with(fs: &dyn ClimberFs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let cleanup = |e: io::Error| {
+        fs.remove_file(&tmp).ok();
+        e
+    };
+    fs.write(&tmp, bytes).map_err(cleanup)?;
+    fs.fsync_file(&tmp).map_err(cleanup)?;
+    fs.rename(&tmp, path).map_err(cleanup)?;
+    // A rename is directory metadata: without fsyncing the parent, a
+    // power cut can durably keep the file data yet lose the rename,
+    // breaking the "manifest visible => partitions visible" ordering.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs.fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// The plain (non-injected) `write_file_atomic` used since PR 3 —
+/// delegates to [`write_file_atomic_with`] over [`StdFs`], but keeps
+/// one `std`-only fast path detail: the temp file is written and synced
+/// through a single open handle.
+pub fn write_file_atomic_std(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        fs::remove_file(&tmp).ok();
+    })?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("climber-fsio-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn std_fs_roundtrip_and_atomic_write() {
+        let dir = tmp_dir("std");
+        let fs_ = std_fs();
+        let p = dir.join("a.bin");
+        write_file_atomic_with(&*fs_, &p, b"hello").unwrap();
+        assert_eq!(fs_.read(&p).unwrap(), b"hello");
+        fs_.rename(&p, &dir.join("b.bin")).unwrap();
+        assert!(fs_.read(&p).is_err());
+        fs_.remove_file(&dir.join("b.bin")).unwrap();
+        // No temp droppings.
+        assert!(fs::read_dir(&dir).unwrap().next().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disarmed_faultfs_is_a_passthrough() {
+        let dir = tmp_dir("disarmed");
+        let ff = FaultFs::over_std();
+        ff.crash_at(0);
+        let p = dir.join("x");
+        ff.write(&p, b"ok").unwrap();
+        assert_eq!(ff.op_count(), 0, "disarmed ops are not counted");
+        ff.arm();
+        assert!(ff.write(&p, b"boom").is_err());
+        assert!(ff.is_crashed());
+        assert_eq!(
+            fs::read(&p).unwrap(),
+            b"ok",
+            "crashed write persisted nothing"
+        );
+        // After a crash every op fails, armed or not.
+        ff.disarm();
+        assert!(ff.read(&p).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_once_then_ok() {
+        let dir = tmp_dir("once");
+        let ff = FaultFs::over_std();
+        ff.inject(FaultTrigger::Kind(FsOp::Write, 1), FaultAction::ErrorOnce);
+        ff.arm();
+        let p = dir.join("y");
+        ff.write(&p, b"one").unwrap();
+        let err = ff.write(&p, b"two").unwrap_err();
+        assert!(err.to_string().contains(INJECTED_FAULT));
+        assert_eq!(fs::read(&p).unwrap(), b"one", "failed write left old bytes");
+        ff.write(&p, b"three").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"three");
+        assert_eq!(ff.op_count_of(FsOp::Write), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_error_fails_every_match() {
+        let dir = tmp_dir("persist");
+        let ff = FaultFs::over_std();
+        ff.inject(FaultTrigger::Kind(FsOp::RemoveFile, 0), FaultAction::Error);
+        ff.arm();
+        let p = dir.join("z");
+        ff.write(&p, b"v").unwrap();
+        assert!(ff.remove_file(&p).is_err());
+        assert!(ff.remove_file(&p).is_err(), "Error rules never clear");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let dir = tmp_dir("torn");
+        let ff = FaultFs::over_std();
+        ff.inject(FaultTrigger::Op(0), FaultAction::Torn { keep: 3 });
+        ff.arm();
+        let p = dir.join("t");
+        assert!(ff.write(&p, b"abcdef").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"abc");
+        assert!(!ff.is_crashed(), "a torn write alone is not a crash");
+        ff.write(&p, b"abcdef").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"abcdef");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_crash_freezes_after_prefix() {
+        let dir = tmp_dir("torncrash");
+        let ff = FaultFs::over_std();
+        ff.torn_crash_at(0, 2);
+        ff.arm();
+        let p = dir.join("t");
+        assert!(ff.write(&p, b"abcdef").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"ab");
+        assert!(ff.is_crashed());
+        assert!(ff.write(&p, b"later").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"ab", "frozen disk never changes");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_cleans_temp_on_injected_fsync_failure() {
+        let dir = tmp_dir("cleanup");
+        let ff = FaultFs::over_std();
+        ff.inject(
+            FaultTrigger::Kind(FsOp::FsyncFile, 0),
+            FaultAction::ErrorOnce,
+        );
+        ff.arm();
+        let p = dir.join("target.bin");
+        assert!(write_file_atomic_with(&*ff, &p, b"data").is_err());
+        assert!(!p.exists(), "target never appeared");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.is_empty(), "temp cleaned: {names:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_and_counts_line_up() {
+        let dir = tmp_dir("trace");
+        let ff = FaultFs::over_std();
+        ff.arm();
+        let p = dir.join("f");
+        ff.write(&p, b"1").unwrap();
+        ff.fsync_file(&p).unwrap();
+        ff.read(&p).unwrap();
+        assert_eq!(ff.op_count(), 3);
+        let trace = ff.trace();
+        assert_eq!(
+            trace.iter().map(|(op, _)| *op).collect::<Vec<_>>(),
+            vec![FsOp::Write, FsOp::FsyncFile, FsOp::Read]
+        );
+        assert!(trace.iter().all(|(_, path)| path == &p));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,6 +19,10 @@
 //!   byte ranges for every partition, atomic-rename commit protocol, and
 //!   the typed [`OpenError`] cold-start validation
 //!   reports;
+//! * [`fsio`] — the pluggable filesystem under every durable path: a
+//!   [`ClimberFs`] trait with the production [`StdFs`] passthrough and a
+//!   deterministic fault-injecting [`FaultFs`] for crash-consistency
+//!   torture tests;
 //! * [`cluster`] — a deterministic worker pool with the Spark-ish verbs the
 //!   index build pipeline needs (parallel map, shuffle-by-key, broadcast);
 //! * [`sample`] — partition-level sampling (§V Step 1 reads a random subset
@@ -26,6 +30,7 @@
 
 pub mod cluster;
 pub mod format;
+pub mod fsio;
 pub mod manifest;
 pub mod quant;
 pub mod sample;
@@ -35,6 +40,7 @@ pub mod store;
 
 pub use cluster::{Broadcast, Cluster};
 pub use format::{ByteReader, Decode, Encode, PartitionReader, PartitionWriter, TrieNodeId};
+pub use fsio::{ClimberFs, FaultAction, FaultFs, FaultTrigger, FsOp, FsRef, StdFs};
 pub use manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
 pub use quant::{QuantCache, QuantizedCluster};
 pub use segment::{DeltaSegment, TombstoneSet, JOURNAL_FILE};

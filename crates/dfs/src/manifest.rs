@@ -32,10 +32,10 @@
 //! than guessing.
 
 use crate::format::{ByteReader, Decode, Encode};
+use crate::fsio::ClimberFs;
 use crate::store::PartitionId;
 use std::fmt;
-use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// File name of the manifest inside an index directory.
@@ -512,15 +512,28 @@ impl Manifest {
 
     /// Writes the manifest to `dir` via temp file + atomic rename. This is
     /// the save protocol's commit point: call it only after every file the
-    /// manifest references is durably in place.
+    /// manifest references is durably in place (or staged under its
+    /// roll-forward `.new` sibling).
     pub fn write_atomic(&self, dir: &Path) -> io::Result<()> {
         write_file_atomic(&Self::path(dir), &self.encode())
     }
 
+    /// [`write_atomic`](Self::write_atomic) through an injectable
+    /// filesystem — every protocol step (temp write, fsync, rename,
+    /// directory fsync) is a distinct fault point.
+    pub fn write_atomic_with(&self, fs: &dyn ClimberFs, dir: &Path) -> io::Result<()> {
+        crate::fsio::write_file_atomic_with(fs, &Self::path(dir), &self.encode())
+    }
+
     /// Reads and validates the manifest of `dir`.
     pub fn load(dir: &Path) -> Result<Self, OpenError> {
+        Self::load_with(&crate::fsio::StdFs, dir)
+    }
+
+    /// [`load`](Self::load) through an injectable filesystem.
+    pub fn load_with(fs: &dyn ClimberFs, dir: &Path) -> Result<Self, OpenError> {
         let path = Self::path(dir);
-        let bytes = match fs::read(&path) {
+        let bytes = match fs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 return Err(OpenError::MissingManifest(path))
@@ -537,35 +550,18 @@ impl Manifest {
 /// is durable before the call returns. The temp name carries the process
 /// id *and* a process-wide counter, so concurrent savers of the same
 /// path never share a temp file — the last full rename wins.
+///
+/// This is the `std`-only fast path; injectable callers go through
+/// [`crate::fsio::write_file_atomic_with`], which performs the same
+/// protocol step by step through a [`ClimberFs`].
 pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = path.with_extension(format!(
-        "{}.tmp.{}.{seq}",
-        path.extension().and_then(|e| e.to_str()).unwrap_or("dat"),
-        std::process::id()
-    ));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path).inspect_err(|_| {
-        fs::remove_file(&tmp).ok();
-    })?;
-    // A rename is directory metadata: without fsyncing the parent, a
-    // power cut can durably keep the file data yet lose the rename,
-    // breaking the "manifest visible => partitions visible" ordering.
-    #[cfg(unix)]
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        fs::File::open(parent)?.sync_all()?;
-    }
-    Ok(())
+    crate::fsio::write_file_atomic_std(path, bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn sample_manifest() -> Manifest {
         let partitions = vec![

@@ -278,6 +278,25 @@ impl QuantCache {
         self.bytes.store(0, Ordering::Relaxed);
     }
 
+    /// Drops every cached cluster of one partition — called when a
+    /// quarantine or readmission changes what that partition's opens
+    /// serve without a generation bump, so no stale quantized codes can
+    /// outlive the underlying bytes.
+    pub fn evict_partition(&self, partition: PartitionId) {
+        let mut map = self.map.write();
+        let mut freed = 0usize;
+        map.retain(|&(p, _), c| {
+            if p == partition {
+                freed += c.footprint_bytes();
+                false
+            } else {
+                true
+            }
+        });
+        drop(map);
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+    }
+
     /// Number of cached clusters.
     pub fn len(&self) -> usize {
         self.map.read().len()
@@ -398,6 +417,23 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
         assert!(cache.is_enabled(), "clear does not disable");
+    }
+
+    #[test]
+    fn evict_partition_drops_only_that_partition() {
+        let cache = QuantCache::new();
+        cache.set_enabled(true);
+        let buf = buf_of(&[(1, vec![1.0, 2.0])]);
+        cache.insert(3, 9, QuantizedCluster::from_buf(&buf).unwrap());
+        cache.insert(3, 10, QuantizedCluster::from_buf(&buf).unwrap());
+        cache.insert(4, 9, QuantizedCluster::from_buf(&buf).unwrap());
+        let one = cache.bytes() / 3;
+        cache.evict_partition(3);
+        assert!(cache.get(3, 9).is_none());
+        assert!(cache.get(3, 10).is_none());
+        assert!(cache.get(4, 9).is_some(), "other partitions survive");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), one, "byte accounting follows eviction");
     }
 
     #[test]

@@ -29,13 +29,66 @@
 //! index can be reopened *writable* with its pending updates intact.
 
 use crate::format::{ByteReader, ClusterBuf, TrieNodeId};
+use crate::fsio::ClimberFs;
+use crate::manifest::FileEntry;
 use crate::store::PartitionId;
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// File name of the update journal inside an index directory.
 pub const JOURNAL_FILE: &str = "journal.cldj";
+
+/// Path of the journal inside an index directory.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// The roll-forward staging sibling of the journal: the seal writes the
+/// new journal here *before* the manifest commit, and renames it over
+/// [`JOURNAL_FILE`] only afterwards — so a crash mid-seal leaves the
+/// committed journal untouched, and a crash after the commit is rolled
+/// forward at open from this sibling.
+pub fn staged_journal_path(dir: &Path) -> PathBuf {
+    dir.join(format!("{JOURNAL_FILE}.new"))
+}
+
+/// Serialises and durably stages the mutable segments under the
+/// journal's `.new` sibling, returning the size + checksum entry the
+/// manifest will commit.
+pub fn stage_journal(
+    fs: &dyn ClimberFs,
+    dir: &Path,
+    generation: u64,
+    delta: &DeltaSegment,
+    tombstones: &TombstoneSet,
+) -> io::Result<FileEntry> {
+    let bytes = encode_journal(generation, delta, tombstones);
+    let entry = FileEntry {
+        bytes: bytes.len() as u64,
+        checksum: crate::manifest::xxh64(&bytes, 0),
+    };
+    crate::fsio::write_file_atomic_with(fs, &staged_journal_path(dir), &bytes)?;
+    Ok(entry)
+}
+
+/// Installs a staged journal over the main file — called after the
+/// manifest commit point.
+pub fn commit_staged_journal(fs: &dyn ClimberFs, dir: &Path) -> io::Result<()> {
+    fs.rename(&staged_journal_path(dir), &journal_path(dir))?;
+    fs.fsync_dir(dir)
+}
+
+/// Removes the journal and any staged sibling, best-effort — the
+/// post-commit cleanup when the newly committed manifest records no
+/// pending updates. Stray journal files under a journal-less manifest
+/// are ignored at open, so failing here is harmless.
+pub fn discard_journal(fs: &dyn ClimberFs, dir: &Path) {
+    fs.remove_file(&journal_path(dir)).ok();
+    fs.remove_file(&staged_journal_path(dir)).ok();
+}
 
 /// Magic prefix of a journal file.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"CLDJ";

@@ -11,18 +11,36 @@
 //! observe "partitions touched" and bytes moved.
 
 use crate::format::PartitionReader;
-use crate::manifest::{xxh64, Manifest, OpenError};
+use crate::fsio::{self, ClimberFs, FsRef};
+use crate::manifest::{xxh64, Manifest, OpenError, PartitionEntry};
 use crate::stats::IoStats;
 use bytes::Bytes;
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// File name of partition `id` inside an index directory.
 pub fn partition_file_name(id: PartitionId) -> String {
     format!("part_{id:08}.clbp")
+}
+
+/// Subdirectory a quarantining open moves failed-validation partition
+/// files into, preserving the evidence for a later
+/// [`try_readmit`](DiskStore::try_readmit) or operator repair.
+pub const QUARANTINE_DIR: &str = "QUARANTINE";
+
+/// The roll-forward staging sibling of partition `id`: a manifest-mode
+/// `put` lands here, and the rename over the main file happens only
+/// *after* the next manifest commit — so a crash anywhere in a fold
+/// leaves the committed file untouched.
+fn staged_path_of(dir: &Path, id: PartitionId) -> PathBuf {
+    dir.join(format!("{}.new", partition_file_name(id)))
+}
+
+fn quarantine_path_of(dir: &Path, id: PartitionId) -> PathBuf {
+    dir.join(QUARANTINE_DIR).join(partition_file_name(id))
 }
 
 /// Identifier of a physical partition (the paper's `β` ids).
@@ -66,6 +84,26 @@ pub trait PartitionStore: Send + Sync {
     /// checksum the files in place instead of re-copying them.
     fn puts_are_durable(&self) -> bool {
         false
+    }
+
+    /// The filesystem this store performs durable operations through.
+    /// In-memory stores return the process default.
+    fn fs(&self) -> FsRef {
+        fsio::std_fs()
+    }
+
+    /// Installs every staged (`.new`) partition over its committed main
+    /// file — called by the seal *after* the manifest commit point. A
+    /// no-op for stores without a staging protocol.
+    fn commit_staged(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Partitions a quarantining open moved aside; opens of these ids
+    /// fail until [`DiskStore::try_readmit`] repairs them. Empty for
+    /// stores without quarantine support.
+    fn quarantined(&self) -> Vec<PartitionId> {
+        Vec::new()
     }
 
     /// Reads the records of one trie-node cluster, counting only the bytes
@@ -183,6 +221,15 @@ pub struct DiskStore {
     /// True when opened via [`open_read_only`](Self::open_read_only):
     /// every [`put`](PartitionStore::put) is rejected.
     read_only: bool,
+    /// The filesystem every durable operation goes through (injectable).
+    fs: FsRef,
+    /// Partitions whose rewrite is staged under a `.new` sibling awaiting
+    /// the next manifest commit; [`PartitionStore::open`] serves the
+    /// staged bytes so readers in this process see the rewrite.
+    staged: RwLock<BTreeSet<PartitionId>>,
+    /// Partitions a quarantining open (or a scrub) moved aside; opening
+    /// them fails with `NotFound` until repaired.
+    quarantined: RwLock<BTreeSet<PartitionId>>,
 }
 
 impl DiskStore {
@@ -193,13 +240,25 @@ impl DiskStore {
 
     /// Opens a writable store reporting to existing stats.
     pub fn with_stats(dir: impl Into<PathBuf>, stats: IoStats) -> io::Result<Self> {
+        Self::with_stats_fs(dir, stats, fsio::std_fs())
+    }
+
+    /// Opens a writable store through an injectable filesystem.
+    pub fn with_fs(dir: impl Into<PathBuf>, fs: FsRef) -> io::Result<Self> {
+        Self::with_stats_fs(dir, IoStats::new(), fs)
+    }
+
+    fn with_stats_fs(dir: impl Into<PathBuf>, stats: IoStats, fs: FsRef) -> io::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
         Ok(Self {
             dir,
             stats,
             manifest_ids: None,
             read_only: false,
+            fs,
+            staged: RwLock::new(BTreeSet::new()),
+            quarantined: RwLock::new(BTreeSet::new()),
         })
     }
 
@@ -214,7 +273,7 @@ impl DiskStore {
     /// absorbing updates goes through
     /// [`open_read_write`](Self::open_read_write) instead.
     pub fn open_read_only(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
-        Self::open_validated(dir.into(), true)
+        Self::open_validated(dir.into(), true, fsio::std_fs(), false)
     }
 
     /// Opens a persisted index directory with the exact validation of
@@ -224,34 +283,115 @@ impl DiskStore {
     /// Partition ids are still served from the manifest, so stray files
     /// are never picked up.
     pub fn open_read_write(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
-        Self::open_validated(dir.into(), false)
+        Self::open_validated(dir.into(), false, fsio::std_fs(), false)
     }
 
-    fn open_validated(dir: PathBuf, read_only: bool) -> Result<(Self, Manifest), OpenError> {
-        let manifest = Manifest::load(&dir)?;
+    /// [`open_read_only`](Self::open_read_only) /
+    /// [`open_read_write`](Self::open_read_write) through an injectable
+    /// filesystem, optionally in **quarantine mode**: instead of the
+    /// first failing partition aborting the open, the bad file is moved
+    /// into [`QUARANTINE_DIR`] and recorded, and the store opens serving
+    /// every partition that did validate (a degraded open; see
+    /// [`quarantined`](PartitionStore::quarantined)).
+    pub fn open_validated_with(
+        dir: PathBuf,
+        read_only: bool,
+        fs: FsRef,
+        quarantine: bool,
+    ) -> Result<(Self, Manifest), OpenError> {
+        Self::open_validated(dir, read_only, fs, quarantine)
+    }
+
+    /// Validates one manifest entry's main file through `fs`.
+    fn validate_entry(
+        fs: &dyn ClimberFs,
+        path: &Path,
+        e: &PartitionEntry,
+    ) -> Result<(), OpenError> {
+        let bytes = match fs.read(path) {
+            Ok(b) => b,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                return Err(OpenError::MissingPartition {
+                    id: e.id,
+                    path: path.to_path_buf(),
+                })
+            }
+            Err(err) => return Err(OpenError::Io(err)),
+        };
+        if bytes.len() as u64 != e.bytes {
+            return Err(OpenError::PartitionSizeMismatch {
+                id: e.id,
+                expected: e.bytes,
+                found: bytes.len() as u64,
+            });
+        }
+        let found = xxh64(&bytes, 0);
+        if found != e.checksum {
+            return Err(OpenError::ChecksumMismatch {
+                what: format!("partition {}", e.id),
+                expected: e.checksum,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    fn open_validated(
+        dir: PathBuf,
+        read_only: bool,
+        fs: FsRef,
+        quarantine: bool,
+    ) -> Result<(Self, Manifest), OpenError> {
+        let manifest = Manifest::load_with(&*fs, &dir)?;
+        let mut quarantined = BTreeSet::new();
         for e in &manifest.partitions {
             let path = dir.join(partition_file_name(e.id));
-            let bytes = match fs::read(&path) {
-                Ok(b) => b,
-                Err(err) if err.kind() == io::ErrorKind::NotFound => {
-                    return Err(OpenError::MissingPartition { id: e.id, path })
+            let staged = staged_path_of(&dir, e.id);
+            match Self::validate_entry(&*fs, &path, e) {
+                Ok(()) => {
+                    // Any `.new` sibling is pre-commit garbage from an
+                    // interrupted fold — the committed file matches the
+                    // committed manifest.
+                    fs.remove_file(&staged).ok();
                 }
-                Err(err) => return Err(OpenError::Io(err)),
-            };
-            if bytes.len() as u64 != e.bytes {
-                return Err(OpenError::PartitionSizeMismatch {
-                    id: e.id,
-                    expected: e.bytes,
-                    found: bytes.len() as u64,
-                });
+                Err(first) => {
+                    // Roll forward: a crash between the manifest commit
+                    // and the staged-file install leaves the *new* bytes
+                    // under `.new` while the main file is still old (or
+                    // gone). If the sibling matches the committed entry,
+                    // finish the interrupted rename.
+                    let rolled = match fs.read(&staged) {
+                        Ok(b) if b.len() as u64 == e.bytes && xxh64(&b, 0) == e.checksum => {
+                            fs.rename(&staged, &path).is_ok() && {
+                                fs.fsync_dir(&dir).ok();
+                                true
+                            }
+                        }
+                        _ => false,
+                    };
+                    if rolled {
+                        continue;
+                    }
+                    if !quarantine {
+                        return Err(first);
+                    }
+                    // Quarantine mode: preserve the bad bytes aside and
+                    // serve the rest of the index degraded.
+                    fs.create_dir_all(&dir.join(QUARANTINE_DIR)).ok();
+                    fs.rename(&path, &quarantine_path_of(&dir, e.id)).ok();
+                    fs.remove_file(&staged).ok();
+                    quarantined.insert(e.id);
+                }
             }
-            let found = xxh64(&bytes, 0);
-            if found != e.checksum {
-                return Err(OpenError::ChecksumMismatch {
-                    what: format!("partition {}", e.id),
-                    expected: e.checksum,
-                    found,
-                });
+        }
+        // Sweep temp droppings from interrupted atomic writes.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.filter_map(|x| x.ok()) {
+                if let Some(name) = entry.file_name().to_str() {
+                    if fsio::is_tmp_name(name) {
+                        fs.remove_file(&entry.path()).ok();
+                    }
+                }
             }
         }
         let ids = manifest.partition_ids();
@@ -261,6 +401,9 @@ impl DiskStore {
                 stats: IoStats::new(),
                 manifest_ids: Some(ids),
                 read_only,
+                fs,
+                staged: RwLock::new(BTreeSet::new()),
+                quarantined: RwLock::new(quarantined),
             },
             manifest,
         ))
@@ -279,6 +422,55 @@ impl DiskStore {
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
     }
+
+    /// Moves partition `id`'s main file into [`QUARANTINE_DIR`] and marks
+    /// it quarantined — the scrub path for corruption found *after* open.
+    /// Opening the id then fails until [`try_readmit`](Self::try_readmit)
+    /// succeeds.
+    pub fn quarantine_partition(&self, id: PartitionId) -> io::Result<()> {
+        self.fs.create_dir_all(&self.dir.join(QUARANTINE_DIR))?;
+        match self
+            .fs
+            .rename(&self.path_of(id), &quarantine_path_of(&self.dir, id))
+        {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.quarantined.write().insert(id);
+        Ok(())
+    }
+
+    /// Attempts to bring a quarantined partition back into service:
+    /// either the main path now holds bytes matching the manifest entry
+    /// (operator restored them), or the quarantined copy itself validates
+    /// (the original failure was transient) and is renamed back. Returns
+    /// `true` when the partition is healthy and serving again.
+    pub fn try_readmit(&self, e: &PartitionEntry) -> io::Result<bool> {
+        if !self.quarantined.read().contains(&e.id) {
+            return Ok(true);
+        }
+        let main = self.path_of(e.id);
+        let matches = |b: &[u8]| b.len() as u64 == e.bytes && xxh64(b, 0) == e.checksum;
+        if self.fs.read(&main).is_ok_and(|b| matches(&b)) {
+            self.quarantined.write().remove(&e.id);
+            return Ok(true);
+        }
+        let qpath = quarantine_path_of(&self.dir, e.id);
+        if self.fs.read(&qpath).is_ok_and(|b| matches(&b)) {
+            self.fs.rename(&qpath, &main)?;
+            self.fs.fsync_dir(&self.dir)?;
+            self.quarantined.write().remove(&e.id);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Re-validates the committed bytes of `entry` against its manifest
+    /// record — the scrub primitive for partitions not under quarantine.
+    pub fn verify_partition(&self, e: &PartitionEntry) -> Result<(), OpenError> {
+        Self::validate_entry(&*self.fs, &self.path_of(e.id), e)
+    }
 }
 
 impl PartitionStore for DiskStore {
@@ -292,17 +484,35 @@ impl PartitionStore for DiskStore {
         self.stats.on_partition_write(bytes.len() as u64);
         if self.manifest_ids.is_some() {
             // Opened from a sealed manifest (read-write mode): the file
-            // being replaced is referenced by a live manifest, so swap it
-            // atomically — a crash leaves either the old or the new bytes,
-            // never a torn file.
-            crate::manifest::write_file_atomic(&self.path_of(id), &bytes)
+            // being replaced is referenced by a live, committed manifest,
+            // so the rewrite is *staged* under a `.new` sibling (written
+            // durably) and only renamed over the committed file by
+            // `commit_staged`, after the next manifest commit. A crash
+            // anywhere before that commit leaves the committed directory
+            // byte-identical; a crash after it is rolled forward at open.
+            fsio::write_file_atomic_with(&*self.fs, &staged_path_of(&self.dir, id), &bytes)?;
+            self.staged.write().insert(id);
+            Ok(())
         } else {
-            fs::write(self.path_of(id), &bytes)
+            // Build mode: the directory is not yet a committed index, a
+            // bare write is fine (the first seal copies durably).
+            self.fs.write(&self.path_of(id), &bytes)
         }
     }
 
     fn open(&self, id: PartitionId) -> io::Result<PartitionReader> {
-        let bytes = Bytes::from(fs::read(self.path_of(id))?);
+        if self.quarantined.read().contains(&id) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("partition {id} is quarantined"),
+            ));
+        }
+        let path = if self.staged.read().contains(&id) {
+            staged_path_of(&self.dir, id)
+        } else {
+            self.path_of(id)
+        };
+        let bytes = Bytes::from(self.fs.read(&path)?);
         self.stats.on_partition_open();
         let reader = PartitionReader::open(bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -315,10 +525,31 @@ impl PartitionStore for DiskStore {
     }
 
     fn puts_are_durable(&self) -> bool {
-        // Manifest-opened stores replace partition files atomically (see
+        // Manifest-opened stores stage partition rewrites durably (see
         // `put`); plain writable stores use bare writes and need the
         // seal-time copy for durability.
         self.manifest_ids.is_some()
+    }
+
+    fn fs(&self) -> FsRef {
+        self.fs.clone()
+    }
+
+    fn commit_staged(&self) -> io::Result<()> {
+        let pending: Vec<PartitionId> = self.staged.read().iter().copied().collect();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        for id in &pending {
+            self.fs
+                .rename(&staged_path_of(&self.dir, *id), &self.path_of(*id))?;
+            self.staged.write().remove(id);
+        }
+        self.fs.fsync_dir(&self.dir)
+    }
+
+    fn quarantined(&self) -> Vec<PartitionId> {
+        self.quarantined.read().iter().copied().collect()
     }
 
     fn ids(&self) -> Vec<PartitionId> {

@@ -201,8 +201,9 @@ fn read_only_store_rejects_writes_and_ignores_strays() {
 }
 
 /// The read-write open path: same validation as read-only (a damaged
-/// directory is rejected identically), but `put` works — and replaces the
-/// file atomically, since a live manifest references it.
+/// directory is rejected identically), but `put` works — staged to a
+/// `.new` sibling so the committed file a live manifest references stays
+/// intact until `commit_staged` installs the replacement.
 #[test]
 fn read_write_open_validates_then_accepts_puts() {
     let dir = persisted_dir("rw");
@@ -212,9 +213,18 @@ fn read_write_open_validates_then_accepts_puts() {
 
     let mut w = PartitionWriter::new(0, 4);
     w.push_cluster(2, vec![(1u64, &[9.0f32, 9.0, 9.0, 9.0][..])]);
+    let committed = fs::read(dir.join(partition_file_name(0))).unwrap();
     store.put(0, w.finish()).unwrap();
+    // the store serves the staged bytes...
     assert_eq!(store.open(0).unwrap().record_count(), 1);
-    // no temp droppings from the atomic replace
+    // ...but the committed file is untouched: the put is staged beside it.
+    assert_eq!(
+        fs::read(dir.join(partition_file_name(0))).unwrap(),
+        committed
+    );
+    let staged = dir.join(format!("{}.new", partition_file_name(0)));
+    assert!(staged.exists(), "put must stage a .new sibling");
+    // no temp droppings from the atomic stage
     let stray: Vec<_> = fs::read_dir(&dir)
         .unwrap()
         .filter_map(|e| e.ok())
@@ -222,9 +232,23 @@ fn read_write_open_validates_then_accepts_puts() {
         .collect();
     assert!(stray.is_empty(), "temp files left: {stray:?}");
 
-    // The put changed partition 0 under the sealed manifest: until the
-    // caller re-seals the directory, reopening is rejected — exactly the
-    // validation that makes an unsealed rewrite detectable, not silent.
+    // An abandoned stage is harmless: reopening validates the committed
+    // file, succeeds, and sweeps the stray `.new` — never a third state.
+    {
+        let (reopened, _) = DiskStore::open_read_write(&dir).unwrap();
+        assert_eq!(reopened.open(0).unwrap().record_count(), 7);
+    }
+    assert!(!staged.exists(), "stray stage must be swept at open");
+
+    // Re-stage and install. Now the committed file really changed under
+    // the sealed manifest: until the caller re-seals, reopening is
+    // rejected — the validation that makes an unsealed rewrite
+    // detectable, not silent.
+    let (store, _) = DiskStore::open_read_write(&dir).unwrap();
+    let mut w = PartitionWriter::new(0, 4);
+    w.push_cluster(2, vec![(1u64, &[9.0f32, 9.0, 9.0, 9.0][..])]);
+    store.put(0, w.finish()).unwrap();
+    store.commit_staged().unwrap();
     assert!(matches!(
         DiskStore::open_read_write(&dir),
         Err(OpenError::PartitionSizeMismatch { id: 0, .. } | OpenError::ChecksumMismatch { .. })

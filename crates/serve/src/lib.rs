@@ -44,7 +44,8 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::ServeClient;
+pub use client::{RetryPolicy, ServeClient};
 pub use metrics::{ServeMetrics, StatsReport};
+pub use protocol::HealthReport;
 pub use queue::{AdmissionQueue, BatchPolicy};
 pub use server::{ServeConfig, Server};

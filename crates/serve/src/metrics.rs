@@ -23,6 +23,7 @@ pub struct ServeMetrics {
     start: Instant,
     admitted: AtomicU64,
     rejected: AtomicU64,
+    deadline_missed: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
@@ -42,6 +43,7 @@ impl ServeMetrics {
             start: Instant::now(),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
@@ -57,6 +59,12 @@ impl ServeMetrics {
     /// A request was refused (overload or shutdown).
     pub fn on_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request's handler gave up waiting: its per-request
+    /// deadline expired before the batch engine answered.
+    pub fn on_deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A micro-batch of `size` requests finished executing.
@@ -107,6 +115,7 @@ impl ServeMetrics {
             uptime_us: uptime.as_micros() as u64,
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             completed,
             batches,
             mean_batch: if batches == 0 {
@@ -132,6 +141,9 @@ pub struct StatsReport {
     pub admitted: u64,
     /// Requests refused with a typed overload/shutdown response.
     pub rejected: u64,
+    /// Admitted requests whose handlers answered a typed
+    /// deadline-exceeded error instead of waiting for the batch engine.
+    pub deadline_missed: u64,
     /// Requests answered.
     pub completed: u64,
     /// Micro-batches executed.
@@ -155,6 +167,7 @@ impl Encode for StatsReport {
         self.uptime_us.encode(out);
         self.admitted.encode(out);
         self.rejected.encode(out);
+        self.deadline_missed.encode(out);
         self.completed.encode(out);
         self.batches.encode(out);
         self.mean_batch.encode(out);
@@ -172,6 +185,7 @@ impl Decode for StatsReport {
             uptime_us: r.u64()?,
             admitted: r.u64()?,
             rejected: r.u64()?,
+            deadline_missed: r.u64()?,
             completed: r.u64()?,
             batches: r.u64()?,
             mean_batch: r.f64()?,

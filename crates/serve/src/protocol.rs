@@ -21,7 +21,7 @@
 
 use crate::metrics::StatsReport;
 use climber_core::error::status;
-use climber_core::{ClimberError, QueryOutcome, SearchRequest, ServeError};
+use climber_core::{BackendHealth, ClimberError, QueryOutcome, SearchRequest, ServeError};
 use climber_dfs::format::{ByteReader, Decode, Encode};
 use std::io::{Read, Write};
 
@@ -36,6 +36,8 @@ pub const REQ_SEARCH: u8 = 1;
 pub const REQ_STATS: u8 = 2;
 /// Request tag: liveness probe; no body.
 pub const REQ_PING: u8 = 3;
+/// Request tag: return a [`HealthReport`]; no body.
+pub const REQ_HEALTH: u8 = 4;
 
 /// Response tag: a [`QueryOutcome`] follows.
 pub const RESP_OK: u8 = 1;
@@ -45,6 +47,8 @@ pub const RESP_ERR: u8 = 2;
 pub const RESP_STATS: u8 = 3;
 /// Response tag: pong; no body.
 pub const RESP_PONG: u8 = 4;
+/// Response tag: a [`HealthReport`] follows.
+pub const RESP_HEALTH: u8 = 5;
 
 /// One decoded client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +59,48 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Return the backend's recovery health.
+    Health,
+}
+
+/// What the health endpoint answers: the backend's shard/quarantine state
+/// plus the admission queue's depth — everything a load balancer needs to
+/// tell a degraded node from a healthy one without issuing a real query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The backend's shard liveness and quarantine counts.
+    pub backend: BackendHealth,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+}
+
+impl HealthReport {
+    /// True when nothing is dead, quarantined, or queued over capacity.
+    pub fn is_healthy(&self) -> bool {
+        self.backend.is_healthy()
+    }
+}
+
+impl Encode for HealthReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.backend.shards.encode(out);
+        self.backend.dead_shards.encode(out);
+        self.backend.quarantined_partitions.encode(out);
+        self.queue_depth.encode(out);
+    }
+}
+
+impl Decode for HealthReport {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        Ok(Self {
+            backend: BackendHealth {
+                shards: r.u32()?,
+                dead_shards: r.u32()?,
+                quarantined_partitions: r.u64()?,
+            },
+            queue_depth: r.u64()?,
+        })
+    }
 }
 
 /// One decoded server→client message.
@@ -73,6 +119,8 @@ pub enum Response {
     Stats(StatsReport),
     /// Liveness answer.
     Pong,
+    /// The backend's recovery health.
+    Health(HealthReport),
 }
 
 impl Encode for Request {
@@ -84,6 +132,7 @@ impl Encode for Request {
             }
             Request::Stats => REQ_STATS.encode(out),
             Request::Ping => REQ_PING.encode(out),
+            Request::Health => REQ_HEALTH.encode(out),
         }
     }
 }
@@ -94,6 +143,7 @@ impl Decode for Request {
             REQ_SEARCH => Ok(Request::Search(SearchRequest::decode(r)?)),
             REQ_STATS => Ok(Request::Stats),
             REQ_PING => Ok(Request::Ping),
+            REQ_HEALTH => Ok(Request::Health),
             other => Err(format!("unknown request tag {other}")),
         }
     }
@@ -116,6 +166,10 @@ impl Encode for Response {
                 s.encode(out);
             }
             Response::Pong => RESP_PONG.encode(out),
+            Response::Health(h) => {
+                RESP_HEALTH.encode(out);
+                h.encode(out);
+            }
         }
     }
 }
@@ -132,6 +186,7 @@ impl Decode for Response {
             }
             RESP_STATS => Ok(Response::Stats(StatsReport::decode(r)?)),
             RESP_PONG => Ok(Response::Pong),
+            RESP_HEALTH => Ok(Response::Health(HealthReport::decode(r)?)),
             other => Err(format!("unknown response tag {other}")),
         }
     }
@@ -230,13 +285,19 @@ mod tests {
     #[test]
     fn requests_roundtrip_through_frames() {
         let mut wire = Vec::new();
-        for msg in [sample_request(), Request::Stats, Request::Ping] {
+        for msg in [
+            sample_request(),
+            Request::Stats,
+            Request::Ping,
+            Request::Health,
+        ] {
             write_message(&mut wire, &msg).unwrap();
         }
         let mut r = &wire[..];
         let a: Request = read_message(&mut r).unwrap().unwrap();
         let b: Request = read_message(&mut r).unwrap().unwrap();
         let c: Request = read_message(&mut r).unwrap().unwrap();
+        let d: Request = read_message(&mut r).unwrap().unwrap();
         match a {
             Request::Search(req) => {
                 assert_eq!(req.k, 7);
@@ -247,8 +308,26 @@ mod tests {
         }
         assert_eq!(b, Request::Stats);
         assert_eq!(c, Request::Ping);
+        assert_eq!(d, Request::Health);
         // clean EOF at the frame boundary
         assert!(read_message::<Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn health_reports_roundtrip() {
+        let report = HealthReport {
+            backend: BackendHealth {
+                shards: 4,
+                dead_shards: 1,
+                quarantined_partitions: 9,
+            },
+            queue_depth: 17,
+        };
+        assert!(!report.is_healthy());
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Response::Health(report)).unwrap();
+        let back: Response = read_message(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(back, Response::Health(report));
     }
 
     #[test]

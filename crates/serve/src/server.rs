@@ -26,7 +26,7 @@
 
 use crate::metrics::{ServeMetrics, StatsReport};
 use crate::protocol::{
-    bad_request, error_response, read_message, write_message, Request, Response,
+    bad_request, error_response, read_message, write_message, HealthReport, Request, Response,
 };
 use crate::queue::{AdmissionQueue, BatchPolicy, Pending};
 use climber_core::{ClimberError, SearchBackend, ServeError};
@@ -48,6 +48,19 @@ pub struct ServeConfig {
     /// Worker threads executing batches; `0` = the machine's available
     /// parallelism (default).
     pub workers: usize,
+    /// Per-request deadline: how long a connection handler waits for the
+    /// batch engine before answering with a typed
+    /// [`ServeError::DeadlineExceeded`]. `None` (default) waits forever.
+    /// The batch still executes server-side; only the response is
+    /// abandoned, so read-only searches stay safe to retry.
+    pub request_deadline: Option<Duration>,
+    /// Socket read timeout on accepted connections: an idle client is
+    /// disconnected after this long without a frame. `None` (default)
+    /// keeps idle connections open forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout on accepted connections, bounding how long a
+    /// stalled client can pin a handler thread mid-response (default 30 s).
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +70,9 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(2),
             queue_cap: 1024,
             workers: 0,
+            request_deadline: None,
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -87,6 +103,27 @@ impl ServeConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets the per-request deadline (`None` = wait forever).
+    #[must_use]
+    pub fn with_request_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Sets the socket read timeout on accepted connections.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the socket write timeout on accepted connections.
+    #[must_use]
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
         self
     }
 
@@ -153,9 +190,10 @@ impl Server {
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             let stop = Arc::clone(&stop);
+            let backend = Arc::clone(&backend);
             thread::Builder::new()
                 .name("climber-serve-acceptor".into())
-                .spawn(move || accept_loop(&listener, &queue, &metrics, &stop))
+                .spawn(move || accept_loop(&listener, &backend, &queue, &metrics, &stop, config))
                 .expect("spawn acceptor")
         };
 
@@ -235,11 +273,13 @@ fn worker_loop<B: SearchBackend + ?Sized>(
     }
 }
 
-fn accept_loop(
+fn accept_loop<B: SearchBackend + 'static>(
     listener: &TcpListener,
+    backend: &Arc<B>,
     queue: &Arc<AdmissionQueue>,
     metrics: &Arc<ServeMetrics>,
     stop: &Arc<AtomicBool>,
+    config: ServeConfig,
 ) {
     loop {
         match listener.accept() {
@@ -247,6 +287,7 @@ fn accept_loop(
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                let backend = Arc::clone(backend);
                 let queue = Arc::clone(queue);
                 let metrics = Arc::clone(metrics);
                 // Handlers are detached: they exit on client EOF, and a
@@ -254,7 +295,7 @@ fn accept_loop(
                 // them can outlive the process holding work.
                 let _ = thread::Builder::new()
                     .name("climber-serve-conn".into())
-                    .spawn(move || handle_connection(stream, &queue, &metrics));
+                    .spawn(move || handle_connection(stream, &*backend, &queue, &metrics, config));
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -265,10 +306,19 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, metrics: &ServeMetrics) {
+fn handle_connection<B: SearchBackend + ?Sized>(
+    mut stream: TcpStream,
+    backend: &B,
+    queue: &AdmissionQueue,
+    metrics: &ServeMetrics,
+    config: ServeConfig,
+) {
     // Request/response frames are tiny; batching happens in the queue, not
     // in the socket buffer.
     let _ = stream.set_nodelay(true);
+    // A stalled or idle peer must not pin this thread forever.
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let _ = stream.set_write_timeout(config.write_timeout);
     loop {
         let request = match read_message::<Request>(&mut stream) {
             Ok(Some(req)) => req,
@@ -284,6 +334,10 @@ fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, metrics: &Se
         let response = match request {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(metrics.report(queue.depth() as u64)),
+            Request::Health => Response::Health(HealthReport {
+                backend: backend.health(),
+                queue_depth: queue.depth() as u64,
+            }),
             Request::Search(req) => match req.validate() {
                 Err(msg) => {
                     metrics.on_rejected();
@@ -303,12 +357,30 @@ fn handle_connection(mut stream: TcpStream, queue: &AdmissionQueue, metrics: &Se
                         }
                         Ok(()) => {
                             metrics.on_admitted();
-                            match rx.recv() {
-                                Ok(outcome) => Response::Outcome(outcome),
+                            let answer = match config.request_deadline {
+                                Some(deadline) => rx.recv_timeout(deadline).map_err(|e| match e {
+                                    // The batch engine ran past the
+                                    // deadline: abandon the response (the
+                                    // batch still completes; its send just
+                                    // finds a dead receiver).
+                                    mpsc::RecvTimeoutError::Timeout => ServeError::DeadlineExceeded,
+                                    mpsc::RecvTimeoutError::Disconnected => {
+                                        ServeError::ShuttingDown
+                                    }
+                                }),
                                 // The worker dropped the sender without
                                 // answering — only possible if the pool
                                 // died; tell the client to go elsewhere.
-                                Err(_) => error_response(&ServeError::ShuttingDown.into()),
+                                None => rx.recv().map_err(|_| ServeError::ShuttingDown),
+                            };
+                            match answer {
+                                Ok(outcome) => Response::Outcome(outcome),
+                                Err(e) => {
+                                    if matches!(e, ServeError::DeadlineExceeded) {
+                                        metrics.on_deadline_missed();
+                                    }
+                                    error_response(&e.into())
+                                }
                             }
                         }
                     }

@@ -1,0 +1,225 @@
+//! Serving-layer resilience over real sockets: per-request deadlines,
+//! the health endpoint (healthy and degraded), client reconnect across a
+//! server restart, and socket timeouts against a stalled server.
+
+use climber_core::series::gen::Domain;
+use climber_core::{
+    Climber, ClimberConfig, ClimberError, RecoveryPolicy, SearchRequest, ServeError,
+};
+use climber_dfs::store::partition_file_name;
+use climber_serve::{RetryPolicy, ServeClient, ServeConfig, Server};
+use std::fs;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn build_climber(n: usize, seed: u64) -> Arc<Climber> {
+    let ds = Domain::RandomWalk.generate(n, seed);
+    let cfg = ClimberConfig::default()
+        .with_paa_segments(8)
+        .with_pivots(32)
+        .with_prefix_len(5)
+        .with_capacity(60)
+        .with_alpha(0.5)
+        .with_epsilon(1)
+        .with_seed(7)
+        .with_workers(2);
+    Arc::new(Climber::build_in_memory(&ds, cfg))
+}
+
+fn probe_query(climber: &Climber) -> Vec<f32> {
+    probe_query_from(climber, 0)
+}
+
+/// A record pulled from the index's `nth` partition, used as a query that
+/// is guaranteed to have an exact-match neighbour *in that partition*.
+fn probe_query_from(climber: &Climber, nth: usize) -> Vec<f32> {
+    use climber_core::dfs::store::PartitionStore;
+    let ids = climber.store().ids();
+    let pid = ids[nth.min(ids.len() - 1)];
+    let reader = climber.store().open(pid).unwrap();
+    let mut q = Vec::new();
+    reader.for_each(|_, vals| {
+        if q.is_empty() {
+            q = vals.to_vec();
+        }
+    });
+    q
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("climber-resil-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn request_deadline_answers_typed_without_waiting_for_the_batch() {
+    let climber = build_climber(200, 31);
+    // One request parks behind a far-away flush deadline; the per-request
+    // deadline must answer long before the queue would flush.
+    let server = Server::start(
+        Arc::clone(&climber),
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(64)
+            .with_max_delay(Duration::from_secs(10))
+            .with_request_deadline(Some(Duration::from_millis(100))),
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let q = probe_query(&climber);
+    let t = Instant::now();
+    let err = client
+        .search(&SearchRequest::new(q.clone(), 3))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClimberError::Serve(ServeError::DeadlineExceeded)),
+        "{err:?}"
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(8),
+        "deadline response waited for the flush deadline"
+    );
+    // The typed miss is counted, the connection survives, and the same
+    // request still executes once the batch engine gets to it.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.deadline_missed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn health_endpoint_reports_a_healthy_backend() {
+    let climber = build_climber(200, 37);
+    let server =
+        Server::start(Arc::clone(&climber), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let health = client.health().unwrap();
+    assert!(health.is_healthy());
+    assert_eq!(health.backend.shards, 1);
+    assert_eq!(health.backend.dead_shards, 0);
+    assert_eq!(health.backend.quarantined_partitions, 0);
+    server.shutdown();
+}
+
+#[test]
+fn degraded_open_serves_and_reports_quarantine_over_the_wire() {
+    let climber = build_climber(300, 41);
+    let dir = temp_dir("degraded");
+    climber.save(&dir).unwrap();
+    // Corrupt one committed partition, then open self-healing: the damage
+    // moves to QUARANTINE/ and the index serves what validated.
+    let victim = {
+        use climber_core::dfs::store::PartitionStore;
+        climber.store().ids()[0]
+    };
+    let path = dir.join(partition_file_name(victim));
+    let mut bytes = fs::read(&path).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+
+    let (degraded, report) = Climber::open_with(&dir, RecoveryPolicy::Quarantine).unwrap();
+    assert_eq!(report.quarantined_partitions, vec![victim]);
+    let server = Server::start(Arc::new(degraded), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let health = client.health().unwrap();
+    assert!(!health.is_healthy());
+    assert_eq!(health.backend.quarantined_partitions, 1);
+
+    // Searches still answer (degraded): results come from the surviving
+    // partitions only, so probe a record that lives far from the victim.
+    let q = probe_query_from(&climber, usize::MAX);
+    let outcome = client.search(&SearchRequest::new(q, 5)).unwrap();
+    assert!(!outcome.results.is_empty());
+    server.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn client_survives_a_killed_and_restarted_server() {
+    let climber = build_climber(250, 43);
+    let server =
+        Server::start(Arc::clone(&climber), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr)
+        .unwrap()
+        .with_retry_policy(RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        });
+
+    let q = probe_query(&climber);
+    let req = SearchRequest::new(q, 5);
+    let before = client.search(&req).unwrap();
+
+    // Kill the server. The client's TCP stream is now dead.
+    server.shutdown();
+    // Restart on the same port (std sets SO_REUSEADDR on Unix listeners,
+    // so the lingering TIME_WAIT sockets don't block the rebind).
+    let server2 = {
+        let mut last = None;
+        let mut restarted = None;
+        for _ in 0..50 {
+            match Server::start(Arc::clone(&climber), addr, ServeConfig::default()) {
+                Ok(s) => {
+                    restarted = Some(s);
+                    break;
+                }
+                Err(e) => {
+                    last = Some(e);
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        restarted.unwrap_or_else(|| panic!("could not rebind {addr}: {last:?}"))
+    };
+
+    // The same client object reconnects under the hood and replays the
+    // read-only request: identical answer, no duplicated work observed.
+    let after = client.search(&req).unwrap();
+    assert_eq!(after, before, "reconnected answer diverged");
+    assert_eq!(after, climber.search(&req));
+    // exactly one search reached the restarted server — the replay did
+    // not double-execute a request the client already answered
+    assert_eq!(server2.stats().completed, 1);
+    server2.shutdown();
+}
+
+#[test]
+fn client_read_timeout_bounds_a_stalled_server() {
+    // A listener that accepts and then never answers.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let _stall = thread::spawn(move || {
+        let conns: Vec<_> = listener.incoming().take(1).collect();
+        thread::sleep(Duration::from_secs(20));
+        drop(conns);
+    });
+
+    let mut client = ServeClient::connect(addr)
+        .unwrap()
+        .with_retry_policy(RetryPolicy {
+            max_retries: 0,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(1),
+        });
+    client
+        .set_read_timeout(Some(Duration::from_millis(150)))
+        .unwrap();
+    client
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .unwrap();
+    let t = Instant::now();
+    let err = client.ping().unwrap_err();
+    assert!(matches!(err, ClimberError::Io(_)), "{err:?}");
+    assert!(
+        t.elapsed() < Duration::from_secs(10),
+        "read timeout never fired"
+    );
+}

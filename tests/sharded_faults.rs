@@ -6,7 +6,8 @@
 use climber_core::dfs::manifest::OpenError;
 use climber_core::series::gen::Domain;
 use climber_core::{
-    Climber, ClimberConfig, ClimberError, SearchRequest, ShardedClimber, SHARD_SET_FILE,
+    Climber, ClimberConfig, ClimberError, RecoveryPolicy, SearchRequest, ShardedClimber,
+    SHARD_SET_FILE,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -177,4 +178,133 @@ fn first_partition_file(shard_dir: &Path) -> PathBuf {
         .filter_map(|e| e.ok().map(|e| e.path()))
         .find(|p| p.extension().is_some_and(|e| e == "clbp"))
         .expect("shard holds at least one partition file")
+}
+
+/// The request matrix the quarantine/repair round-trips replay at every
+/// checkpoint, so "bit-identical" covers many queries, not one.
+fn request_matrix(ds: &climber_core::series::dataset::Dataset) -> Vec<SearchRequest> {
+    (0..6u64)
+        .map(|i| SearchRequest::new(ds.get(i * 47).to_vec(), 8))
+        .collect()
+}
+
+#[test]
+fn quarantined_partition_readmitted_by_scrub_bit_identical() {
+    let (dir, set) = build("scrub-part", 4);
+    let ds = Domain::RandomWalk.generate(300, 21);
+    let reqs = request_matrix(&ds);
+    let healthy_out = set.search_many(&reqs);
+    let healthy_routes: Vec<usize> = (0..20).map(|id| set.shard_of(id)).collect();
+    assert!(set.health().is_healthy());
+    drop(set);
+
+    // Corrupt one partition of shard 2 (keeping the good bytes aside);
+    // the strict open refuses, the quarantining open serves degraded.
+    let part = first_partition_file(&dir.join("shard-002"));
+    let good = fs::read(&part).unwrap();
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    fs::write(&part, &bad).unwrap();
+    assert!(ShardedClimber::open(&dir).is_err(), "strict must refuse");
+
+    let (mut set, report) = ShardedClimber::open_with(&dir, RecoveryPolicy::Quarantine).unwrap();
+    assert_eq!(report.quarantined_partitions.len(), 1);
+    assert!(
+        report.dead_shards.is_empty(),
+        "the shard itself still opens"
+    );
+    let health = set.health();
+    assert_eq!(health.shards, 4);
+    assert_eq!(health.dead_shards, 0);
+    assert_eq!(health.quarantined_partitions, 1);
+
+    // Degraded serving: every request answers, well-formed, no panic.
+    let degraded = set.search_many(&reqs);
+    assert_eq!(degraded.len(), reqs.len());
+    for out in &degraded {
+        assert!(out
+            .results
+            .windows(2)
+            .all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)));
+    }
+
+    // A scrub with the damage still in place keeps it quarantined.
+    let stuck = set.scrub().unwrap();
+    assert!(!stuck.is_fully_healthy());
+    assert_eq!(stuck.still_quarantined.len(), 1);
+
+    // Repair (operator restores the bytes), scrub re-admits in place.
+    fs::write(&part, &good).unwrap();
+    let repaired = set.scrub().unwrap();
+    assert!(repaired.is_fully_healthy(), "{repaired:?}");
+    assert_eq!(repaired.readmitted.len(), 1);
+    assert!(set.health().is_healthy());
+
+    // Bit-identical to the healthy baseline, routing untouched.
+    assert_eq!(set.search_many(&reqs), healthy_out);
+    let routes: Vec<usize> = (0..20).map(|id| set.shard_of(id)).collect();
+    assert_eq!(routes, healthy_routes);
+    drop(set);
+
+    // A fresh strict reopen of the repaired directory agrees too.
+    let reopened = ShardedClimber::open(&dir).unwrap();
+    assert_eq!(reopened.search_many(&reqs), healthy_out);
+    let routes: Vec<usize> = (0..20).map(|id| reopened.shard_of(id)).collect();
+    assert_eq!(routes, healthy_routes);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dead_shard_readmitted_by_scrub_after_repair() {
+    let (dir, set) = build("scrub-dead", 3);
+    let ds = Domain::RandomWalk.generate(300, 21);
+    let reqs = request_matrix(&ds);
+    let healthy_out = set.search_many(&reqs);
+    let healthy_routes: Vec<usize> = (0..20).map(|id| set.shard_of(id)).collect();
+    drop(set);
+
+    // Destroy shard 1's manifest wholesale: the shard cannot open at
+    // all, so the quarantining set open leaves a dead slot.
+    let manifest = dir.join("shard-001").join(climber_core::MANIFEST_FILE);
+    let good = fs::read(&manifest).unwrap();
+    fs::remove_file(&manifest).unwrap();
+
+    let (mut set, report) = ShardedClimber::open_with(&dir, RecoveryPolicy::Quarantine).unwrap();
+    assert_eq!(report.dead_shards, vec![1]);
+    let health = set.health();
+    assert_eq!(health.shards, 3);
+    assert_eq!(health.dead_shards, 1);
+
+    // Degraded serving: answers come only from live shards.
+    let (degraded, statuses) = set.search_many_with_status(&reqs, 0);
+    assert!(statuses[0].healthy && statuses[2].healthy);
+    assert!(!statuses[1].healthy, "dead slot must report unhealthy");
+    for out in &degraded {
+        for r in &out.results {
+            assert_ne!(
+                set.shard_of(r.0),
+                1,
+                "record {} served by a dead shard",
+                r.0
+            );
+        }
+    }
+
+    // Scrubbing before the repair cannot resurrect the shard.
+    set.scrub().unwrap();
+    assert_eq!(set.health().dead_shards, 1);
+
+    // Repair the manifest; scrub re-admits the shard in place.
+    fs::write(&manifest, &good).unwrap();
+    set.scrub().unwrap();
+    assert!(set.health().is_healthy());
+    assert_eq!(set.search_many(&reqs), healthy_out);
+    let routes: Vec<usize> = (0..20).map(|id| set.shard_of(id)).collect();
+    assert_eq!(routes, healthy_routes);
+
+    // The whole set still reports healthy statuses end-to-end.
+    let (_, statuses) = set.search_many_with_status(&reqs, 0);
+    assert!(statuses.iter().all(|s| s.healthy));
+    fs::remove_dir_all(&dir).ok();
 }
