@@ -63,7 +63,9 @@ pub use climber_repr as repr;
 pub use climber_series as series;
 
 pub use climber_dfs::manifest::{Manifest, OpenError, FORMAT_VERSION, MANIFEST_FILE};
+pub use climber_dfs::page::{BlockCache, BlockCacheStats, CacheConfig};
 pub use climber_dfs::segment::{DeltaSegment, TombstoneSet, JOURNAL_FILE};
+pub use climber_dfs::stats::IoSnapshot;
 pub use climber_index::builder::{BuildOptions, BuildReport};
 pub use climber_index::config::IndexConfig as ClimberConfig;
 pub use climber_index::skeleton::IndexSkeleton;
@@ -78,9 +80,9 @@ pub use shard::{ShardSetManifest, ShardStatus, ShardedClimber, SHARD_SET_FILE};
 use climber_dfs::format::{Decode, Encode, PartitionWriter, TrieNodeId};
 use climber_dfs::fsio::{self, ClimberFs, FsRef};
 use climber_dfs::manifest::{xxh64, FileEntry, PartitionEntry};
+use climber_dfs::page;
 use climber_dfs::quant::QuantCache;
 use climber_dfs::segment::{self, Journal};
-use climber_dfs::stats::IoSnapshot;
 use climber_dfs::store::{partition_file_name, DiskStore, MemStore, PartitionId, PartitionStore};
 use climber_index::builder::IndexBuilder;
 use climber_pivot::signature::SignatureScratch;
@@ -90,7 +92,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Name of the skeleton file inside a disk-backed index directory.
 pub const SKELETON_FILE: &str = "skeleton.clsk";
@@ -293,8 +295,95 @@ impl Climber<DiskStore> {
             RecoveryReport {
                 quarantined_partitions: quarantined,
                 dead_shards: Vec::new(),
+                warmed_bytes: 0,
             },
         ))
+    }
+
+    /// [`open_with`](Self::open_with) plus a paged block cache sized by
+    /// `config`: every partition open first consults a sharded LRU of
+    /// decompressed partition images, the open's own validation reads
+    /// pre-warm it (the report's
+    /// [`warmed_bytes`](RecoveryReport::warmed_bytes)), and — when
+    /// [`CacheConfig::compress`] is set — maintenance rewrites land in
+    /// the compressed CLBP v2 format. Answers are **bit-identical** to a
+    /// cacheless open: the cache only changes where bytes come from,
+    /// never what they decode to.
+    pub fn open_with_cache(
+        dir: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+        config: CacheConfig,
+    ) -> Result<(Self, RecoveryReport), ClimberError> {
+        let cache = Arc::new(BlockCache::new(config));
+        Self::open_with_cache_shared(dir, policy, config, cache)
+    }
+
+    /// [`open_with_cache`](Self::open_with_cache) against a **shared**
+    /// cache — the entry point a shard set (or any co-located group of
+    /// indexes) uses so every member draws from one byte budget. Entries
+    /// are namespaced per store, so two indexes never serve each other's
+    /// partitions even under the same id.
+    pub fn open_with_cache_shared(
+        dir: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+        config: CacheConfig,
+        cache: Arc<BlockCache>,
+    ) -> Result<(Self, RecoveryReport), ClimberError> {
+        Ok(Self::open_cached_impl(
+            dir.as_ref(),
+            fsio::std_fs(),
+            policy,
+            config,
+            cache,
+        )?)
+    }
+
+    /// [`open_with_cache`](Self::open_with_cache) through an injectable
+    /// filesystem — the fault-injection seam for the cached read and
+    /// compressed write paths, mirroring
+    /// [`open_rw_with_fs`](Self::open_rw_with_fs).
+    pub fn open_with_cache_fs(
+        dir: impl AsRef<Path>,
+        fs: FsRef,
+        policy: RecoveryPolicy,
+        config: CacheConfig,
+    ) -> Result<(Self, RecoveryReport), ClimberError> {
+        let cache = Arc::new(BlockCache::new(config));
+        Ok(Self::open_cached_impl(
+            dir.as_ref(),
+            fs,
+            policy,
+            config,
+            cache,
+        )?)
+    }
+
+    pub(crate) fn open_cached_impl(
+        dir: &Path,
+        fs: FsRef,
+        policy: RecoveryPolicy,
+        config: CacheConfig,
+        cache: Arc<BlockCache>,
+    ) -> Result<(Self, RecoveryReport), OpenError> {
+        let (c, quarantined, warmed_bytes) =
+            Self::open_impl_cached(dir, true, fs, policy, Some(cache), config.compress)?;
+        Ok((
+            c,
+            RecoveryReport {
+                quarantined_partitions: quarantined,
+                dead_shards: Vec::new(),
+                warmed_bytes,
+            },
+        ))
+    }
+
+    /// Turns compressed (CLBP v2) partition writes on or off for this
+    /// disk-backed index: subsequent [`save`](Self::save) copies, flushes
+    /// and compactions land compressed partitions; reads auto-detect the
+    /// format per file, so mixed directories stay valid and answers stay
+    /// bit-identical.
+    pub fn set_compress_on_seal(&self, on: bool) {
+        self.store.set_compress_puts(on);
     }
 
     fn open_impl(dir: &Path, writable: bool) -> Result<Self, OpenError> {
@@ -307,9 +396,29 @@ impl Climber<DiskStore> {
         fs: FsRef,
         policy: RecoveryPolicy,
     ) -> Result<(Self, Vec<PartitionId>), OpenError> {
+        let (c, quarantined, _) = Self::open_impl_cached(dir, writable, fs, policy, None, false)?;
+        Ok((c, quarantined))
+    }
+
+    fn open_impl_cached(
+        dir: &Path,
+        writable: bool,
+        fs: FsRef,
+        policy: RecoveryPolicy,
+        cache: Option<Arc<BlockCache>>,
+        compress: bool,
+    ) -> Result<(Self, Vec<PartitionId>, u64), OpenError> {
         let quarantine = policy == RecoveryPolicy::Quarantine;
-        let (store, manifest) =
-            DiskStore::open_validated_with(dir.to_path_buf(), !writable, fs.clone(), quarantine)?;
+        let (store, manifest, warmed_bytes) = DiskStore::open_validated_cached(
+            dir.to_path_buf(),
+            !writable,
+            fs.clone(),
+            quarantine,
+            cache,
+        )?;
+        if compress {
+            store.set_compress_puts(true);
+        }
         let skel_path = dir.join(SKELETON_FILE);
         let skel_staged = dir.join(format!("{SKELETON_FILE}.new"));
         let entry_matches = |b: &[u8]| {
@@ -365,8 +474,14 @@ impl Climber<DiskStore> {
         c.tombstones = journal.tombstones;
         c.generation = AtomicU64::new(manifest.generation);
         c.writable = writable;
+        // A cached open unifies the byte budgets: quantized codes charge
+        // the block cache's ledger, so blocks + codes together never
+        // exceed the one configured capacity.
+        if let Some(block) = c.store.block_cache() {
+            c.quant.set_ledger(Some(block.ledger()));
+        }
         c.mark_ready();
-        Ok((c, quarantined))
+        Ok((c, quarantined, warmed_bytes))
     }
 
     /// Reads, validates and decodes the update journal the manifest
@@ -630,19 +745,32 @@ impl<S: PartitionStore> Climber<S> {
                     }
                 }
                 let reader = self.store.open(pid)?;
-                let bytes = reader.raw_bytes();
+                // The manifest must describe the *persisted* bytes — for a
+                // compressing store those differ from the decoded image the
+                // reader holds. A copy into a fresh directory from a
+                // compressing store also compresses, so the sealed
+                // directory matches the store's own files.
+                let stored = self.store.stored_bytes(pid)?;
+                let payload = if !in_place_durable
+                    && self.store.compresses_puts()
+                    && !page::is_compressed(&stored)
+                {
+                    page::compress_partition(&stored)?
+                } else {
+                    stored
+                };
                 if !in_place_durable {
                     fsio::write_file_atomic_with(
                         &**fs_ref,
                         &dir.join(format!("{}.new", partition_file_name(pid))),
-                        bytes,
+                        &payload,
                     )?;
                 }
                 Ok((
                     PartitionEntry {
                         id: pid,
-                        bytes: bytes.len() as u64,
-                        checksum: xxh64(bytes, 0),
+                        bytes: payload.len() as u64,
+                        checksum: xxh64(&payload, 0),
                         records: reader.record_count(),
                     },
                     Some(reader.series_len() as u32),
@@ -755,6 +883,9 @@ impl<S: PartitionStore> Climber<S> {
         // measuring serve I/O is not a meaningful combination.)
         let save_io = self.store.stats().snapshot().since(&io_before);
         let mut ready = self.ready_io.lock().unwrap();
+        // Cache fields stay at their default 0: the serve snapshot's cache
+        // counters are overlaid from the cache itself, not from IoStats,
+        // so the zero point must never absorb them.
         *ready = IoSnapshot {
             partitions_written: ready.partitions_written + save_io.partitions_written,
             partitions_opened: ready.partitions_opened + save_io.partitions_opened,
@@ -762,6 +893,7 @@ impl<S: PartitionStore> Climber<S> {
             bytes_read: ready.bytes_read + save_io.bytes_read,
             records_shuffled: ready.records_shuffled + save_io.records_shuffled,
             records_read: ready.records_read + save_io.records_read,
+            ..IoSnapshot::default()
         };
         Ok(m)
     }
@@ -1389,10 +1521,22 @@ impl<S: PartitionStore> Climber<S> {
     /// snapshot taken at the build/serve phase boundary, so benchmarks on
     /// a shared store never double-count construction traffic.
     pub fn serve_io(&self) -> IoSnapshot {
-        self.store
+        let snap = self
+            .store
             .stats()
             .snapshot()
-            .since(&self.ready_io.lock().unwrap())
+            .since(&self.ready_io.lock().unwrap());
+        match self.store.block_cache() {
+            Some(cache) => snap.with_cache(&cache.stats()),
+            None => snap,
+        }
+    }
+
+    /// The block cache serving this index's partition opens — `Some` only
+    /// for indexes opened through
+    /// [`open_with_cache`](Self::open_with_cache) and friends.
+    pub fn block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.store.block_cache()
     }
 
     /// Serialised global index size in bytes (Figure 8(b)'s metric).
@@ -1425,6 +1569,14 @@ pub trait SearchBackend: Send + Sync {
     fn health(&self) -> BackendHealth {
         BackendHealth::healthy()
     }
+
+    /// The backend's serve-phase I/O counters, block-cache counters
+    /// overlaid when one is attached — for the serving layer's stats
+    /// endpoint. The default reports all zeros, so backends without I/O
+    /// accounting need no override.
+    fn io(&self) -> IoSnapshot {
+        IoSnapshot::default()
+    }
 }
 
 impl<S: PartitionStore> SearchBackend for Climber<S> {
@@ -1439,6 +1591,10 @@ impl<S: PartitionStore> SearchBackend for Climber<S> {
             quarantined_partitions: self.store.quarantined().len() as u64,
         }
     }
+
+    fn io(&self) -> IoSnapshot {
+        Climber::serve_io(self)
+    }
 }
 
 impl<S: PartitionStore> SearchBackend for ShardedClimber<S> {
@@ -1448,6 +1604,10 @@ impl<S: PartitionStore> SearchBackend for ShardedClimber<S> {
 
     fn health(&self) -> BackendHealth {
         ShardedClimber::health(self)
+    }
+
+    fn io(&self) -> IoSnapshot {
+        ShardedClimber::serve_io(self)
     }
 }
 

@@ -49,6 +49,10 @@ pub struct RecoveryReport {
     /// generation drift) and were left as dead slots; empty for a
     /// single-index open.
     pub dead_shards: Vec<usize>,
+    /// Decompressed partition bytes the open fed into the block cache
+    /// from its validation reads (0 without a cache): first-query latency
+    /// after this open skips the filesystem for those partitions.
+    pub warmed_bytes: u64,
 }
 
 impl RecoveryReport {

@@ -57,6 +57,8 @@ use crate::recover::{BackendHealth, RecoveryPolicy, RecoveryReport, ScrubReport}
 use crate::{Climber, ClimberConfig, MaintenanceReport, SearchMode, SearchRequest};
 use climber_dfs::format::PartitionWriter;
 use climber_dfs::manifest::{self, xxh64, OpenError};
+use climber_dfs::page::{BlockCache, CacheConfig};
+use climber_dfs::stats::IoSnapshot;
 use climber_dfs::store::{DiskStore, MemStore, PartitionId, PartitionStore};
 use climber_index::builder::{BuildOptions, IndexBuilder};
 use climber_query::batch::BatchStrategy;
@@ -72,6 +74,7 @@ use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Name of the shard-set super-manifest inside a sharded index directory.
 pub const SHARD_SET_FILE: &str = "SHARDS.clsm";
@@ -479,6 +482,77 @@ impl ShardedClimber<DiskStore> {
         Ok((Self::from_slots(shards, sm), report))
     }
 
+    /// [`open_with`](Self::open_with) plus **one** paged block cache
+    /// shared by every shard: a single byte budget (and a single LRU)
+    /// serves the whole set, entries namespaced per shard store so shards
+    /// never serve each other's partitions. Validation reads pre-warm the
+    /// cache (the merged report's
+    /// [`warmed_bytes`](RecoveryReport::warmed_bytes)); with
+    /// [`CacheConfig::compress`] set, every shard's maintenance rewrites
+    /// land compressed. Results stay bit-identical to a cacheless open.
+    ///
+    /// Under [`RecoveryPolicy::Strict`] any shard failure aborts the
+    /// open; under [`RecoveryPolicy::Quarantine`] it degrades exactly
+    /// like [`open_with`](Self::open_with).
+    pub fn open_with_cache(
+        dir: impl AsRef<Path>,
+        policy: RecoveryPolicy,
+        config: CacheConfig,
+    ) -> Result<(Self, RecoveryReport), ClimberError> {
+        let dir = dir.as_ref();
+        let cache = Arc::new(BlockCache::new(config));
+        let sm = Self::load_set_manifest(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut shards = Vec::with_capacity(sm.num_shards as usize);
+        for i in 0..sm.num_shards as usize {
+            let sub = dir.join(shard_dir_name(i));
+            let opened = Climber::open_cached_impl(
+                &sub,
+                climber_dfs::fsio::std_fs(),
+                policy,
+                config,
+                Arc::clone(&cache),
+            );
+            match opened {
+                Ok((shard, r)) if shard.generation() == sm.generations[i] => {
+                    report
+                        .quarantined_partitions
+                        .extend(r.quarantined_partitions);
+                    report.warmed_bytes += r.warmed_bytes;
+                    shards.push(Some(shard));
+                }
+                Ok(shard_r) if policy == RecoveryPolicy::Strict => {
+                    return Err(OpenError::Shard {
+                        shard: i,
+                        source: Box::new(OpenError::CorruptShardSet(format!(
+                            "shard generation {} disagrees with the shard set's sealed {}",
+                            shard_r.0.generation(),
+                            sm.generations[i]
+                        ))),
+                    }
+                    .into());
+                }
+                Err(e) if policy == RecoveryPolicy::Strict => {
+                    return Err(OpenError::Shard {
+                        shard: i,
+                        source: Box::new(e),
+                    }
+                    .into());
+                }
+                _ => {
+                    report.dead_shards.push(i);
+                    shards.push(None);
+                }
+            }
+        }
+        if shards.iter().all(Option::is_none) {
+            return Err(
+                OpenError::CorruptShardSet("every shard of the set failed to open".into()).into(),
+            );
+        }
+        Ok((Self::from_slots(shards, sm), report))
+    }
+
     /// Scrubs the whole set: every live shard runs [`Climber::scrub`]
     /// (re-verify, re-admit, quarantine fresh damage), and every dead
     /// slot retries a quarantining open — a shard whose directory was
@@ -556,6 +630,38 @@ impl<S: PartitionStore> ShardedClimber<S> {
     /// stable across save/reopen).
     pub fn router_seed(&self) -> u64 {
         self.router_seed
+    }
+
+    /// Serve-phase I/O summed across live shards. Block-cache counters
+    /// are overlaid **once** from the set's shared cache (see
+    /// [`open_with_cache`](ShardedClimber::open_with_cache)) — every
+    /// shard reports the same shared cache, so summing per-shard copies
+    /// would multiply-count them.
+    pub fn serve_io(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for shard in self.shards.iter().flatten() {
+            let s = shard.serve_io();
+            total.partitions_written += s.partitions_written;
+            total.partitions_opened += s.partitions_opened;
+            total.bytes_written += s.bytes_written;
+            total.bytes_read += s.bytes_read;
+            total.records_shuffled += s.records_shuffled;
+            total.records_read += s.records_read;
+        }
+        match self.block_cache() {
+            Some(cache) => total.with_cache(&cache.stats()),
+            None => total,
+        }
+    }
+
+    /// The shared block cache serving the set's partition opens — `Some`
+    /// only after [`open_with_cache`](ShardedClimber::open_with_cache)
+    /// (every live shard holds the same cache).
+    pub fn block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.shards
+            .iter()
+            .flatten()
+            .find_map(|c| c.store().block_cache())
     }
 
     /// Enables (or disables) the quantized record cache on every shard —

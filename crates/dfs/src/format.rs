@@ -581,6 +581,24 @@ impl PartitionReader {
         })
     }
 
+    /// The raw encoded partition as a refcounted handle — a clone of the
+    /// underlying [`Bytes`], no copy. The cache layer uses this to keep a
+    /// partition image resident after the reader is dropped.
+    pub fn raw_bytes_owned(&self) -> Bytes {
+        self.bytes.clone()
+    }
+
+    /// An owned, refcounted slice of cluster `node_id`'s encoded records
+    /// plus its record count — the zero-copy backing of
+    /// [`ClusterView`](crate::page::ClusterView).
+    pub(crate) fn cluster_bytes_owned(&self, node_id: TrieNodeId) -> Option<(Bytes, u32)> {
+        let &(_, start, count) = self.directory.iter().find(|&&(n, _, _)| n == node_id)?;
+        let record_size = 8 + self.series_len * 4;
+        let off = self.records_at + (start as usize) * record_size;
+        let len = count as usize * record_size;
+        Some((self.bytes.slice(off..off + len), count))
+    }
+
     /// True when any stored record's id satisfies `pred`. Reads only the
     /// 8 id bytes of each record — no value decoding — and returns at the
     /// first hit, so scanning a partition for (say) tombstoned ids costs

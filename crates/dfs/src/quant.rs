@@ -35,6 +35,7 @@
 //! exact path for them.
 
 use crate::format::{ClusterBuf, TrieNodeId};
+use crate::page::CacheLedger;
 use crate::store::PartitionId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -206,6 +207,11 @@ pub struct QuantCache {
     map: RwLock<HashMap<(PartitionId, TrieNodeId), Arc<QuantizedCluster>>>,
     bytes: AtomicUsize,
     capacity: usize,
+    /// When the index runs with a block cache, this is that cache's
+    /// [`CacheLedger`]: quantized bytes then charge the same unified
+    /// budget as cached blocks, so the two never double-account and
+    /// `clear()` / disabling releases headroom both caches see.
+    ledger: RwLock<Option<Arc<CacheLedger>>>,
 }
 
 impl Default for QuantCache {
@@ -227,7 +233,23 @@ impl QuantCache {
             map: RwLock::new(HashMap::new()),
             bytes: AtomicUsize::new(0),
             capacity,
+            ledger: RwLock::new(None),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a shared byte-budget ledger.
+    /// Bytes already admitted migrate to the new ledger so the unified
+    /// accounting stays exact across the swap.
+    pub fn set_ledger(&self, ledger: Option<Arc<CacheLedger>>) {
+        let mut slot = self.ledger.write();
+        let current = self.bytes.load(Ordering::Relaxed);
+        if let Some(old) = slot.as_ref() {
+            old.release(current);
+        }
+        if let Some(new) = ledger.as_ref() {
+            new.charge(current);
+        }
+        *slot = ledger;
     }
 
     /// Whether lookups and inserts are live.
@@ -263,11 +285,20 @@ impl QuantCache {
         if self.bytes.load(Ordering::Relaxed) + cost > self.capacity {
             return;
         }
+        let ledger = self.ledger.read().clone();
+        if let Some(ledger) = &ledger {
+            if !ledger.would_fit(cost) {
+                return;
+            }
+        }
         let mut map = self.map.write();
         use std::collections::hash_map::Entry;
         if let Entry::Vacant(e) = map.entry((partition, node)) {
             e.insert(Arc::new(cluster));
             self.bytes.fetch_add(cost, Ordering::Relaxed);
+            if let Some(ledger) = &ledger {
+                ledger.charge(cost);
+            }
         }
     }
 
@@ -275,7 +306,10 @@ impl QuantCache {
     /// rewrite partitions).
     pub fn clear(&self) {
         self.map.write().clear();
-        self.bytes.store(0, Ordering::Relaxed);
+        let freed = self.bytes.swap(0, Ordering::Relaxed);
+        if let Some(ledger) = self.ledger.read().as_ref() {
+            ledger.release(freed);
+        }
     }
 
     /// Drops every cached cluster of one partition — called when a
@@ -295,6 +329,9 @@ impl QuantCache {
         });
         drop(map);
         self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        if let Some(ledger) = self.ledger.read().as_ref() {
+            ledger.release(freed);
+        }
     }
 
     /// Number of cached clusters.
@@ -434,6 +471,43 @@ mod tests {
         assert!(cache.get(4, 9).is_some(), "other partitions survive");
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.bytes(), one, "byte accounting follows eviction");
+    }
+
+    #[test]
+    fn shared_ledger_charges_and_releases_consistently() {
+        let ledger = Arc::new(CacheLedger::new(1 << 20));
+        let cache = QuantCache::new();
+        cache.set_enabled(true);
+        let buf = buf_of(&[(1, vec![1.0, 2.0])]);
+        cache.insert(0, 1, QuantizedCluster::from_buf(&buf).unwrap());
+        let admitted = cache.bytes();
+        assert!(admitted > 0);
+        // Attaching migrates already-admitted bytes onto the ledger.
+        cache.set_ledger(Some(Arc::clone(&ledger)));
+        assert_eq!(ledger.used(), admitted);
+        cache.insert(0, 2, QuantizedCluster::from_buf(&buf).unwrap());
+        assert_eq!(ledger.used(), cache.bytes(), "inserts charge the ledger");
+        cache.evict_partition(0);
+        assert_eq!(ledger.used(), 0, "eviction releases the ledger");
+        // The unified budget gates admission: a full ledger (e.g. the
+        // block cache's residency) rejects quantized inserts.
+        ledger.charge(ledger.capacity());
+        cache.insert(1, 1, QuantizedCluster::from_buf(&buf).unwrap());
+        assert_eq!(cache.len(), 0, "no admission past the shared budget");
+        ledger.release(ledger.capacity());
+        // clear() (the maintain()/set_quant_enabled(false) path) releases
+        // both the private counter and the shared ledger.
+        cache.insert(1, 1, QuantizedCluster::from_buf(&buf).unwrap());
+        assert!(ledger.used() > 0);
+        cache.set_enabled(false);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(ledger.used(), 0);
+        // Detaching releases the migrated bytes too.
+        cache.set_enabled(true);
+        cache.insert(1, 1, QuantizedCluster::from_buf(&buf).unwrap());
+        cache.set_ledger(None);
+        assert_eq!(ledger.used(), 0);
+        assert!(cache.bytes() > 0, "entries survive a ledger swap");
     }
 
     #[test]

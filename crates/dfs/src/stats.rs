@@ -39,6 +39,20 @@ pub struct IoSnapshot {
     pub records_shuffled: u64,
     /// Records decoded from partitions.
     pub records_read: u64,
+    /// Block-cache lookups served from memory (monotonic).
+    pub cache_hits: u64,
+    /// Block-cache lookups that had to read the filesystem (monotonic).
+    pub cache_misses: u64,
+    /// Blocks evicted from the cache to stay inside its budget (monotonic).
+    pub cache_evictions: u64,
+    /// Page-rounded bytes currently resident in the block cache (a gauge:
+    /// [`since`](Self::since) passes the later value through unchanged).
+    pub cache_resident_bytes: u64,
+    /// Decompressed bytes of resident blocks (gauge).
+    pub cache_raw_bytes: u64,
+    /// On-disk bytes of resident blocks (gauge; smaller than
+    /// `cache_raw_bytes` when compression is saving disk space).
+    pub cache_stored_bytes: u64,
 }
 
 impl IoStats {
@@ -88,6 +102,7 @@ impl IoStats {
             bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
             records_shuffled: self.inner.records_shuffled.load(Ordering::Relaxed),
             records_read: self.inner.records_read.load(Ordering::Relaxed),
+            ..IoSnapshot::default()
         }
     }
 
@@ -104,6 +119,9 @@ impl IoStats {
 
 impl IoSnapshot {
     /// Difference of two snapshots (`self` taken after `earlier`).
+    /// Monotonic counters subtract; the cache residency gauges pass
+    /// through `self`'s current values (a gauge difference would be
+    /// meaningless — residency is a level, not a flow).
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
             partitions_written: self.partitions_written - earlier.partitions_written,
@@ -112,6 +130,35 @@ impl IoSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             records_shuffled: self.records_shuffled - earlier.records_shuffled,
             records_read: self.records_read - earlier.records_read,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            cache_resident_bytes: self.cache_resident_bytes,
+            cache_raw_bytes: self.cache_raw_bytes,
+            cache_stored_bytes: self.cache_stored_bytes,
+        }
+    }
+
+    /// Overlays a block cache's counters and gauges onto this snapshot —
+    /// the cache lives beside the store's `IoStats`, so index-level
+    /// `serve_io()` views merge the two here.
+    pub fn with_cache(mut self, cache: &crate::page::BlockCacheStats) -> IoSnapshot {
+        self.cache_hits = cache.hits;
+        self.cache_misses = cache.misses;
+        self.cache_evictions = cache.evictions;
+        self.cache_resident_bytes = cache.resident_bytes;
+        self.cache_raw_bytes = cache.raw_bytes;
+        self.cache_stored_bytes = cache.stored_bytes;
+        self
+    }
+
+    /// On-disk ÷ in-memory size of resident cached blocks: 1.0 when the
+    /// cache is empty or uncompressed, below 1.0 when compression helps.
+    pub fn cache_compressed_ratio(&self) -> f64 {
+        if self.cache_raw_bytes == 0 {
+            1.0
+        } else {
+            self.cache_stored_bytes as f64 / self.cache_raw_bytes as f64
         }
     }
 }
@@ -163,6 +210,30 @@ mod tests {
         s.on_read(25);
         let diff = s.snapshot().since(&t0);
         assert_eq!(diff.bytes_read, 25);
+    }
+
+    #[test]
+    fn cache_fields_overlay_and_diff() {
+        let cache = crate::page::BlockCacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 2,
+            warmed_bytes: 0,
+            resident_bytes: 1 << 20,
+            raw_bytes: 1000,
+            stored_bytes: 250,
+        };
+        let t0 = IoSnapshot::default().with_cache(&crate::page::BlockCacheStats {
+            hits: 3,
+            ..Default::default()
+        });
+        let t1 = IoSnapshot::default().with_cache(&cache);
+        let diff = t1.since(&t0);
+        assert_eq!(diff.cache_hits, 7, "counters subtract");
+        assert_eq!(diff.cache_misses, 4);
+        assert_eq!(diff.cache_resident_bytes, 1 << 20, "gauges pass through");
+        assert!((t1.cache_compressed_ratio() - 0.25).abs() < 1e-12);
+        assert!((IoSnapshot::default().cache_compressed_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::format::PartitionReader;
 use crate::fsio::{self, ClimberFs, FsRef};
 use crate::manifest::{xxh64, Manifest, OpenError, PartitionEntry};
+use crate::page::{self, BlockCache};
 use crate::stats::IoStats;
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -20,6 +21,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// File name of partition `id` inside an index directory.
 pub fn partition_file_name(id: PartitionId) -> String {
@@ -104,6 +107,47 @@ pub trait PartitionStore: Send + Sync {
     /// stores without quarantine support.
     fn quarantined(&self) -> Vec<PartitionId> {
         Vec::new()
+    }
+
+    /// The **exact persisted bytes** of a partition — what a seal must
+    /// checksum and copy. For stores holding partitions verbatim this is
+    /// the open image; stores with a compressed on-disk representation
+    /// override it to return the stored (compressed) bytes, which the
+    /// decode path never sees. Performs no I/O accounting: sealing
+    /// attributes its reads to the open that accompanies it.
+    fn stored_bytes(&self, id: PartitionId) -> io::Result<Bytes> {
+        Ok(self.open(id)?.raw_bytes_owned())
+    }
+
+    /// True when [`put`](Self::put) lands partitions in the compressed
+    /// (CLBP v2) on-disk format; a seal copying into a fresh directory
+    /// then compresses its payloads to match the store's own files.
+    fn compresses_puts(&self) -> bool {
+        false
+    }
+
+    /// The block cache serving this store's opens, when one is attached;
+    /// the serving layer overlays its counters onto I/O snapshots.
+    fn block_cache(&self) -> Option<Arc<BlockCache>> {
+        None
+    }
+
+    /// An owned zero-copy view of one cluster — a single open plus a
+    /// refcounted slice, no record memcpy. Counts the cluster's bytes and
+    /// records as read, exactly like the decoding reads.
+    fn cluster_view(
+        &self,
+        id: PartitionId,
+        node: crate::format::TrieNodeId,
+    ) -> io::Result<Option<crate::page::ClusterView>> {
+        let reader = self.open(id)?;
+        let Some(view) = reader.cluster_view(node) else {
+            return Ok(None);
+        };
+        self.stats()
+            .on_read((view.len() * (8 + reader.series_len() * 4)) as u64);
+        self.stats().on_records_read(view.len() as u64);
+        Ok(Some(view))
     }
 
     /// Reads the records of one trie-node cluster, counting only the bytes
@@ -230,6 +274,22 @@ pub struct DiskStore {
     /// Partitions a quarantining open (or a scrub) moved aside; opening
     /// them fails with `NotFound` until repaired.
     quarantined: RwLock<BTreeSet<PartitionId>>,
+    /// Block-cache attachment: the shared cache plus this store's token
+    /// (the namespace its partition ids live under in the cache).
+    cache: RwLock<Option<StoreCache>>,
+    /// When set, [`put`](PartitionStore::put) transcodes partitions into
+    /// the compressed CLBP v2 format before writing. Set explicitly by
+    /// `CacheConfig::compress` or automatically when a validated open
+    /// finds compressed files, so rewrites never silently decompress an
+    /// index.
+    compress_puts: AtomicBool,
+}
+
+/// A [`DiskStore`]'s handle into a shared [`BlockCache`].
+#[derive(Debug, Clone)]
+struct StoreCache {
+    cache: Arc<BlockCache>,
+    token: u64,
 }
 
 impl DiskStore {
@@ -259,7 +319,39 @@ impl DiskStore {
             fs,
             staged: RwLock::new(BTreeSet::new()),
             quarantined: RwLock::new(BTreeSet::new()),
+            cache: RwLock::new(None),
+            compress_puts: AtomicBool::new(false),
         })
+    }
+
+    /// Attaches a shared [`BlockCache`]: subsequent opens of committed,
+    /// unquarantined partitions are served from (and fill) the cache
+    /// under a fresh store token. Rewrites, quarantines, and
+    /// re-admissions invalidate the affected entry.
+    pub fn attach_cache(&self, cache: Arc<BlockCache>) {
+        *self.cache.write() = Some(StoreCache {
+            cache,
+            token: page::next_store_token(),
+        });
+    }
+
+    /// The attached block cache, if any.
+    pub fn block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.cache.read().as_ref().map(|sc| Arc::clone(&sc.cache))
+    }
+
+    fn cache_handle(&self) -> Option<StoreCache> {
+        self.cache.read().clone()
+    }
+
+    /// Turns compressed (CLBP v2) partition writes on or off.
+    pub fn set_compress_puts(&self, on: bool) {
+        self.compress_puts.store(on, Ordering::Relaxed);
+    }
+
+    /// True when puts are written in the compressed format.
+    pub fn compresses_puts(&self) -> bool {
+        self.compress_puts.load(Ordering::Relaxed)
     }
 
     /// Opens a persisted index directory **read-only**, validating every
@@ -273,7 +365,7 @@ impl DiskStore {
     /// absorbing updates goes through
     /// [`open_read_write`](Self::open_read_write) instead.
     pub fn open_read_only(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
-        Self::open_validated(dir.into(), true, fsio::std_fs(), false)
+        Self::open_validated_with(dir.into(), true, fsio::std_fs(), false)
     }
 
     /// Opens a persisted index directory with the exact validation of
@@ -283,7 +375,7 @@ impl DiskStore {
     /// Partition ids are still served from the manifest, so stray files
     /// are never picked up.
     pub fn open_read_write(dir: impl Into<PathBuf>) -> Result<(Self, Manifest), OpenError> {
-        Self::open_validated(dir.into(), false, fsio::std_fs(), false)
+        Self::open_validated_with(dir.into(), false, fsio::std_fs(), false)
     }
 
     /// [`open_read_only`](Self::open_read_only) /
@@ -299,15 +391,36 @@ impl DiskStore {
         fs: FsRef,
         quarantine: bool,
     ) -> Result<(Self, Manifest), OpenError> {
-        Self::open_validated(dir, read_only, fs, quarantine)
+        let (store, manifest, _) =
+            Self::open_validated_cached(dir, read_only, fs, quarantine, None)?;
+        Ok((store, manifest))
     }
 
-    /// Validates one manifest entry's main file through `fs`.
+    /// [`open_validated_with`](Self::open_validated_with) plus a shared
+    /// [`BlockCache`]: each partition's cold-open validation read — which
+    /// the cacheless path checksums and discards — is decompressed and
+    /// fed into the cache ([`BlockCache::try_warm`]: warming never evicts
+    /// what another index already holds). Returns the store, the
+    /// manifest, and the warmed byte count for the recovery report.
+    pub fn open_validated_cached(
+        dir: PathBuf,
+        read_only: bool,
+        fs: FsRef,
+        quarantine: bool,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<(Self, Manifest, u64), OpenError> {
+        Self::open_validated(dir, read_only, fs, quarantine, cache)
+    }
+
+    /// Validates one manifest entry's main file through `fs`, returning
+    /// the validated bytes so cold-open callers can reuse (rather than
+    /// discard) the read — see the cache-warming in
+    /// [`open_validated_cached`](Self::open_validated_cached).
     fn validate_entry(
         fs: &dyn ClimberFs,
         path: &Path,
         e: &PartitionEntry,
-    ) -> Result<(), OpenError> {
+    ) -> Result<Vec<u8>, OpenError> {
         let bytes = match fs.read(path) {
             Ok(b) => b,
             Err(err) if err.kind() == io::ErrorKind::NotFound => {
@@ -333,7 +446,7 @@ impl DiskStore {
                 found,
             });
         }
-        Ok(())
+        Ok(bytes)
     }
 
     fn open_validated(
@@ -341,18 +454,37 @@ impl DiskStore {
         read_only: bool,
         fs: FsRef,
         quarantine: bool,
-    ) -> Result<(Self, Manifest), OpenError> {
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<(Self, Manifest, u64), OpenError> {
         let manifest = Manifest::load_with(&*fs, &dir)?;
         let mut quarantined = BTreeSet::new();
+        let warming = cache.map(|c| (c, page::next_store_token()));
+        let mut warmed_bytes = 0u64;
+        let mut saw_compressed = false;
         for e in &manifest.partitions {
             let path = dir.join(partition_file_name(e.id));
             let staged = staged_path_of(&dir, e.id);
             match Self::validate_entry(&*fs, &path, e) {
-                Ok(()) => {
+                Ok(bytes) => {
                     // Any `.new` sibling is pre-commit garbage from an
                     // interrupted fold — the committed file matches the
                     // committed manifest.
                     fs.remove_file(&staged).ok();
+                    if page::is_compressed(&bytes) {
+                        saw_compressed = true;
+                    }
+                    // Reuse the validation read: decompress once here and
+                    // warm the cache so first-query latency after a cold
+                    // open skips the filesystem entirely.
+                    if let Some((cache, token)) = &warming {
+                        if let Ok((image, stored_len)) = page::maybe_decompress(Bytes::from(bytes))
+                        {
+                            let raw_len = image.len() as u64;
+                            if cache.try_warm(*token, e.id, image, stored_len) {
+                                warmed_bytes += raw_len;
+                            }
+                        }
+                    }
                 }
                 Err(first) => {
                     // Roll forward: a crash between the manifest commit
@@ -404,8 +536,11 @@ impl DiskStore {
                 fs,
                 staged: RwLock::new(BTreeSet::new()),
                 quarantined: RwLock::new(quarantined),
+                cache: RwLock::new(warming.map(|(cache, token)| StoreCache { cache, token })),
+                compress_puts: AtomicBool::new(saw_compressed),
             },
             manifest,
+            warmed_bytes,
         ))
     }
 
@@ -438,6 +573,9 @@ impl DiskStore {
             Err(e) => return Err(e),
         }
         self.quarantined.write().insert(id);
+        if let Some(sc) = self.cache_handle() {
+            sc.cache.invalidate(sc.token, id);
+        }
         Ok(())
     }
 
@@ -452,15 +590,21 @@ impl DiskStore {
         }
         let main = self.path_of(e.id);
         let matches = |b: &[u8]| b.len() as u64 == e.bytes && xxh64(b, 0) == e.checksum;
+        let readmit = |id: PartitionId| {
+            self.quarantined.write().remove(&id);
+            if let Some(sc) = self.cache_handle() {
+                sc.cache.invalidate(sc.token, id);
+            }
+        };
         if self.fs.read(&main).is_ok_and(|b| matches(&b)) {
-            self.quarantined.write().remove(&e.id);
+            readmit(e.id);
             return Ok(true);
         }
         let qpath = quarantine_path_of(&self.dir, e.id);
         if self.fs.read(&qpath).is_ok_and(|b| matches(&b)) {
             self.fs.rename(&qpath, &main)?;
             self.fs.fsync_dir(&self.dir)?;
-            self.quarantined.write().remove(&e.id);
+            readmit(e.id);
             return Ok(true);
         }
         Ok(false)
@@ -469,11 +613,19 @@ impl DiskStore {
     /// Re-validates the committed bytes of `entry` against its manifest
     /// record — the scrub primitive for partitions not under quarantine.
     pub fn verify_partition(&self, e: &PartitionEntry) -> Result<(), OpenError> {
-        Self::validate_entry(&*self.fs, &self.path_of(e.id), e)
+        Self::validate_entry(&*self.fs, &self.path_of(e.id), e).map(|_| ())
     }
 }
 
 impl PartitionStore for DiskStore {
+    fn compresses_puts(&self) -> bool {
+        DiskStore::compresses_puts(self)
+    }
+
+    fn block_cache(&self) -> Option<Arc<BlockCache>> {
+        DiskStore::block_cache(self)
+    }
+
     fn put(&self, id: PartitionId, bytes: Bytes) -> io::Result<()> {
         if self.is_read_only() {
             return Err(io::Error::new(
@@ -481,8 +633,15 @@ impl PartitionStore for DiskStore {
                 "store was opened read-only from a manifest",
             ));
         }
+        // Compressed stores transcode on the way down, so decode paths —
+        // which always see the v1 image — never meet v2 bytes.
+        let bytes = if self.compresses_puts() && !page::is_compressed(&bytes) {
+            page::compress_partition(&bytes)?
+        } else {
+            bytes
+        };
         self.stats.on_partition_write(bytes.len() as u64);
-        if self.manifest_ids.is_some() {
+        let result = if self.manifest_ids.is_some() {
             // Opened from a sealed manifest (read-write mode): the file
             // being replaced is referenced by a live, committed manifest,
             // so the rewrite is *staged* under a `.new` sibling (written
@@ -490,17 +649,65 @@ impl PartitionStore for DiskStore {
             // `commit_staged`, after the next manifest commit. A crash
             // anywhere before that commit leaves the committed directory
             // byte-identical; a crash after it is rolled forward at open.
-            fsio::write_file_atomic_with(&*self.fs, &staged_path_of(&self.dir, id), &bytes)?;
-            self.staged.write().insert(id);
-            Ok(())
+            fsio::write_file_atomic_with(&*self.fs, &staged_path_of(&self.dir, id), &bytes).map(
+                |()| {
+                    self.staged.write().insert(id);
+                },
+            )
         } else {
             // Build mode: the directory is not yet a committed index, a
             // bare write is fine (the first seal copies durably).
             self.fs.write(&self.path_of(id), &bytes)
+        };
+        // The old image is stale either way (staged opens serve the
+        // sibling; build-mode opens the new file).
+        if let Some(sc) = self.cache_handle() {
+            sc.cache.invalidate(sc.token, id);
         }
+        result
     }
 
     fn open(&self, id: PartitionId) -> io::Result<PartitionReader> {
+        if self.quarantined.read().contains(&id) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("partition {id} is quarantined"),
+            ));
+        }
+        let staged = self.staged.read().contains(&id);
+        // Staged (pre-commit) bytes never enter the cache: they are not
+        // the committed image yet and are replaced at the next commit.
+        let cached = if staged { None } else { self.cache_handle() };
+        if let Some(sc) = &cached {
+            if let Some(image) = sc.cache.get(sc.token, id) {
+                self.stats.on_partition_open();
+                let reader = PartitionReader::open(image)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                self.stats.on_read(reader.header_bytes() as u64);
+                return Ok(reader);
+            }
+        }
+        let path = if staged {
+            staged_path_of(&self.dir, id)
+        } else {
+            self.path_of(id)
+        };
+        let raw = Bytes::from(self.fs.read(&path)?);
+        // Compressed partitions decompress exactly once here; the cache
+        // then pins the decoded image so later touches skip both the
+        // filesystem and the decode.
+        let (image, stored_len) = page::maybe_decompress(raw)?;
+        self.stats.on_partition_open();
+        let reader = PartitionReader::open(image.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.stats.on_read(reader.header_bytes() as u64);
+        if let Some(sc) = &cached {
+            sc.cache.insert(sc.token, id, image, stored_len);
+        }
+        Ok(reader)
+    }
+
+    fn stored_bytes(&self, id: PartitionId) -> io::Result<Bytes> {
         if self.quarantined.read().contains(&id) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -512,12 +719,7 @@ impl PartitionStore for DiskStore {
         } else {
             self.path_of(id)
         };
-        let bytes = Bytes::from(self.fs.read(&path)?);
-        self.stats.on_partition_open();
-        let reader = PartitionReader::open(bytes)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        self.stats.on_read(reader.header_bytes() as u64);
-        Ok(reader)
+        Ok(Bytes::from(self.fs.read(&path)?))
     }
 
     fn persist_dir(&self) -> Option<&std::path::Path> {
@@ -540,10 +742,14 @@ impl PartitionStore for DiskStore {
         if pending.is_empty() {
             return Ok(());
         }
+        let cache = self.cache_handle();
         for id in &pending {
             self.fs
                 .rename(&staged_path_of(&self.dir, *id), &self.path_of(*id))?;
             self.staged.write().remove(id);
+            if let Some(sc) = &cache {
+                sc.cache.invalidate(sc.token, *id);
+            }
         }
         self.fs.fsync_dir(&self.dir)
     }
@@ -719,6 +925,71 @@ mod tests {
         store.put(1, encode_partition(0, 1, 5)).unwrap();
         assert_eq!(store.open(1).unwrap().record_count(), 5);
         assert_eq!(store.ids(), vec![1]);
+    }
+
+    #[test]
+    fn cached_disk_store_serves_hits_and_invalidates_on_put() {
+        use crate::page::{BlockCache, CacheConfig};
+        let dir = std::env::temp_dir().join(format!("climber-dfs-cache-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        let store = DiskStore::new(&dir).unwrap();
+        let cache = Arc::new(BlockCache::new(CacheConfig::default()));
+        store.attach_cache(Arc::clone(&cache));
+        store.put(3, encode_partition(7, 1, 4)).unwrap();
+        assert_eq!(store.open(3).unwrap().record_count(), 4);
+        assert_eq!(cache.stats().hits, 0, "first open misses");
+        assert_eq!(store.open(3).unwrap().record_count(), 4);
+        assert_eq!(cache.stats().hits, 1, "second open hits");
+        // A rewrite invalidates: the next open sees the new bytes.
+        store.put(3, encode_partition(7, 1, 9)).unwrap();
+        assert_eq!(store.open(3).unwrap().record_count(), 9);
+        // Both cached and uncached opens count identically.
+        let before = store.stats().snapshot();
+        store.open(3).unwrap();
+        let diff = store.stats().snapshot().since(&before);
+        assert_eq!(diff.partitions_opened, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_puts_roundtrip_and_report_stored_bytes() {
+        let dir = std::env::temp_dir().join(format!("climber-dfs-comp-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        let store = DiskStore::new(&dir).unwrap();
+        store.set_compress_puts(true);
+        let v1 = encode_partition(5, 2, 50);
+        store.put(1, v1.clone()).unwrap();
+        // On disk: compressed. Through open(): the exact v1 image.
+        let stored = store.stored_bytes(1).unwrap();
+        assert!(crate::page::is_compressed(&stored));
+        let reader = store.open(1).unwrap();
+        assert_eq!(reader.raw_bytes(), &v1[..]);
+        // read_cluster goes through the same transparent decompression.
+        let mut out = Vec::new();
+        assert_eq!(store.read_cluster(1, 2, &mut out).unwrap(), 50);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stored_bytes_default_matches_open_image() {
+        let store = MemStore::new();
+        let v1 = encode_partition(1, 4, 3);
+        store.put(0, v1.clone()).unwrap();
+        assert_eq!(&store.stored_bytes(0).unwrap()[..], &v1[..]);
+    }
+
+    #[test]
+    fn store_cluster_view_is_zero_copy_equivalent() {
+        let store = MemStore::new();
+        store.put(0, encode_partition(3, 11, 6)).unwrap();
+        let view = store.cluster_view(0, 11).unwrap().unwrap();
+        assert_eq!(view.len(), 6);
+        let mut decoded = Vec::new();
+        store.read_cluster(0, 11, &mut decoded).unwrap();
+        let mut viewed = Vec::new();
+        view.for_each(|id, vals| viewed.push((id, vals.to_vec())));
+        assert_eq!(decoded, viewed);
+        assert!(store.cluster_view(0, 999).unwrap().is_none());
     }
 
     #[test]

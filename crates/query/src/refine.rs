@@ -156,7 +156,14 @@ pub(crate) fn scan_cluster(
         if let Some(cache) = quant.filter(|c| c.is_enabled()) {
             return scan_cluster_quantized(reader, pid, node, query, top, buf, stats, cache);
         }
-        let n = reader.for_each_in_cluster(node, |id, vals| {
+        // Zero-copy sealed scan: the view borrows the reader's (possibly
+        // block-cached) partition image — a refcount bump and a slice, no
+        // record memcpy — and visits records in storage order, exactly
+        // like the decoding visit it replaces.
+        let Some(view) = reader.cluster_view(node) else {
+            return 0;
+        };
+        let n = view.for_each(|id, vals| {
             if let Some(d) = ed_early_abandon(query, vals, top.bound()) {
                 top.offer(id, d);
             }

@@ -254,6 +254,38 @@ pub fn scan_shard<S: PartitionStore>(
                         None => quant.filter(|c| c.is_enabled()),
                         Some(_) => None,
                     };
+                    // Zero-copy fast path: a sealed cluster only one query
+                    // selected gains nothing from the shared ClusterBuf
+                    // (no decode amortisation, no prefilter — it needs
+                    // `interested.len() >= PREFILTER_MIN_QUERIES`), so
+                    // it is scanned straight off the (possibly
+                    // block-cached) partition image. Visit order, bounds
+                    // and every counter match the decoded path exactly.
+                    if interested.len() == 1 && updates.is_none() && cache.is_none() {
+                        if let Some(view) = reader.cluster_view(node) {
+                            let qi = interested[0];
+                            store.stats().on_read(bytes as u64);
+                            store.stats().on_records_read(view.len() as u64);
+                            decoded.fetch_add(view.len() as u64, Ordering::Relaxed);
+                            if locals[qi].is_none() {
+                                locals[qi] = Some(TopK::new(k));
+                                touched.push(qi);
+                            }
+                            scanned[qi].fetch_add(view.len() as u64, Ordering::Relaxed);
+                            let top = locals[qi].as_mut().expect("created above");
+                            view.for_each(|id, vals| {
+                                if let Some(d) = ed_early_abandon(
+                                    &queries[qi],
+                                    vals,
+                                    top.bound_with(&bounds[qi]),
+                                ) {
+                                    top.offer(id, d);
+                                }
+                            });
+                            top.publish_bound(&bounds[qi]);
+                            continue;
+                        }
+                    }
                     let cached = cache.and_then(|c| c.get(pid, node));
                     // `counted` is the logical candidate-stream length
                     // every interested query charges to records_scanned;

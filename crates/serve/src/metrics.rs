@@ -1,6 +1,7 @@
 //! Serving metrics: counters, a queue-depth gauge, and a lock-free
 //! log-bucketed latency histogram with approximate percentiles.
 
+use climber_core::IoSnapshot;
 use climber_dfs::format::{ByteReader, Decode, Encode};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -128,6 +129,11 @@ impl ServeMetrics {
             p50_us: self.percentile_us(&counts, 50.0),
             p95_us: self.percentile_us(&counts, 95.0),
             p99_us: self.percentile_us(&counts, 99.0),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_resident_bytes: 0,
+            cache_compressed_ratio: 1.0,
         }
     }
 }
@@ -160,6 +166,34 @@ pub struct StatsReport {
     pub p95_us: u64,
     /// Approximate 99th-percentile latency (µs).
     pub p99_us: u64,
+    /// Backend block-cache hits since the cache was created (0 when the
+    /// backend serves without one).
+    pub cache_hits: u64,
+    /// Backend block-cache misses.
+    pub cache_misses: u64,
+    /// Blocks evicted by the backend's cache to stay in budget.
+    pub cache_evictions: u64,
+    /// Bytes currently charged against the cache's budget.
+    pub cache_resident_bytes: u64,
+    /// On-disk ÷ in-memory size of resident cached blocks (1.0 when the
+    /// cache is empty, absent, or uncompressed).
+    pub cache_compressed_ratio: f64,
+}
+
+impl StatsReport {
+    /// Overlays the backend's block-cache counters (from
+    /// [`climber_core::SearchBackend::io`]) onto this snapshot — the
+    /// serving layer composes the two because the metrics object never
+    /// sees the backend.
+    #[must_use]
+    pub fn with_io(mut self, io: &IoSnapshot) -> Self {
+        self.cache_hits = io.cache_hits;
+        self.cache_misses = io.cache_misses;
+        self.cache_evictions = io.cache_evictions;
+        self.cache_resident_bytes = io.cache_resident_bytes;
+        self.cache_compressed_ratio = io.cache_compressed_ratio();
+        self
+    }
 }
 
 impl Encode for StatsReport {
@@ -176,6 +210,11 @@ impl Encode for StatsReport {
         self.p50_us.encode(out);
         self.p95_us.encode(out);
         self.p99_us.encode(out);
+        self.cache_hits.encode(out);
+        self.cache_misses.encode(out);
+        self.cache_evictions.encode(out);
+        self.cache_resident_bytes.encode(out);
+        self.cache_compressed_ratio.encode(out);
     }
 }
 
@@ -194,6 +233,11 @@ impl Decode for StatsReport {
             p50_us: r.u64()?,
             p95_us: r.u64()?,
             p99_us: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            cache_evictions: r.u64()?,
+            cache_resident_bytes: r.u64()?,
+            cache_compressed_ratio: r.f64()?,
         })
     }
 }
@@ -258,5 +302,32 @@ mod tests {
         let bytes = r.encode_vec();
         assert_eq!(StatsReport::decode_vec(&bytes).unwrap(), r);
         assert!(StatsReport::decode_vec(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn cache_overlay_fills_fields_and_survives_the_codec() {
+        let io = IoSnapshot {
+            cache_hits: 10,
+            cache_misses: 4,
+            cache_evictions: 2,
+            cache_resident_bytes: 1 << 20,
+            cache_raw_bytes: 1000,
+            cache_stored_bytes: 250,
+            ..IoSnapshot::default()
+        };
+        let r = ServeMetrics::new().report(0).with_io(&io);
+        assert_eq!(r.cache_hits, 10);
+        assert_eq!(r.cache_misses, 4);
+        assert_eq!(r.cache_evictions, 2);
+        assert_eq!(r.cache_resident_bytes, 1 << 20);
+        assert!((r.cache_compressed_ratio - 0.25).abs() < 1e-12);
+        let back = StatsReport::decode_vec(&r.encode_vec()).unwrap();
+        assert_eq!(back, r);
+        // A cacheless backend reports the neutral defaults.
+        let plain = ServeMetrics::new()
+            .report(0)
+            .with_io(&IoSnapshot::default());
+        assert_eq!(plain.cache_hits + plain.cache_misses, 0);
+        assert!((plain.cache_compressed_ratio - 1.0).abs() < 1e-12);
     }
 }

@@ -72,6 +72,10 @@ pub struct HealthReport {
     pub backend: BackendHealth,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: u64,
+    /// Bytes resident in the backend's block cache (0 without one) — a
+    /// cheap warmth signal: a balancer draining-in a node can hold back
+    /// until the cache fills.
+    pub cache_resident_bytes: u64,
 }
 
 impl HealthReport {
@@ -87,6 +91,7 @@ impl Encode for HealthReport {
         self.backend.dead_shards.encode(out);
         self.backend.quarantined_partitions.encode(out);
         self.queue_depth.encode(out);
+        self.cache_resident_bytes.encode(out);
     }
 }
 
@@ -99,6 +104,7 @@ impl Decode for HealthReport {
                 quarantined_partitions: r.u64()?,
             },
             queue_depth: r.u64()?,
+            cache_resident_bytes: r.u64()?,
         })
     }
 }
@@ -322,6 +328,7 @@ mod tests {
                 quarantined_partitions: 9,
             },
             queue_depth: 17,
+            cache_resident_bytes: 64 * 1024,
         };
         assert!(!report.is_healthy());
         let mut wire = Vec::new();

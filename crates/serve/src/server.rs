@@ -139,14 +139,24 @@ impl ServeConfig {
 /// A running serving instance: owns the listener port, the worker pool,
 /// and the admission queue. Dropping it (or calling
 /// [`shutdown`](Self::shutdown)) drains and joins everything it owns.
-#[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
     queue: Arc<AdmissionQueue>,
     metrics: Arc<ServeMetrics>,
+    // Probes the backend's serve-phase I/O (block-cache counters included)
+    // without the Server being generic over the backend type.
+    io_probe: Arc<dyn Fn() -> climber_core::IoSnapshot + Send + Sync>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -197,10 +207,16 @@ impl Server {
                 .expect("spawn acceptor")
         };
 
+        let io_probe: Arc<dyn Fn() -> climber_core::IoSnapshot + Send + Sync> = {
+            let backend = Arc::clone(&backend);
+            Arc::new(move || backend.io())
+        };
+
         Ok(Self {
             local_addr,
             queue,
             metrics,
+            io_probe,
             stop,
             acceptor: Some(acceptor),
             workers,
@@ -212,9 +228,12 @@ impl Server {
         self.local_addr
     }
 
-    /// A snapshot of the serving metrics, same as the wire stats endpoint.
+    /// A snapshot of the serving metrics, same as the wire stats endpoint
+    /// (backend block-cache counters included).
     pub fn stats(&self) -> StatsReport {
-        self.metrics.report(self.queue.depth() as u64)
+        self.metrics
+            .report(self.queue.depth() as u64)
+            .with_io(&(self.io_probe)())
     }
 
     /// Stops accepting, drains every admitted request, and joins every
@@ -333,10 +352,13 @@ fn handle_connection<B: SearchBackend + ?Sized>(
         };
         let response = match request {
             Request::Ping => Response::Pong,
-            Request::Stats => Response::Stats(metrics.report(queue.depth() as u64)),
+            Request::Stats => {
+                Response::Stats(metrics.report(queue.depth() as u64).with_io(&backend.io()))
+            }
             Request::Health => Response::Health(HealthReport {
                 backend: backend.health(),
                 queue_depth: queue.depth() as u64,
+                cache_resident_bytes: backend.io().cache_resident_bytes,
             }),
             Request::Search(req) => match req.validate() {
                 Err(msg) => {
